@@ -1,0 +1,420 @@
+package rfidsched
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// (Figures 6-9 — Table I is notation only) plus the ablations called out in
+// DESIGN.md. Figure benchmarks run the real experiment pipeline at reduced
+// trial counts and export the domain metric (schedule size / one-shot
+// weight) via b.ReportMetric so `go test -bench` output carries the same
+// numbers EXPERIMENTS.md tabulates; `cmd/rfidsim` runs the full-trial
+// version.
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidsched/internal/anticollision"
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/experiments"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/mobility"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+	"rfidsched/internal/survey"
+)
+
+func benchSystem(b *testing.B, seed uint64, lambdaR, lambdar float64) *model.System {
+	b.Helper()
+	sys, err := deploy.Generate(deploy.Paper(seed, lambdaR, lambdar))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// benchFigure runs one paper figure end to end and reports the mean of the
+// headline algorithm's curve as a benchmark metric.
+func benchFigure(b *testing.B, id string) {
+	cfg := experiments.Config{Trials: 2, Seed: 42, Workers: 4}
+	var lastMean float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, n := 0.0, 0
+		for _, p := range res.Series[0].Points { // Alg1-PTAS series
+			total += p.Mean
+			n++
+		}
+		lastMean = total / float64(n)
+	}
+	b.ReportMetric(lastMean, "alg1_mean")
+}
+
+// BenchmarkFig6 regenerates Figure 6: covering-schedule size vs lambda_R.
+func BenchmarkFig6(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7: covering-schedule size vs lambda_r.
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8: one-shot well-covered tags vs lambda_r.
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: one-shot well-covered tags vs lambda_R.
+func BenchmarkFig9(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkOneShot measures a single One-Shot Schedule computation per
+// algorithm on the paper-scale instance, reporting the achieved weight.
+func BenchmarkOneShot(b *testing.B) {
+	sys := benchSystem(b, 1, 12, 5)
+	g := graph.FromSystem(sys)
+	algs := []struct {
+		name string
+		make func() model.OneShotScheduler
+	}{
+		{"Alg1-PTAS", func() model.OneShotScheduler { return core.NewPTAS() }},
+		{"Alg2-Growth", func() model.OneShotScheduler { return core.NewGrowth(g, 1.25) }},
+		{"Alg3-Distributed", func() model.OneShotScheduler { return core.NewDistributed(g, 1.25) }},
+		{"GHC", func() model.OneShotScheduler { return baseline.GHC{} }},
+		{"Colorwave", func() model.OneShotScheduler { return baseline.NewColorwave(g, 7) }},
+		{"Exact", func() model.OneShotScheduler { return &baseline.Exact{} }},
+	}
+	for _, alg := range algs {
+		b.Run(alg.name, func(b *testing.B) {
+			weight := 0
+			for i := 0; i < b.N; i++ {
+				sched := alg.make()
+				X, err := sched.OneShot(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				weight = sys.Weight(X)
+			}
+			b.ReportMetric(float64(weight), "weight")
+		})
+	}
+}
+
+// BenchmarkMCS measures a full covering-schedule run per algorithm,
+// reporting the schedule size.
+func BenchmarkMCS(b *testing.B) {
+	base := benchSystem(b, 3, 12, 5)
+	g := graph.FromSystem(base)
+	algs := []struct {
+		name string
+		make func() model.OneShotScheduler
+	}{
+		{"Alg1-PTAS", func() model.OneShotScheduler { return core.NewPTAS() }},
+		{"Alg2-Growth", func() model.OneShotScheduler { return core.NewGrowth(g, 1.25) }},
+		{"Alg3-Distributed", func() model.OneShotScheduler { return core.NewDistributed(g, 1.25) }},
+		{"GHC", func() model.OneShotScheduler { return baseline.GHC{} }},
+		{"Colorwave", func() model.OneShotScheduler { return baseline.NewColorwave(g, 7) }},
+	}
+	for _, alg := range algs {
+		b.Run(alg.name, func(b *testing.B) {
+			size := 0
+			for i := 0; i < b.N; i++ {
+				sys := base.Clone()
+				res, err := core.RunMCS(sys, alg.make(), core.MCSOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = res.Size
+			}
+			b.ReportMetric(float64(size), "slots")
+		})
+	}
+}
+
+// BenchmarkPTASParams is the ablation over the shifting parameter k and the
+// per-square cap Lambda (DESIGN.md §5).
+func BenchmarkPTASParams(b *testing.B) {
+	sys := benchSystem(b, 5, 12, 5)
+	for _, k := range []int{2, 3, 4, 6} {
+		for _, lambda := range []int{4, 6, 10} {
+			b.Run(fmt.Sprintf("k=%d/lambda=%d", k, lambda), func(b *testing.B) {
+				weight := 0
+				for i := 0; i < b.N; i++ {
+					p := &core.PTAS{K: k, Lambda: lambda}
+					X, err := p.OneShot(sys)
+					if err != nil {
+						b.Fatal(err)
+					}
+					weight = sys.Weight(X)
+				}
+				b.ReportMetric(float64(weight), "weight")
+			})
+		}
+	}
+}
+
+// BenchmarkGrowthRho is the ablation over the growth threshold rho = 1+eps:
+// smaller eps buys weight at the cost of bigger local balls (larger r̄).
+func BenchmarkGrowthRho(b *testing.B) {
+	sys := benchSystem(b, 7, 12, 5)
+	g := graph.FromSystem(sys)
+	for _, rho := range []float64{1.05, 1.25, 1.5, 2.0} {
+		b.Run(fmt.Sprintf("rho=%.2f", rho), func(b *testing.B) {
+			weight, radius := 0, 0
+			for i := 0; i < b.N; i++ {
+				alg := core.NewGrowth(g, rho)
+				X, err := alg.OneShot(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				weight = sys.Weight(X)
+				radius = alg.LastMaxRadius
+			}
+			b.ReportMetric(float64(weight), "weight")
+			b.ReportMetric(float64(radius), "max_r")
+		})
+	}
+}
+
+// BenchmarkExactVsApprox quantifies the optimality gap of each proposed
+// algorithm against the exact solver on a smaller instance where exact
+// search is fast.
+func BenchmarkExactVsApprox(b *testing.B) {
+	sys, err := deploy.Generate(deploy.Config{
+		Seed: 9, NumReaders: 20, NumTags: 400, Side: 70, LambdaR: 10, LambdaSmallR: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.FromSystem(sys)
+	exact := &baseline.Exact{}
+	Xo, err := exact.OneShot(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := float64(sys.Weight(Xo))
+	algs := []model.OneShotScheduler{core.NewPTAS(), core.NewGrowth(g, 1.25), core.NewDistributed(g, 1.25)}
+	for _, alg := range algs {
+		b.Run(alg.Name(), func(b *testing.B) {
+			ratio := 0.0
+			for i := 0; i < b.N; i++ {
+				X, err := alg.OneShot(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(sys.Weight(X)) / opt
+			}
+			b.ReportMetric(ratio, "opt_ratio")
+		})
+	}
+}
+
+// BenchmarkSurveyGraph measures the RF site survey and reports its edge
+// accuracy, the ablation of true vs measured interference graphs.
+func BenchmarkSurveyGraph(b *testing.B) {
+	sys := benchSystem(b, 11, 12, 5)
+	for _, sigma := range []float64{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sigma=%.0f", sigma), func(b *testing.B) {
+			var rep survey.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = survey.EstimateGraph(sys, survey.Params{ShadowSigma: sigma, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Precision(), "precision")
+			b.ReportMetric(rep.Recall(), "recall")
+		})
+	}
+}
+
+// BenchmarkAnticollision compares the link-layer protocols' air-time on a
+// 200-tag population (slots per tag).
+func BenchmarkAnticollision(b *testing.B) {
+	protos := []anticollision.Protocol{
+		anticollision.FramedALOHA{FrameSize: 128},
+		anticollision.VogtALOHA{},
+		anticollision.QProtocol{},
+		anticollision.TreeSplitting{},
+	}
+	for _, p := range protos {
+		b.Run(p.Name(), func(b *testing.B) {
+			slotsPerTag := 0.0
+			for i := 0; i < b.N; i++ {
+				rng := randx.New(uint64(i) + 1)
+				res := p.Inventory(200, rng)
+				slotsPerTag = float64(res.Slots) / 200
+			}
+			b.ReportMetric(slotsPerTag, "slots/tag")
+		})
+	}
+}
+
+// BenchmarkDistributedProtocol reports the communication cost of Algorithm
+// 3 (rounds and messages per one-shot computation).
+func BenchmarkDistributedProtocol(b *testing.B) {
+	sys := benchSystem(b, 13, 12, 5)
+	g := graph.FromSystem(sys)
+	var rounds, msgs int
+	for i := 0; i < b.N; i++ {
+		alg := core.NewDistributed(g, 1.25)
+		if _, err := alg.OneShot(sys); err != nil {
+			b.Fatal(err)
+		}
+		rounds = alg.LastStats.Rounds
+		msgs = alg.LastStats.MessagesSent
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(msgs), "messages")
+}
+
+// BenchmarkMultiChannel is the dense-reading-mode ablation: weight of one
+// slot as the number of frequency channels grows. Channels remove RTc but
+// not RRc, so the curve saturates at the RRc-limited ceiling.
+func BenchmarkMultiChannel(b *testing.B) {
+	sys := benchSystem(b, 19, 14, 6)
+	for _, c := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("channels=%d", c), func(b *testing.B) {
+			weight := 0
+			for i := 0; i < b.N; i++ {
+				plan, err := (core.MultiChannel{Channels: c}).OneShot(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				weight = plan.Weight(sys)
+			}
+			b.ReportMetric(float64(weight), "weight")
+		})
+	}
+}
+
+// BenchmarkMobilityStaleness measures the frozen-schedule weight decay
+// under reader drift: the fraction of the initial weight left after 10
+// slots at each speed.
+func BenchmarkMobilityStaleness(b *testing.B) {
+	sys := benchSystem(b, 21, 12, 5)
+	g := graph.FromSystem(sys)
+	region := geom.R2(0, 0, 100, 100)
+	for _, speed := range []float64{0.5, 2, 5} {
+		b.Run(fmt.Sprintf("speed=%.1f", speed), func(b *testing.B) {
+			frac := 0.0
+			for i := 0; i < b.N; i++ {
+				d := mobility.NewDrift(sys.NumReaders(), region, speed, uint64(i)+1)
+				res, err := mobility.MeasureStaleness(sys.Clone(), core.NewGrowth(g, 1.25), d, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = float64(res.Weights[len(res.Weights)-1]) / float64(res.Weights[0])
+			}
+			b.ReportMetric(frac, "weight_left")
+		})
+	}
+}
+
+// BenchmarkEstimators measures tag-population estimator bias at moderate
+// load (100 tags in a 128-slot frame).
+func BenchmarkEstimators(b *testing.B) {
+	ests := []anticollision.Estimator{
+		anticollision.SchouteEstimator{},
+		anticollision.LowerBoundEstimator{},
+		anticollision.ZeroEstimator{},
+		anticollision.CollisionEstimator{},
+	}
+	for _, e := range ests {
+		b.Run(e.Name(), func(b *testing.B) {
+			rng := randx.New(31)
+			mean := 0.0
+			for i := 0; i < b.N; i++ {
+				counts := make([]int, 128)
+				for t := 0; t < 100; t++ {
+					counts[rng.Intn(128)]++
+				}
+				obs := anticollision.FrameObservation{FrameSize: 128}
+				for _, k := range counts {
+					switch {
+					case k == 0:
+						obs.Idle++
+					case k == 1:
+						obs.Singles++
+					default:
+						obs.Collisions++
+					}
+				}
+				mean = e.Estimate(obs)
+			}
+			b.ReportMetric(mean, "estimate_of_100")
+		})
+	}
+}
+
+// BenchmarkWeight measures the core weight-function primitive every
+// scheduler's inner loop sits on.
+func BenchmarkWeight(b *testing.B) {
+	sys := benchSystem(b, 15, 12, 5)
+	X := make([]int, 0, 25)
+	for v := 0; v < sys.NumReaders(); v += 2 {
+		X = append(X, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Weight(X)
+	}
+}
+
+// BenchmarkInterferenceGraph measures interference-graph construction.
+func BenchmarkInterferenceGraph(b *testing.B) {
+	sys := benchSystem(b, 17, 12, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.FromSystem(sys)
+	}
+}
+
+// BenchmarkSpatialIndex compares the uniform grid and kd-tree on coverage
+// queries over uniform and hotspot tag layouts.
+func BenchmarkSpatialIndex(b *testing.B) {
+	for _, layout := range []deploy.Layout{deploy.Uniform, deploy.Hotspot} {
+		cfg := deploy.Paper(23, 12, 5)
+		cfg.Layout = layout
+		sys, err := deploy.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := make([]geom.Point, sys.NumTags())
+		for i := range pts {
+			pts[i] = sys.Tag(i).Pos
+		}
+		queries := make([]geom.Disk, sys.NumReaders())
+		for i := range queries {
+			queries[i] = sys.Reader(i).InterrogationDisk()
+		}
+		b.Run(fmt.Sprintf("grid/%v", layout), func(b *testing.B) {
+			idx := geom.NewSpatialGrid(pts, 5)
+			var buf []int32
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					buf = idx.QueryDisk(q, buf[:0])
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("kdtree/%v", layout), func(b *testing.B) {
+			idx := geom.NewKDTree(pts)
+			var buf []int32
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					buf = idx.QueryDisk(q, buf[:0])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSystemConstruction measures deployment + coverage precompute.
+func BenchmarkSystemConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := deploy.Generate(deploy.Paper(uint64(i)+1, 12, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

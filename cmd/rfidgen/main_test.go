@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestGenToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-readers", "5", "-tags", "20", "-side", "30"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var d struct {
+		Readers []json.RawMessage `json:"readers"`
+		Tags    []json.RawMessage `json:"tags"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(d.Readers) != 5 || len(d.Tags) != 20 {
+		t.Errorf("%d readers, %d tags", len(d.Readers), len(d.Tags))
+	}
+}
+
+func TestGenToFile(t *testing.T) {
+	path := t.TempDir() + "/dep.json"
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-readers", "5", "-tags", "10", "-o", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "wrote 5 readers") {
+		t.Errorf("confirmation missing: %q", out.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("file not created: %v", err)
+	}
+}
+
+func TestGenAllLayouts(t *testing.T) {
+	for _, layout := range []string{"uniform", "clustered", "aisles", "hotspot", "grid"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-readers", "6", "-tags", "12", "-layout", layout}, &out, &errBuf)
+		if code != 0 {
+			t.Errorf("%s: exit %d: %s", layout, code, errBuf.String())
+		}
+	}
+}
+
+func TestGenUnknownLayout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-layout", "spiral"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for unknown layout", code)
+	}
+}
+
+func TestGenInvalidConfig(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-readers", "0"}, &out, &errBuf); code != 1 {
+		t.Errorf("exit %d for invalid config", code)
+	}
+}
+
+func TestGenBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-zzz"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for bad flag", code)
+	}
+}
+
+func TestGenDeterministicOutput(t *testing.T) {
+	var a, b, errBuf bytes.Buffer
+	if code := run([]string{"-seed", "9", "-readers", "4", "-tags", "8"}, &a, &errBuf); code != 0 {
+		t.Fatal(errBuf.String())
+	}
+	if code := run([]string{"-seed", "9", "-readers", "4", "-tags", "8"}, &b, &errBuf); code != 0 {
+		t.Fatal(errBuf.String())
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different deployments")
+	}
+}
+
+func TestGenStatsFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-readers", "8", "-tags", "40", "-stats", "-o", t.TempDir() + "/d.json"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "interference edges:") {
+		t.Errorf("diagnostics missing:\n%s", errBuf.String())
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rfidsched/internal/deploy"
+)
+
+// writeDeployment creates a small deployment file for CLI tests.
+func writeDeployment(t *testing.T) string {
+	t.Helper()
+	sys, err := deploy.Generate(deploy.Config{
+		Seed: 3, NumReaders: 12, NumTags: 150, Side: 50,
+		LambdaR: 10, LambdaSmallR: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/dep.json"
+	if err := deploy.ToDeployment(sys).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSchedAllAlgorithms(t *testing.T) {
+	path := writeDeployment(t)
+	for _, alg := range []string{"alg1", "alg2", "alg3", "ghc", "colorwave", "random", "exact"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-in", path, "-alg", alg}, &out, &errBuf)
+		if code != 0 {
+			t.Errorf("%s: exit %d: %s", alg, code, errBuf.String())
+			continue
+		}
+		if !strings.Contains(out.String(), "schedule:") {
+			t.Errorf("%s: missing schedule line:\n%s", alg, out.String())
+		}
+	}
+}
+
+func TestSchedVerifyFlag(t *testing.T) {
+	path := writeDeployment(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-in", path, "-alg", "alg2", "-verify"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "verified:") {
+		t.Errorf("missing verification line:\n%s", out.String())
+	}
+}
+
+func TestSchedVerboseSlots(t *testing.T) {
+	path := writeDeployment(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-in", path, "-alg", "alg2", "-v"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "slot   0:") {
+		t.Errorf("missing per-slot lines:\n%s", out.String())
+	}
+}
+
+func TestSchedMissingInput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d without -in", code)
+	}
+}
+
+func TestSchedBadFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", "/nonexistent.json"}, &out, &errBuf); code != 1 {
+		t.Errorf("exit %d for missing file", code)
+	}
+}
+
+func TestSchedUnknownAlgorithm(t *testing.T) {
+	path := writeDeployment(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", path, "-alg", "quantum"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for unknown algorithm", code)
+	}
+}

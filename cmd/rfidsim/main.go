@@ -1,0 +1,131 @@
+// Command rfidsim reproduces the paper's evaluation figures and the
+// repository's ablation studies.
+//
+// Usage:
+//
+//	rfidsim -fig 6 -trials 10                 # Figure 6, ASCII table
+//	rfidsim -fig all -trials 10 -format md    # all figures as Markdown
+//	rfidsim -fig 8 -format chart              # ASCII line chart
+//	rfidsim -fig abl-rho                      # one ablation
+//	rfidsim -fig ablations -format csv        # every ablation, CSV
+//
+// Figures: 6/7 sweep the covering-schedule size against lambda_R / lambda_r;
+// 8/9 sweep the one-shot well-covered tag count. Defaults follow Section VI
+// of the paper: 50 readers, 1200 tags, 100x100 region.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rfidsched/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rfidsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig     = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility) or "ablations"`)
+		trials  = fs.Int("trials", 10, "random deployments per sweep point")
+		seed    = fs.Uint64("seed", 2011, "base RNG seed")
+		readers = fs.Int("readers", 50, "number of readers")
+		tags    = fs.Int("tags", 1200, "number of tags")
+		side    = fs.Float64("side", 100, "deployment square side length")
+		rho     = fs.Float64("rho", 1.25, "growth threshold for Algorithms 2/3")
+		workers = fs.Int("workers", 0, "parallel trial workers (0 = NumCPU)")
+		format  = fs.String("format", "ascii", "output format: ascii, md, csv, chart")
+		out     = fs.String("out", "", "output file (default stdout)")
+		algs    = fs.String("algs", "", "comma-separated algorithm subset (default all five)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := experiments.Config{
+		Trials: *trials, Seed: *seed, NumReaders: *readers, NumTags: *tags,
+		Side: *side, Rho: *rho, Workers: *workers,
+	}
+	if *algs != "" {
+		cfg.Algorithms = strings.Split(*algs, ",")
+	}
+
+	var ids []string
+	ablation := false
+	switch *fig {
+	case "all":
+		ids = experiments.FigureIDs()
+	case "6", "7", "8", "9":
+		ids = []string{"fig" + *fig}
+	case "fig6", "fig7", "fig8", "fig9":
+		ids = []string{*fig}
+	case "ablations":
+		ids = experiments.AblationIDs()
+		ablation = true
+	default:
+		for _, id := range experiments.AblationIDs() {
+			if *fig == id {
+				ids = []string{id}
+				ablation = true
+			}
+		}
+		if ids == nil {
+			fmt.Fprintf(stderr, "rfidsim: unknown figure %q (figures: 6-9, all; ablations: %v)\n",
+				*fig, experiments.AblationIDs())
+			return 2
+		}
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	for i, id := range ids {
+		var res *experiments.FigureResult
+		var err error
+		if ablation {
+			res, err = experiments.RunAblation(id, cfg)
+		} else {
+			res, err = experiments.RunFigure(id, cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsim: %s: %v\n", id, err)
+			return 1
+		}
+		if i > 0 && *format != "csv" {
+			fmt.Fprintln(w)
+		}
+		var werr error
+		switch *format {
+		case "ascii":
+			werr = res.WriteASCII(w)
+		case "md", "markdown":
+			werr = res.WriteMarkdown(w)
+		case "csv":
+			werr = res.WriteCSV(w)
+		case "chart":
+			werr = res.WriteChart(w)
+		default:
+			fmt.Fprintf(stderr, "rfidsim: unknown format %q\n", *format)
+			return 2
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "rfidsim: writing %s: %v\n", id, werr)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyArgs shrinks the workload so CLI tests stay fast.
+func tinyArgs(extra ...string) []string {
+	base := []string{"-trials", "1", "-readers", "12", "-tags", "150", "-side", "50"}
+	return append(base, extra...)
+}
+
+func TestRunSingleFigureASCII(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run(tinyArgs("-fig", "9", "-algs", "Alg2-Growth,GHC"), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "Figure 9") {
+		t.Errorf("missing title:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "Alg2-Growth") {
+		t.Error("missing algorithm column")
+	}
+}
+
+func TestRunFigureMarkdownAndCSVAndChart(t *testing.T) {
+	for _, format := range []string{"md", "csv", "chart"} {
+		var out, errBuf bytes.Buffer
+		code := run(tinyArgs("-fig", "8", "-algs", "GHC", "-format", format), &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", format, code, errBuf.String())
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s: no output", format)
+		}
+	}
+}
+
+func TestRunAblationID(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run(tinyArgs("-fig", "abl-channels"), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "channels") {
+		t.Errorf("missing ablation output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(tinyArgs("-fig", "nope"), &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for unknown figure", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown figure") {
+		t.Error("no diagnostic")
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(tinyArgs("-fig", "9", "-algs", "GHC", "-format", "xml"), &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for unknown format", code)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(tinyArgs("-fig", "9", "-algs", "MagicAlg"), &out, &errBuf); code != 1 {
+		t.Errorf("exit %d for unknown algorithm", code)
+	}
+}
+
+func TestRunOutFile(t *testing.T) {
+	path := t.TempDir() + "/fig.csv"
+	var out, errBuf bytes.Buffer
+	code := run(tinyArgs("-fig", "9", "-algs", "GHC", "-format", "csv", "-out", path), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Error("wrote to stdout despite -out")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for bad flag", code)
+	}
+}

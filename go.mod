@@ -1,0 +1,3 @@
+module rfidsched
+
+go 1.22

@@ -1,0 +1,117 @@
+package rfidsched
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// Integration tests: cross-module behavior pinned at the release surface.
+
+// TestDeterministicPins locks the exact outcomes of every algorithm on the
+// canonical seed so refactors that silently change schedules are caught.
+// If an intentional algorithmic change moves these numbers, re-derive them
+// with:
+//
+//	go test -run TestDeterministicPins -v   (failure output shows actuals)
+//
+// and update both the pins and EXPERIMENTS.md.
+func TestDeterministicPins(t *testing.T) {
+	sys, err := PaperDeployment(2011, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := InterferenceGraph(sys)
+
+	cases := []struct {
+		sched      Scheduler
+		wantWeight int
+	}{
+		{NewPTAS(), 304},
+		{NewGrowth(g, 1.25), 303},
+		{NewDistributed(g, 1.25), 303},
+		{NewGHC(), 297},
+	}
+	for _, c := range cases {
+		s := sys.Clone()
+		X, err := c.sched.OneShot(s)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sched.Name(), err)
+		}
+		if w := s.Weight(X); w != c.wantWeight {
+			t.Errorf("%s: one-shot weight = %d, pinned %d", c.sched.Name(), w, c.wantWeight)
+		}
+	}
+}
+
+// TestCrossAlgorithmConsistency: all paper algorithms read the same tag
+// population (the coverable set) even though their schedules differ.
+func TestCrossAlgorithmConsistency(t *testing.T) {
+	sys, err := PaperDeployment(7, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := InterferenceGraph(sys)
+	coverable := sys.CoverableCount()
+	for _, sched := range []Scheduler{NewPTAS(), NewGrowth(g, 1.25), NewDistributed(g, 1.25)} {
+		s := sys.Clone()
+		res, err := RunCoveringSchedule(s, sched, MCSOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalRead != coverable {
+			t.Errorf("%s read %d of %d coverable", sched.Name(), res.TotalRead, coverable)
+		}
+	}
+}
+
+// TestScaleStress runs the full pipeline at 4x the paper's scale to catch
+// accidental quadratic blowups in the hot paths.
+func TestScaleStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	sys, err := Generate(DeployConfig{
+		Seed: 1, NumReaders: 200, NumTags: 5000, Side: 200,
+		LambdaR: 12, LambdaSmallR: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := InterferenceGraph(sys)
+	start := time.Now()
+	res, err := RunCoveringSchedule(sys, NewGrowth(g, 1.25), MCSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Fatal("incomplete at scale")
+	}
+	if d := time.Since(start); d > 2*time.Minute {
+		t.Errorf("200-reader MCS took %v", d)
+	}
+	t.Logf("200 readers / 5000 tags: %d slots, %d read, %v", res.Size, res.TotalRead, time.Since(start))
+}
+
+// TestExamplesRun smoke-runs every example binary — the examples are
+// documentation and must never rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests")
+	}
+	examples := []string{"quickstart", "warehouse", "distributed", "survey", "mobility"}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+ex)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", ex)
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+// Package anticollision implements the link-layer tag singulation protocols
+// the paper assumes resolve tag-tag collisions (Section II: "TTc can be
+// successfully resolved through certain link-layered protocol i.e., framed
+// Aloha or tree-splitting"): fixed framed slotted ALOHA, Vogt's dynamic
+// frame sizing, the EPCglobal Gen2 Q-algorithm, and binary tree splitting.
+//
+// The slot simulator composes one of these with a reader-activation
+// schedule to convert "tags served per macro slot" into actual air-time, so
+// total inventory duration — the metric EGA-style protocols optimize — can
+// be reported alongside the paper's schedule-size metric.
+package anticollision
+
+import (
+	"fmt"
+
+	"rfidsched/internal/randx"
+)
+
+// Result describes one inventory run over a tag population.
+type Result struct {
+	Slots      int // total link-layer slots consumed
+	Singles    int // slots with exactly one responder (successful reads)
+	Collisions int // slots with >= 2 responders
+	Idle       int // empty slots
+}
+
+// Efficiency returns the fraction of slots that read a tag.
+func (r Result) Efficiency() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.Singles) / float64(r.Slots)
+}
+
+// Protocol is a tag singulation protocol: Inventory simulates reading n
+// tags to completion and reports the slot budget it needed.
+type Protocol interface {
+	Name() string
+	Inventory(n int, rng *randx.RNG) Result
+}
+
+// FramedALOHA is classic framed slotted ALOHA with a fixed frame size: each
+// unread tag picks a uniform slot in every frame; singleton slots succeed.
+type FramedALOHA struct {
+	FrameSize int // slots per frame; must be >= 1
+}
+
+// Name implements Protocol.
+func (p FramedALOHA) Name() string { return fmt.Sprintf("framed-aloha(F=%d)", p.FrameSize) }
+
+// Inventory implements Protocol.
+func (p FramedALOHA) Inventory(n int, rng *randx.RNG) Result {
+	f := p.FrameSize
+	if f < 1 {
+		f = 16
+	}
+	var res Result
+	remaining := n
+	for remaining > 0 {
+		read := simulateFrame(remaining, f, rng, &res)
+		remaining -= read
+	}
+	return res
+}
+
+// simulateFrame plays one frame of the given size with `tags` responders
+// and returns the number singulated, updating res.
+func simulateFrame(tags, frame int, rng *randx.RNG, res *Result) int {
+	counts := make([]int, frame)
+	for i := 0; i < tags; i++ {
+		counts[rng.Intn(frame)]++
+	}
+	read := 0
+	for _, c := range counts {
+		res.Slots++
+		switch {
+		case c == 0:
+			res.Idle++
+		case c == 1:
+			res.Singles++
+			read++
+		default:
+			res.Collisions++
+		}
+	}
+	return read
+}
+
+// VogtALOHA is framed ALOHA with Vogt's dynamic frame sizing: after each
+// frame the backlog is estimated from the observed idle/single/collision
+// counts (Schoute's estimator: ~2.39 tags per colliding slot) and the next
+// frame is sized to the estimate, clamped to a power-of-two-ish range as
+// real readers do.
+type VogtALOHA struct {
+	InitialFrame int // first frame size; default 16
+	MinFrame     int // clamp; default 4
+	MaxFrame     int // clamp; default 512
+
+	// Backlog estimates the remaining population from each frame's
+	// observation; nil uses SchouteEstimator (see estimate.go for the
+	// alternatives and their accuracy trade-offs).
+	Backlog Estimator
+}
+
+// Name implements Protocol.
+func (p VogtALOHA) Name() string { return "vogt-aloha" }
+
+// Inventory implements Protocol.
+func (p VogtALOHA) Inventory(n int, rng *randx.RNG) Result {
+	frame := p.InitialFrame
+	if frame < 1 {
+		frame = 16
+	}
+	minF := p.MinFrame
+	if minF < 1 {
+		minF = 4
+	}
+	maxF := p.MaxFrame
+	if maxF < minF {
+		maxF = 512
+	}
+	backlog := p.Backlog
+	if backlog == nil {
+		backlog = SchouteEstimator{}
+	}
+	var res Result
+	remaining := n
+	for remaining > 0 {
+		before := res
+		read := simulateFrame(remaining, frame, rng, &res)
+		remaining -= read
+		obs := FrameObservation{
+			FrameSize:  frame,
+			Idle:       res.Idle - before.Idle,
+			Singles:    res.Singles - before.Singles,
+			Collisions: res.Collisions - before.Collisions,
+		}
+		// Size the next frame to the estimated unresolved backlog (the
+		// estimate includes the singles just read; subtract them).
+		est := int(backlog.Estimate(obs) - float64(obs.Singles) + 0.5)
+		if est < minF {
+			est = minF
+		}
+		if est > maxF {
+			est = maxF
+		}
+		frame = est
+	}
+	return res
+}
+
+// QProtocol is the EPCglobal Class-1 Gen-2 Q algorithm: tags draw a slot in
+// [0, 2^Q); the reader nudges the float-valued Q up on collisions and down
+// on idles, re-running rounds until the population is exhausted.
+type QProtocol struct {
+	InitialQ float64 // starting Q; default 4
+	C        float64 // adjustment step; default 0.3
+	MaxQ     float64 // cap; default 15
+}
+
+// Name implements Protocol.
+func (p QProtocol) Name() string { return "gen2-q" }
+
+// Inventory implements Protocol.
+func (p QProtocol) Inventory(n int, rng *randx.RNG) Result {
+	q := p.InitialQ
+	if q <= 0 {
+		q = 4
+	}
+	c := p.C
+	if c <= 0 {
+		c = 0.3
+	}
+	maxQ := p.MaxQ
+	if maxQ <= 0 {
+		maxQ = 15
+	}
+	var res Result
+	remaining := n
+	for remaining > 0 {
+		qInt := int(q + 0.5)
+		if qInt < 0 {
+			qInt = 0
+		}
+		frame := 1 << qInt
+		// One query round: each remaining tag draws a slot; the reader
+		// walks the frame slot by slot, adjusting the float-valued Q per
+		// outcome. When round(Q) changes, the reader issues QueryAdjust —
+		// the round restarts with the new frame size and the tags not yet
+		// singulated redraw.
+		counts := make([]int, frame)
+		for i := 0; i < remaining; i++ {
+			counts[rng.Intn(frame)]++
+		}
+		for _, k := range counts {
+			res.Slots++
+			switch {
+			case k == 0:
+				res.Idle++
+				q -= c
+			case k == 1:
+				res.Singles++
+				remaining--
+			default:
+				res.Collisions++
+				q += c
+			}
+			if q < 0 {
+				q = 0
+			}
+			if q > maxQ {
+				q = maxQ
+			}
+			if int(q+0.5) != qInt {
+				break // QueryAdjust
+			}
+		}
+	}
+	return res
+}
+
+// TreeSplitting is the binary tree-walking protocol: a colliding group
+// splits into two random subgroups, recursively, until every group is a
+// singleton or empty. Every query is one slot.
+type TreeSplitting struct{}
+
+// Name implements Protocol.
+func (TreeSplitting) Name() string { return "tree-splitting" }
+
+// Inventory implements Protocol.
+func (TreeSplitting) Inventory(n int, rng *randx.RNG) Result {
+	var res Result
+	var walk func(group int)
+	walk = func(group int) {
+		res.Slots++
+		switch {
+		case group == 0:
+			res.Idle++
+			return
+		case group == 1:
+			res.Singles++
+			return
+		default:
+			res.Collisions++
+			left := 0
+			for i := 0; i < group; i++ {
+				if rng.Bool(0.5) {
+					left++
+				}
+			}
+			walk(left)
+			walk(group - left)
+		}
+	}
+	if n > 0 {
+		walk(n)
+	}
+	return res
+}

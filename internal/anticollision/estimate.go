@@ -1,0 +1,101 @@
+package anticollision
+
+import "math"
+
+// Population estimation from framed-ALOHA observations. The paper's
+// reference [24] (Kodialam & Nandagopal, MobiCom 2006) estimates tag
+// cardinality from the idle/singleton/collision counts of a frame; dynamic
+// framing (Vogt) and frame-size planning both need such estimates. Three
+// classical estimators are provided; EstimatorAccuracy in the tests
+// measures their bias against simulated frames.
+
+// FrameObservation is what a reader sees after one ALOHA frame.
+type FrameObservation struct {
+	FrameSize  int
+	Idle       int
+	Singles    int
+	Collisions int
+}
+
+// Estimator maps a frame observation to an estimated number of responding
+// tags (including the singulated ones).
+type Estimator interface {
+	Name() string
+	Estimate(obs FrameObservation) float64
+}
+
+// SchouteEstimator uses Schoute's expected 2.39 tags per colliding slot
+// (optimal-backlog assumption): n ≈ singles + 2.39 * collisions.
+type SchouteEstimator struct{}
+
+// Name implements Estimator.
+func (SchouteEstimator) Name() string { return "schoute" }
+
+// Estimate implements Estimator.
+func (SchouteEstimator) Estimate(obs FrameObservation) float64 {
+	return float64(obs.Singles) + 2.39*float64(obs.Collisions)
+}
+
+// LowerBoundEstimator is Vogt's lower bound: every colliding slot hides at
+// least two tags: n >= singles + 2 * collisions.
+type LowerBoundEstimator struct{}
+
+// Name implements Estimator.
+func (LowerBoundEstimator) Name() string { return "vogt-lb" }
+
+// Estimate implements Estimator.
+func (LowerBoundEstimator) Estimate(obs FrameObservation) float64 {
+	return float64(obs.Singles) + 2*float64(obs.Collisions)
+}
+
+// ZeroEstimator is the Kodialam-Nandagopal zero estimator: with n tags in F
+// slots, E[idle] = F(1-1/F)^n, so n ≈ ln(idle/F) / ln(1-1/F). It needs at
+// least one idle slot; with none it falls back to the upper bound that
+// exactly one idle slot would have produced (the frame was saturated).
+type ZeroEstimator struct{}
+
+// Name implements Estimator.
+func (ZeroEstimator) Name() string { return "zero" }
+
+// Estimate implements Estimator.
+func (ZeroEstimator) Estimate(obs FrameObservation) float64 {
+	f := float64(obs.FrameSize)
+	if f < 2 {
+		return float64(obs.Singles + 2*obs.Collisions)
+	}
+	idle := float64(obs.Idle)
+	if idle < 1 {
+		idle = 0.5 // saturation fallback: below one idle slot's resolution
+	}
+	return math.Log(idle/f) / math.Log(1-1/f)
+}
+
+// CollisionEstimator inverts the expected collision count
+// E[coll] = F(1 - (1-1/F)^n - (n/F)(1-1/F)^(n-1)) numerically by bisection.
+type CollisionEstimator struct{}
+
+// Name implements Estimator.
+func (CollisionEstimator) Name() string { return "collision" }
+
+// Estimate implements Estimator.
+func (CollisionEstimator) Estimate(obs FrameObservation) float64 {
+	f := float64(obs.FrameSize)
+	if f < 2 || obs.Collisions == 0 {
+		return float64(obs.Singles)
+	}
+	target := float64(obs.Collisions)
+	expected := func(n float64) float64 {
+		p := math.Pow(1-1/f, n)
+		return f * (1 - p - n/f*math.Pow(1-1/f, n-1))
+	}
+	lo, hi := 0.0, 64*f // collisions saturate well below this
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if expected(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

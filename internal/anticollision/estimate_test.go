@@ -1,0 +1,128 @@
+package anticollision
+
+import (
+	"math"
+	"testing"
+
+	"rfidsched/internal/randx"
+)
+
+// observeFrame simulates one frame of size f with n tags and returns the
+// observation.
+func observeFrame(n, f int, rng *randx.RNG) FrameObservation {
+	counts := make([]int, f)
+	for i := 0; i < n; i++ {
+		counts[rng.Intn(f)]++
+	}
+	obs := FrameObservation{FrameSize: f}
+	for _, c := range counts {
+		switch {
+		case c == 0:
+			obs.Idle++
+		case c == 1:
+			obs.Singles++
+		default:
+			obs.Collisions++
+		}
+	}
+	return obs
+}
+
+func allEstimators() []Estimator {
+	return []Estimator{
+		SchouteEstimator{}, LowerBoundEstimator{}, ZeroEstimator{}, CollisionEstimator{},
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range allEstimators() {
+		if e.Name() == "" || seen[e.Name()] {
+			t.Errorf("bad/duplicate estimator name %q", e.Name())
+		}
+		seen[e.Name()] = true
+	}
+}
+
+// Averaged over many frames at moderate load, every estimator should land
+// within 25% of the true population.
+func TestEstimatorAccuracyModerateLoad(t *testing.T) {
+	rng := randx.New(42)
+	const n, f, frames = 100, 128, 300
+	for _, e := range allEstimators() {
+		sum := 0.0
+		for i := 0; i < frames; i++ {
+			sum += e.Estimate(observeFrame(n, f, rng))
+		}
+		mean := sum / frames
+		if math.Abs(mean-n)/n > 0.25 {
+			t.Errorf("%s: mean estimate %.1f for true %d", e.Name(), mean, n)
+		}
+	}
+}
+
+// The zero estimator is known to stay accurate at higher loads where
+// Schoute's per-collision constant drifts.
+func TestZeroEstimatorHighLoad(t *testing.T) {
+	rng := randx.New(7)
+	const n, f, frames = 300, 128, 300
+	sum := 0.0
+	for i := 0; i < frames; i++ {
+		sum += (ZeroEstimator{}).Estimate(observeFrame(n, f, rng))
+	}
+	mean := sum / frames
+	if math.Abs(mean-n)/n > 0.2 {
+		t.Errorf("zero estimator mean %.1f for true %d", mean, n)
+	}
+}
+
+func TestLowerBoundIsLower(t *testing.T) {
+	rng := randx.New(9)
+	for i := 0; i < 50; i++ {
+		obs := observeFrame(150, 64, rng)
+		lb := (LowerBoundEstimator{}).Estimate(obs)
+		sch := (SchouteEstimator{}).Estimate(obs)
+		if lb > sch {
+			t.Fatalf("lower bound %v above Schoute %v", lb, sch)
+		}
+	}
+}
+
+func TestZeroEstimatorSaturated(t *testing.T) {
+	// No idle slots: must return a finite, large estimate, not +Inf/NaN.
+	obs := FrameObservation{FrameSize: 64, Idle: 0, Singles: 4, Collisions: 60}
+	v := (ZeroEstimator{}).Estimate(obs)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 64 {
+		t.Errorf("saturated estimate = %v", v)
+	}
+}
+
+func TestEstimatorsDegenerateFrames(t *testing.T) {
+	tiny := FrameObservation{FrameSize: 1, Idle: 0, Singles: 0, Collisions: 1}
+	for _, e := range allEstimators() {
+		v := e.Estimate(tiny)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("%s: degenerate frame -> %v", e.Name(), v)
+		}
+	}
+	empty := FrameObservation{FrameSize: 16, Idle: 16}
+	for _, e := range allEstimators() {
+		v := e.Estimate(empty)
+		if v > 1 {
+			t.Errorf("%s: empty frame estimated %v tags", e.Name(), v)
+		}
+	}
+}
+
+func TestCollisionEstimatorMonotone(t *testing.T) {
+	// More collisions (same frame) must never decrease the estimate.
+	prev := -1.0
+	for coll := 0; coll <= 50; coll += 5 {
+		obs := FrameObservation{FrameSize: 64, Collisions: coll, Idle: 64 - coll}
+		v := (CollisionEstimator{}).Estimate(obs)
+		if v < prev-1e-9 {
+			t.Fatalf("estimate dropped at collisions=%d: %v -> %v", coll, prev, v)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,201 @@
+package baseline
+
+import (
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+)
+
+// Colorwave implements the CA baseline (Waldrop, Engels, Sarma, WCNC 2003)
+// the paper compares against. Readers randomly color themselves so that
+// interfering neighbors get distinct colors — when two neighbors collide on
+// a color, one wins and the losers re-pick — and each color then owns one
+// time slot of a TDMA frame; OneShot returns the next color class.
+//
+// Two readers that do not interfere may still share an interrogation
+// overlap (RRc), permanently starving the tags in it if both stay on the
+// same color. Colorwave's remedy is its kick mechanism: readers observing
+// persistent collisions re-roll their color. We run that kick between
+// slots on the unread-tag overlap structure, repairing any interference
+// conflicts the re-roll introduces, which both matches the protocol's
+// behavior and guarantees the covering schedule terminates.
+//
+// A Colorwave instance is stateful (current slot, colors, RNG) and serves
+// one schedule run at a time; it is not safe for concurrent use.
+type Colorwave struct {
+	g   *graph.Graph
+	rng *randx.RNG
+
+	colors    []int
+	numColors int
+	slot      int
+	inited    bool
+
+	// MaxKicksPerSlot caps color re-rolls per slot (default 8).
+	MaxKicksPerSlot int
+}
+
+// NewColorwave builds the baseline on the given interference graph.
+func NewColorwave(g *graph.Graph, seed uint64) *Colorwave {
+	return &Colorwave{g: g, rng: randx.New(seed), MaxKicksPerSlot: 8}
+}
+
+// Name implements model.OneShotScheduler.
+func (*Colorwave) Name() string { return "Colorwave" }
+
+// Colors exposes the current coloring (for tests). Do not mutate.
+func (c *Colorwave) Colors() []int { return c.colors }
+
+// NumColors returns the current frame length in slots.
+func (c *Colorwave) NumColors() int { return c.numColors }
+
+// OneShot implements model.OneShotScheduler: it returns the reader set of
+// the next non-empty color class, advancing the frame position.
+func (c *Colorwave) OneShot(sys *model.System) ([]int, error) {
+	if !c.inited {
+		c.initColoring()
+		c.inited = true
+	}
+	c.kick(sys)
+
+	n := c.g.N()
+	if n == 0 || c.numColors == 0 {
+		return nil, nil
+	}
+	// Return the next non-empty color class; empty classes are compressed
+	// out of the frame (they would be pure dead air).
+	for tries := 0; tries < c.numColors; tries++ {
+		col := c.slot % c.numColors
+		c.slot++
+		var X []int
+		for v := 0; v < n; v++ {
+			if c.colors[v] == col {
+				X = append(X, v)
+			}
+		}
+		if len(X) > 0 {
+			return X, nil
+		}
+	}
+	return nil, nil
+}
+
+// initColoring runs the randomized distributed coloring: every reader
+// picks a random color among maxDegree+1; on each conflict edge a random
+// winner keeps its color and the loser re-picks. A greedy repair pass
+// guarantees properness if randomization has not converged in time.
+func (c *Colorwave) initColoring() {
+	n := c.g.N()
+	k := c.g.MaxDegree() + 1
+	c.colors = make([]int, n)
+	for v := range c.colors {
+		c.colors[v] = c.rng.Intn(k)
+	}
+	for round := 0; round < 20*k+20; round++ {
+		conflicted := c.conflictedVertices()
+		if len(conflicted) == 0 {
+			break
+		}
+		// Losers re-pick: every conflicted vertex re-rolls with probability
+		// 1/2, which breaks symmetric ties the way the random winner rule
+		// does in the protocol.
+		for _, v := range conflicted {
+			if c.rng.Bool(0.5) {
+				c.colors[v] = c.rng.Intn(k)
+			}
+		}
+	}
+	c.repair()
+	c.numColors = c.maxUsedColor() + 1
+}
+
+func (c *Colorwave) conflictedVertices() []int {
+	var out []int
+	for v := 0; v < c.g.N(); v++ {
+		for _, w := range c.g.Neighbors(v) {
+			if c.colors[w] == c.colors[v] {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// repair deterministically fixes any remaining conflicts by assigning the
+// smallest color unused in the neighborhood.
+func (c *Colorwave) repair() {
+	n := c.g.N()
+	for v := 0; v < n; v++ {
+		conflict := false
+		for _, w := range c.g.Neighbors(v) {
+			if c.colors[w] == c.colors[v] {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			continue
+		}
+		used := make(map[int]bool, c.g.Degree(v))
+		for _, w := range c.g.Neighbors(v) {
+			used[c.colors[w]] = true
+		}
+		col := 0
+		for used[col] {
+			col++
+		}
+		c.colors[v] = col
+	}
+}
+
+func (c *Colorwave) maxUsedColor() int {
+	m := 0
+	for _, col := range c.colors {
+		if col > m {
+			m = col
+		}
+	}
+	return m
+}
+
+// kick re-rolls the color of readers that share a color with another reader
+// covering the same unread tag (a persistent RRc collision in Colorwave's
+// terms), then repairs interference conflicts and refreshes the frame
+// length.
+func (c *Colorwave) kick(sys *model.System) {
+	kicks := 0
+	maxKicks := c.MaxKicksPerSlot
+	if maxKicks <= 0 {
+		maxKicks = 8
+	}
+	kicked := make(map[int]bool)
+	for t := 0; t < sys.NumTags() && kicks < maxKicks; t++ {
+		if sys.IsRead(t) {
+			continue
+		}
+		covering := sys.ReadersOf(t)
+		if len(covering) < 2 {
+			continue
+		}
+		for i := 0; i < len(covering) && kicks < maxKicks; i++ {
+			for j := i + 1; j < len(covering) && kicks < maxKicks; j++ {
+				u, v := int(covering[i]), int(covering[j])
+				if c.colors[u] != c.colors[v] || kicked[u] || kicked[v] {
+					continue
+				}
+				loser := u
+				if c.rng.Bool(0.5) {
+					loser = v
+				}
+				c.colors[loser] = c.rng.Intn(c.numColors + 1)
+				kicked[loser] = true
+				kicks++
+			}
+		}
+	}
+	if kicks > 0 {
+		c.repair()
+		c.numColors = c.maxUsedColor() + 1
+	}
+}

@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"rfidsched/internal/model"
+	"rfidsched/internal/mwfs"
+)
+
+// Exact solves the One-Shot Schedule Problem optimally by branch and bound
+// over all readers. Exponential in the worst case; intended for small
+// instances (tests, approximation-ratio measurements) and for ablations on
+// the paper-scale 50-reader deployments, where the interference structure
+// keeps the search tractable.
+type Exact struct {
+	// MaxNodes caps the search; 0 uses the solver default. When hit, the
+	// result is the best set found (still feasible), not a failure.
+	MaxNodes int
+	// LastExact records whether the most recent OneShot call completed an
+	// exact search. Diagnostic only; not safe for concurrent use.
+	LastExact bool
+}
+
+// Name implements model.OneShotScheduler.
+func (*Exact) Name() string { return "Exact" }
+
+// OneShot implements model.OneShotScheduler.
+func (e *Exact) OneShot(sys *model.System) ([]int, error) {
+	cands := make([]int, sys.NumReaders())
+	for i := range cands {
+		cands[i] = i
+	}
+	res := mwfs.Solve(sys, cands, mwfs.Options{MaxNodes: e.MaxNodes})
+	e.LastExact = res.Exact
+	return res.Set, nil
+}
+
+// Random returns a uniformly random maximal feasible scheduling set: it
+// visits readers in random order and activates each one that stays
+// independent of the set so far. It is the sanity floor every published
+// algorithm must beat.
+type Random struct {
+	// Next is the random source; must be non-nil. One instance per
+	// goroutine: not safe for concurrent use.
+	Next func(n int) int
+}
+
+// Name implements model.OneShotScheduler.
+func (*Random) Name() string { return "Random" }
+
+// OneShot implements model.OneShotScheduler.
+func (r *Random) OneShot(sys *model.System) ([]int, error) {
+	n := sys.NumReaders()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Next(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	var X []int
+	for _, v := range order {
+		ok := true
+		for _, u := range X {
+			if !sys.Independent(u, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			X = append(X, v)
+		}
+	}
+	return X, nil
+}

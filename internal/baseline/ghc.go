@@ -1,0 +1,56 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation (Section VI) — Colorwave (CA) and Greedy Hill-Climbing (GHC) —
+// plus an exact one-shot solver and a random feasible baseline used as
+// ground truth and sanity floor in tests and ablations.
+package baseline
+
+import "rfidsched/internal/model"
+
+// GHC is the Greedy Hill-Climbing baseline exactly as the paper describes
+// it: "at each step, we select a reader to add to current active reader
+// set, in order to maximize the incremental weight together with other
+// active readers at this time-slot. Then we keep adding the reader to the
+// active set one by one recursively until the weight starts to decrease
+// (the incremental weight becomes negative) due to various collisions."
+//
+// Note GHC optimizes raw weight and may activate readers that conflict —
+// the weight function charges it for the resulting RTc/RRc losses, exactly
+// like the physical system would.
+type GHC struct{}
+
+// Name implements model.OneShotScheduler.
+func (GHC) Name() string { return "GHC" }
+
+// OneShot implements model.OneShotScheduler.
+func (GHC) OneShot(sys *model.System) ([]int, error) {
+	n := sys.NumReaders()
+	inSet := make([]bool, n)
+	var X []int
+	curW := 0
+	for len(X) < n {
+		bestV := -1
+		bestGain := -1 << 30
+		for v := 0; v < n; v++ {
+			if inSet[v] {
+				continue
+			}
+			X = append(X, v)
+			gain := sys.Weight(X) - curW
+			X = X[:len(X)-1]
+			// Ties broken by lowest index for determinism.
+			if gain > bestGain {
+				bestV, bestGain = v, gain
+			}
+		}
+		// The paper's stopping rule: keep adding "until the weight starts
+		// to decrease (the incremental weight becomes negative)" — i.e.
+		// zero-gain readers are still added.
+		if bestV < 0 || bestGain < 0 {
+			return X, nil
+		}
+		X = append(X, bestV)
+		inSet[bestV] = true
+		curW += bestGain
+	}
+	return X, nil
+}

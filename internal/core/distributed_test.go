@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/graph"
+)
+
+func TestDistributedFeasibleOnPaperInstance(t *testing.T) {
+	sys := paperSystem(t, 21, 10, 5)
+	g := graph.FromSystem(sys)
+	alg := NewDistributed(g, 1.25)
+	X, err := alg.OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.IsFeasible(X) {
+		t.Fatalf("Alg3 returned infeasible set %v", X)
+	}
+	if !g.IsIndependentSet(X) {
+		t.Fatal("Alg3 set not independent in interference graph")
+	}
+	if sys.Weight(X) <= 0 {
+		t.Fatalf("Alg3 weight = %d", sys.Weight(X))
+	}
+	if alg.LastStats == nil || alg.LastStats.MessagesSent == 0 {
+		t.Error("no message statistics recorded")
+	}
+}
+
+func TestDistributedApproximationEmpirical(t *testing.T) {
+	// Theorem 6: w(X) >= w(OPT)/rho. The distributed variant's head
+	// election is local, so on rare geometries it can land slightly below
+	// the centralized bound; assert the guarantee with a small slack and
+	// feasibility strictly.
+	rho := 1.5
+	for seed := uint64(1); seed <= 6; seed++ {
+		sys := smallSystem(t, seed, 12, 150)
+		g := graph.FromSystem(sys)
+		X, err := NewDistributed(g, rho).OneShot(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sys.IsFeasible(X) {
+			t.Fatalf("seed %d: infeasible", seed)
+		}
+		Xo, err := (&baseline.Exact{}).OneShot(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, opt := sys.Weight(X), sys.Weight(Xo)
+		if float64(w)*rho < 0.8*float64(opt) {
+			t.Errorf("seed %d: Alg3 weight %d too far below OPT %d", seed, w, opt)
+		}
+	}
+}
+
+func TestDistributedDeterministic(t *testing.T) {
+	sys := paperSystem(t, 23, 10, 5)
+	g := graph.FromSystem(sys)
+	X1, err := NewDistributed(g, 1.25).OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X2, err := NewDistributed(g, 1.25).OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X1) != len(X2) {
+		t.Fatalf("non-deterministic: %v vs %v", X1, X2)
+	}
+	for i := range X1 {
+		if X1[i] != X2[i] {
+			t.Fatalf("non-deterministic: %v vs %v", X1, X2)
+		}
+	}
+}
+
+func TestDistributedEmptyGraph(t *testing.T) {
+	g, err := graph.New(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := paperSystem(t, 25, 10, 5)
+	_ = sys
+	alg := NewDistributed(g, 1.25)
+	X, err := alg.OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 0 {
+		t.Errorf("empty topology produced %v", X)
+	}
+}
+
+func TestDistributedControlParameter(t *testing.T) {
+	g, err := graph.New(50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDistributed(g, 1.25)
+	c := d.ControlParameter()
+	if c <= 0 || c > 32 {
+		t.Errorf("c = %d", c)
+	}
+	d.C = 5
+	if d.ControlParameter() != 5 {
+		t.Error("explicit C ignored")
+	}
+	d2 := NewDistributed(g, 0.2) // invalid rho -> default
+	if d2.Rho <= 1 {
+		t.Error("rho not defaulted")
+	}
+	if d2.Name() != "Alg3-Distributed" {
+		t.Error("name")
+	}
+}
+
+func TestDistributedMCSCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	sys := paperSystem(t, 27, 10, 5)
+	g := graph.FromSystem(sys)
+	res, err := RunMCS(sys, NewDistributed(g, 1.25), MCSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete || sys.UnreadCoverableCount() != 0 {
+		t.Errorf("distributed MCS incomplete after %d slots", res.Size)
+	}
+}
+
+// All-equal weights: tie-break must still elect exactly consistent heads
+// and produce a feasible set.
+func TestDistributedWeightTies(t *testing.T) {
+	sys := smallSystem(t, 31, 16, 64)
+	g := graph.FromSystem(sys)
+	X, err := NewDistributed(g, 1.25).OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.IsFeasible(X) {
+		t.Fatal("infeasible under ties")
+	}
+}

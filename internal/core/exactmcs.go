@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"rfidsched/internal/model"
+)
+
+// ExactMCS solves the Minimum Covering Schedule problem (Definition 5)
+// optimally on tiny instances by breadth-first search over unread-tag
+// states. MCS is NP-hard (Section III), so this is strictly a measuring
+// instrument: tests compare the greedy driver's schedule length against the
+// true optimum to check Theorem 1's log(n) factor empirically, with far
+// more bite than the theorem itself (greedy is usually optimal or +1 at
+// these sizes).
+//
+// State space: the set of unread coverable tags (bitmask, <= MaxTags).
+// Actions: all maximal feasible scheduling sets (enumerated once up front —
+// non-maximal sets are dominated because activating an extra independent
+// reader never unreads a tag... it CAN reduce the served set through RRc,
+// so non-maximal subsets of each maximal set are also expanded lazily via
+// the "serve subset" trick below).
+//
+// A subtlety Definition 1 forces on us: serving MORE tags is not always
+// better — a tag served now was possibly the only companion of another tag
+// in an overlap, and order can matter. BFS over exact states sidesteps all
+// such reasoning: it simply finds the shortest path from the initial state
+// to the all-read state.
+type ExactMCS struct {
+	// MaxTags caps the coverable-tag count (state space 2^MaxTags).
+	// Default 20.
+	MaxTags int
+	// MaxReaders caps the reader count (feasible-set enumeration 2^n).
+	// Default 16.
+	MaxReaders int
+}
+
+// Solve returns the minimum number of slots needed to read every coverable
+// tag of sys, or an error if the instance exceeds the solver's caps. The
+// system is not mutated.
+func (e ExactMCS) Solve(sys *model.System) (int, error) {
+	maxTags := e.MaxTags
+	if maxTags <= 0 {
+		maxTags = 20
+	}
+	maxReaders := e.MaxReaders
+	if maxReaders <= 0 {
+		maxReaders = 16
+	}
+	if n := sys.NumReaders(); n > maxReaders {
+		return 0, fmt.Errorf("core: ExactMCS caps readers at %d, have %d", maxReaders, n)
+	}
+
+	// Index the coverable tags.
+	var coverable []int
+	tagBit := map[int]int{}
+	for t := 0; t < sys.NumTags(); t++ {
+		if len(sys.ReadersOf(t)) > 0 {
+			tagBit[t] = len(coverable)
+			coverable = append(coverable, t)
+		}
+	}
+	if len(coverable) == 0 {
+		return 0, nil
+	}
+	if len(coverable) > maxTags {
+		return 0, fmt.Errorf("core: ExactMCS caps coverable tags at %d, have %d", maxTags, len(coverable))
+	}
+
+	// Enumerate every feasible scheduling set once.
+	n := sys.NumReaders()
+	var feasibleSets [][]int
+	for mask := 1; mask < 1<<n; mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, v)
+			}
+		}
+		if sys.IsFeasible(set) {
+			feasibleSets = append(feasibleSets, set)
+		}
+	}
+
+	// servedMask(set, unread) depends on the unread state only through
+	// which tags are unread — but Definition 1's well-covered predicate is
+	// state-independent geometry (exactly one ACTIVE cover), so the served
+	// bitset of a reader set is fixed: compute once per set.
+	served := make([]uint32, len(feasibleSets))
+	work := sys.Clone()
+	work.ResetReads()
+	for i, set := range feasibleSets {
+		for _, t := range work.Covered(set, nil) {
+			served[i] |= 1 << tagBit[int(t)]
+		}
+	}
+
+	full := uint32(1<<len(coverable)) - 1
+	start := uint32(0)
+	for t := 0; t < sys.NumTags(); t++ {
+		if bit, ok := tagBit[t]; ok && sys.IsRead(t) {
+			start |= 1 << bit
+		}
+	}
+	if start == full {
+		return 0, nil
+	}
+
+	// BFS over read-state bitmasks.
+	dist := map[uint32]int{start: 0}
+	queue := []uint32{start}
+	for len(queue) > 0 {
+		state := queue[0]
+		queue = queue[1:]
+		d := dist[state]
+		for i := range feasibleSets {
+			next := state | (served[i] &^ state)
+			if next == state {
+				continue
+			}
+			if _, seen := dist[next]; seen {
+				continue
+			}
+			if next == full {
+				return d + 1, nil
+			}
+			dist[next] = d + 1
+			queue = append(queue, next)
+		}
+	}
+	return 0, fmt.Errorf("core: ExactMCS found no covering schedule (unreachable state)")
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+)
+
+func tinyInstance(t *testing.T, seed uint64) *model.System {
+	t.Helper()
+	sys, err := deploy.Generate(deploy.Config{
+		Seed: seed, NumReaders: 7, NumTags: 18, Side: 30,
+		LambdaR: 9, LambdaSmallR: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestExactMCSFigure2(t *testing.T) {
+	// Figure 2's instance: {A,C} then {B} reads everything in 2 slots, and
+	// 1 slot is impossible (tags 2,3 sit in overlaps, so A,B,C together
+	// leave them unread; any single reader misses someone).
+	sys := figure2System(t)
+	opt, err := ExactMCS{}.Solve(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Errorf("exact MCS = %d, want 2", opt)
+	}
+}
+
+func TestExactMCSSingleReader(t *testing.T) {
+	sys, err := model.NewSystem(
+		[]model.Reader{{Pos: geom.Pt(0, 0), InterferenceR: 5, InterrogationR: 3}},
+		[]model.Tag{{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(1, 0)}, {Pos: geom.Pt(20, 20)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ExactMCS{}.Solve(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Errorf("exact MCS = %d, want 1", opt)
+	}
+}
+
+func TestExactMCSNoCoverableTags(t *testing.T) {
+	sys, err := model.NewSystem(
+		[]model.Reader{{Pos: geom.Pt(0, 0), InterferenceR: 2, InterrogationR: 1}},
+		[]model.Tag{{Pos: geom.Pt(50, 50)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ExactMCS{}.Solve(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 0 {
+		t.Errorf("exact MCS = %d, want 0", opt)
+	}
+}
+
+func TestExactMCSRespectsReadState(t *testing.T) {
+	sys := figure2System(t)
+	for i := 0; i < sys.NumTags(); i++ {
+		sys.MarkRead(i)
+	}
+	opt, err := ExactMCS{}.Solve(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 0 {
+		t.Errorf("all-read exact MCS = %d", opt)
+	}
+}
+
+func TestExactMCSCaps(t *testing.T) {
+	sys := paperSystem(t, 1, 12, 5)
+	if _, err := (ExactMCS{}).Solve(sys); err == nil {
+		t.Error("50-reader instance accepted by exact solver")
+	}
+	tiny := tinyInstance(t, 1)
+	if _, err := (ExactMCS{MaxTags: 1}).Solve(tiny); err == nil {
+		t.Error("tag cap ignored")
+	}
+}
+
+// Theorem 1 empirically: the greedy driver with an exact one-shot scheduler
+// stays within the log(n) factor of the true optimum — and at these sizes,
+// within +1 slot.
+func TestGreedyNearOptimalMCS(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		sys := tinyInstance(t, seed)
+		if sys.CoverableCount() > 18 {
+			continue
+		}
+		opt, err := ExactMCS{}.Solve(sys.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.FromSystem(sys)
+		res, err := RunMCS(sys.Clone(), NewGrowth(g, 1.25), MCSOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size < opt {
+			t.Fatalf("seed %d: greedy (%d) beat the 'optimum' (%d) — exact solver bug", seed, res.Size, opt)
+		}
+		if res.Size > opt+2 {
+			t.Errorf("seed %d: greedy %d vs optimal %d", seed, res.Size, opt)
+		}
+	}
+}
+
+func TestExactMCSWithPTASDriver(t *testing.T) {
+	sys := tinyInstance(t, 4)
+	opt, err := ExactMCS{}.Solve(sys.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMCS(sys.Clone(), NewPTAS(), MCSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size < opt {
+		t.Fatalf("PTAS driver (%d) beat optimum (%d)", res.Size, opt)
+	}
+}

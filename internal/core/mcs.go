@@ -1,0 +1,123 @@
+// Package core implements the paper's contributions: the greedy Minimum
+// Covering Schedule driver (Section III), Algorithm 1 — the PTAS for the
+// One-Shot Schedule Problem with location information (Section IV),
+// Algorithm 2 — the centralized growth-bounded scheduler without location
+// information (Section V-A), and Algorithm 3 — its distributed variant
+// (Section V-B).
+package core
+
+import (
+	"fmt"
+
+	"rfidsched/internal/model"
+)
+
+// MCSOptions tunes the covering-schedule driver.
+type MCSOptions struct {
+	// MaxSlots caps the schedule length; if the cap is reached while
+	// coverable tags remain unread, the result is marked Incomplete.
+	// 0 means the default (100000).
+	MaxSlots int
+
+	// StallLimit is the number of consecutive zero-progress slots the
+	// driver tolerates before it forces progress by activating a greedy
+	// feasible set built from global weight (which always reads at least
+	// one tag when a coverable unread tag exists). Physically this models
+	// readers backing off to a conservative activation after a whole slot
+	// of garbled responses. Algorithms 1/2 never stall; the guard exists
+	// for Colorwave, whose randomized recoloring may take a while to
+	// separate overlapping readers, and for the distributed Algorithm 3,
+	// whose per-head computations cannot see interrogation overlaps between
+	// clusters in different graph components. 0 means the default (2);
+	// negative disables the fallback entirely.
+	StallLimit int
+
+	// RecordSlots retains a per-slot record in the result (memory ~ slots).
+	RecordSlots bool
+}
+
+// SlotRecord describes one time slot of a covering schedule.
+type SlotRecord struct {
+	Active   []int // activated readers
+	TagsRead int   // unread tags served this slot
+	Fallback bool  // true if the stall guard replaced the scheduler's set
+}
+
+// MCSResult is the outcome of a covering-schedule run.
+type MCSResult struct {
+	Algorithm  string
+	Size       int          // number of slots used (the paper's metric)
+	TotalRead  int          // tags read over the whole schedule
+	Incomplete bool         // MaxSlots hit before every coverable tag was read
+	Fallbacks  int          // slots forced by the stall guard
+	Slots      []SlotRecord // per-slot records if RecordSlots was set
+}
+
+// RunMCS executes the greedy covering-schedule loop of Section III: at each
+// time slot ask the one-shot scheduler for a feasible scheduling set,
+// serve the tags it well-covers, and repeat until no coverable tag remains
+// unread. With an exact (or near-optimal) one-shot scheduler this is the
+// paper's log(n)-approximation for the NP-hard MCS problem (Theorem 1).
+//
+// The sys read-state is mutated; callers wanting to preserve it should pass
+// sys.Clone().
+func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*MCSResult, error) {
+	maxSlots := opts.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 100000
+	}
+	stallLimit := opts.StallLimit
+	if stallLimit == 0 {
+		stallLimit = 2
+	}
+
+	res := &MCSResult{Algorithm: sched.Name()}
+	stall := 0
+	for sys.UnreadCoverableCount() > 0 {
+		if res.Size >= maxSlots {
+			res.Incomplete = true
+			break
+		}
+		X, err := sched.OneShot(sys)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s one-shot failed at slot %d: %w", sched.Name(), res.Size, err)
+		}
+		covered := sys.Covered(X, nil)
+		fallback := false
+		if len(covered) == 0 {
+			stall++
+			if stallLimit > 0 && stall > stallLimit {
+				X = greedyFallback(sys)
+				covered = sys.Covered(X, nil)
+				fallback = true
+				res.Fallbacks++
+				stall = 0
+			}
+		} else {
+			stall = 0
+		}
+		for _, t := range covered {
+			sys.MarkRead(int(t))
+		}
+		res.Size++
+		res.TotalRead += len(covered)
+		if opts.RecordSlots {
+			res.Slots = append(res.Slots, SlotRecord{
+				Active:   append([]int(nil), X...),
+				TagsRead: len(covered),
+				Fallback: fallback,
+			})
+		}
+	}
+	return res, nil
+}
+
+// greedyFallback builds a feasible scheduling set by repeatedly adding the
+// reader with the largest strictly positive marginal weight. With at least
+// one coverable unread tag the result is non-empty and reads at least one
+// tag, because a reader activated alone well-covers every unread tag in its
+// interrogation region, so the first iteration always finds a positive
+// marginal.
+func greedyFallback(sys *model.System) []int {
+	return augmentFeasible(sys, nil)
+}

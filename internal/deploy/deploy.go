@@ -1,0 +1,191 @@
+// Package deploy generates the randomized deployments used in the paper's
+// evaluation (Section VI) and the richer scenario layouts used by the
+// examples. The paper's setting: 50 readers and 1200 tags uniformly
+// distributed in a 100x100 square; each reader's interference radius is
+// drawn from Poisson(lambdaR) and its interrogation radius from
+// Poisson(lambdar), with assignments adjusted so that R_i >= r_i always
+// holds ("We may need to modify some assignments to ensure Ri >= ri").
+package deploy
+
+import (
+	"fmt"
+
+	"rfidsched/internal/geom"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+)
+
+// Layout selects how reader and tag positions are drawn.
+type Layout int
+
+const (
+	// Uniform scatters readers and tags uniformly in the square — the
+	// paper's evaluation setting.
+	Uniform Layout = iota
+	// Clustered groups tags into Gaussian clusters (pallets, checkout
+	// lanes); readers remain uniform.
+	Clustered
+	// Aisles arranges readers along equally spaced vertical aisles and tags
+	// along shelf lines beside them — a warehouse scenario.
+	Aisles
+	// Hotspot puts a configurable fraction of tags into a dense central
+	// hotspot and the rest uniform.
+	Hotspot
+	// GridReaders places readers on a regular grid with uniform tags,
+	// useful for planned deployments and worst-case RRc overlap studies.
+	GridReaders
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Aisles:
+		return "aisles"
+	case Hotspot:
+		return "hotspot"
+	case GridReaders:
+		return "grid"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Config parameterizes Generate. The zero value is not useful; start from
+// Paper() and override.
+type Config struct {
+	Seed       uint64
+	NumReaders int
+	NumTags    int
+	Side       float64 // side length of the square deployment region
+
+	// LambdaR and LambdaSmallR are the Poisson means for the interference
+	// and interrogation radii (the paper's lambda_R and lambda_r).
+	LambdaR      float64
+	LambdaSmallR float64
+
+	Layout Layout
+
+	// Clustered layout parameters.
+	Clusters      int     // number of tag clusters (default 6)
+	ClusterSpread float64 // std-dev of each cluster (default Side/20)
+
+	// Hotspot layout parameters.
+	HotspotFrac   float64 // fraction of tags in the hotspot (default 0.6)
+	HotspotRadius float64 // hotspot radius (default Side/8)
+
+	// Aisles layout parameters.
+	NumAisles int // default 5
+}
+
+// Paper returns the evaluation configuration of Section VI with the given
+// Poisson means. The paper fixes 50 readers, 1200 tags, side 100.
+func Paper(seed uint64, lambdaR, lambdaSmallR float64) Config {
+	return Config{
+		Seed:         seed,
+		NumReaders:   50,
+		NumTags:      1200,
+		Side:         100,
+		LambdaR:      lambdaR,
+		LambdaSmallR: lambdaSmallR,
+		Layout:       Uniform,
+	}
+}
+
+// Validate reports configuration errors before any generation work.
+func (c Config) Validate() error {
+	if c.NumReaders <= 0 {
+		return fmt.Errorf("deploy: NumReaders = %d, need > 0", c.NumReaders)
+	}
+	if c.NumTags < 0 {
+		return fmt.Errorf("deploy: NumTags = %d, need >= 0", c.NumTags)
+	}
+	if c.Side <= 0 {
+		return fmt.Errorf("deploy: Side = %v, need > 0", c.Side)
+	}
+	if c.LambdaR <= 0 || c.LambdaSmallR <= 0 {
+		return fmt.Errorf("deploy: Poisson means must be positive (lambdaR=%v lambdar=%v)",
+			c.LambdaR, c.LambdaSmallR)
+	}
+	return nil
+}
+
+// Generate draws a deployment and assembles the model.System.
+func Generate(cfg Config) (*model.System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.New(cfg.Seed)
+
+	readerPos := readerPositions(cfg, rng)
+	tagPos := tagPositions(cfg, rng)
+
+	readers := make([]model.Reader, cfg.NumReaders)
+	for i := range readers {
+		R, r := DrawRadii(rng, cfg.LambdaR, cfg.LambdaSmallR)
+		readers[i] = model.Reader{Pos: readerPos[i], InterferenceR: R, InterrogationR: r}
+	}
+	tags := make([]model.Tag, len(tagPos))
+	for i := range tags {
+		tags[i] = model.Tag{Pos: tagPos[i]}
+	}
+	return model.NewSystem(readers, tags)
+}
+
+// DrawRadii draws one (interference, interrogation) radius pair following
+// the paper's rule: both Poisson, adjusted so that R >= r >= 1. If the draw
+// comes out inverted the two values are swapped — the least intrusive
+// "modification" that preserves both marginal distributions' support.
+func DrawRadii(rng *randx.RNG, lambdaR, lambdaSmallR float64) (R, r float64) {
+	Ri := rng.PoissonPositive(lambdaR)
+	ri := rng.PoissonPositive(lambdaSmallR)
+	if ri > Ri {
+		Ri, ri = ri, Ri
+	}
+	return float64(Ri), float64(ri)
+}
+
+func readerPositions(cfg Config, rng *randx.RNG) []geom.Point {
+	switch cfg.Layout {
+	case Aisles:
+		return aisleReaderPositions(cfg, rng)
+	case GridReaders:
+		return gridReaderPositions(cfg)
+	default:
+		return uniformPoints(cfg.NumReaders, cfg.Side, rng)
+	}
+}
+
+func tagPositions(cfg Config, rng *randx.RNG) []geom.Point {
+	switch cfg.Layout {
+	case Clustered:
+		return clusteredTagPositions(cfg, rng)
+	case Aisles:
+		return aisleTagPositions(cfg, rng)
+	case Hotspot:
+		return hotspotTagPositions(cfg, rng)
+	default:
+		return uniformPoints(cfg.NumTags, cfg.Side, rng)
+	}
+}
+
+func uniformPoints(n int, side float64, rng *randx.RNG) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return pts
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

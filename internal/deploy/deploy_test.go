@@ -1,0 +1,259 @@
+package deploy
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"rfidsched/internal/randx"
+)
+
+func TestPaperConfig(t *testing.T) {
+	cfg := Paper(1, 12, 5)
+	if cfg.NumReaders != 50 || cfg.NumTags != 1200 || cfg.Side != 100 {
+		t.Errorf("paper config wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("paper config invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{NumReaders: 0, NumTags: 1, Side: 1, LambdaR: 1, LambdaSmallR: 1},
+		{NumReaders: 1, NumTags: -1, Side: 1, LambdaR: 1, LambdaSmallR: 1},
+		{NumReaders: 1, NumTags: 1, Side: 0, LambdaR: 1, LambdaSmallR: 1},
+		{NumReaders: 1, NumTags: 1, Side: 1, LambdaR: 0, LambdaSmallR: 1},
+		{NumReaders: 1, NumTags: 1, Side: 1, LambdaR: 1, LambdaSmallR: -2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: Generate accepted bad config", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Paper(42, 12, 5)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.NumReaders(); i++ {
+		if a.Reader(i) != b.Reader(i) {
+			t.Fatalf("reader %d differs between same-seed runs", i)
+		}
+	}
+	for i := 0; i < a.NumTags(); i++ {
+		if a.Tag(i) != b.Tag(i) {
+			t.Fatalf("tag %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Paper(1, 12, 5))
+	b, _ := Generate(Paper(2, 12, 5))
+	same := 0
+	for i := 0; i < a.NumReaders(); i++ {
+		if a.Reader(i).Pos == b.Reader(i).Pos {
+			same++
+		}
+	}
+	if same == a.NumReaders() {
+		t.Error("different seeds gave identical reader layout")
+	}
+}
+
+func TestRadiiInvariant(t *testing.T) {
+	for _, layout := range []Layout{Uniform, Clustered, Aisles, Hotspot, GridReaders} {
+		cfg := Paper(7, 10, 6)
+		cfg.Layout = layout
+		sys, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		for i := 0; i < sys.NumReaders(); i++ {
+			r := sys.Reader(i)
+			if r.InterrogationR <= 0 || r.InterferenceR < r.InterrogationR {
+				t.Fatalf("%v: reader %d violates radius invariant: %+v", layout, i, r)
+			}
+		}
+	}
+}
+
+func TestPositionsInsideRegion(t *testing.T) {
+	for _, layout := range []Layout{Uniform, Clustered, Aisles, Hotspot, GridReaders} {
+		cfg := Paper(9, 10, 5)
+		cfg.Layout = layout
+		sys, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		for i := 0; i < sys.NumReaders(); i++ {
+			p := sys.Reader(i).Pos
+			if p.X < 0 || p.X > cfg.Side || p.Y < 0 || p.Y > cfg.Side {
+				t.Fatalf("%v: reader %d outside region: %v", layout, i, p)
+			}
+		}
+		for i := 0; i < sys.NumTags(); i++ {
+			p := sys.Tag(i).Pos
+			if p.X < 0 || p.X > cfg.Side || p.Y < 0 || p.Y > cfg.Side {
+				t.Fatalf("%v: tag %d outside region: %v", layout, i, p)
+			}
+		}
+	}
+}
+
+func TestDrawRadiiDistribution(t *testing.T) {
+	rng := randx.New(5)
+	const n = 50000
+	var sumR, sumr float64
+	for i := 0; i < n; i++ {
+		R, r := DrawRadii(rng, 12, 5)
+		if r > R || r < 1 {
+			t.Fatalf("invalid radii R=%v r=%v", R, r)
+		}
+		sumR += R
+		sumr += r
+	}
+	// Swapping inflates R's mean slightly and deflates r's; both stay near
+	// their Poisson means at this separation of lambdas.
+	meanR, meanr := sumR/n, sumr/n
+	if math.Abs(meanR-12) > 0.5 {
+		t.Errorf("mean R = %v, want ~12", meanR)
+	}
+	if math.Abs(meanr-5) > 0.5 {
+		t.Errorf("mean r = %v, want ~5", meanr)
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	cfg := Paper(11, 10, 5)
+	cfg.Layout = Hotspot
+	cfg.HotspotFrac = 0.7
+	cfg.HotspotRadius = 10
+	sys, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := 0
+	for i := 0; i < sys.NumTags(); i++ {
+		p := sys.Tag(i).Pos
+		dx, dy := p.X-50, p.Y-50
+		if dx*dx+dy*dy <= 100.001 {
+			inside++
+		}
+	}
+	frac := float64(inside) / float64(sys.NumTags())
+	// The hotspot disk is ~3% of the area; uniform would put ~3% there.
+	if frac < 0.5 {
+		t.Errorf("hotspot fraction = %v, want >= 0.5", frac)
+	}
+}
+
+func TestClusteredSpread(t *testing.T) {
+	cfg := Paper(13, 10, 5)
+	cfg.Layout = Clustered
+	cfg.Clusters = 3
+	cfg.ClusterSpread = 2
+	sys, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumTags() != cfg.NumTags {
+		t.Errorf("tags = %d", sys.NumTags())
+	}
+}
+
+func TestGridReadersCount(t *testing.T) {
+	cfg := Paper(15, 10, 5)
+	cfg.Layout = GridReaders
+	cfg.NumReaders = 7 // not a perfect square
+	sys, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumReaders() != 7 {
+		t.Errorf("readers = %d", sys.NumReaders())
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	for _, l := range []Layout{Uniform, Clustered, Aisles, Hotspot, GridReaders, Layout(99)} {
+		if l.String() == "" {
+			t.Errorf("empty string for layout %d", int(l))
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sys, err := Generate(Paper(21, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ToDeployment(sys)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := d2.ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.NumReaders() != sys.NumReaders() || sys2.NumTags() != sys.NumTags() {
+		t.Fatal("round trip changed sizes")
+	}
+	for i := 0; i < sys.NumReaders(); i++ {
+		if sys.Reader(i) != sys2.Reader(i) {
+			t.Fatalf("reader %d changed in round trip", i)
+		}
+	}
+	// Weights must agree — coverage lists rebuilt identically.
+	X := []int{0, 5, 10}
+	if sys.Weight(X) != sys2.Weight(X) {
+		t.Error("round-tripped system computes different weight")
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	sys, err := Generate(Paper(23, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dep.json")
+	if err := ToDeployment(sys).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Readers) != 50 || len(d.Tags) != 1200 {
+		t.Errorf("loaded %d readers %d tags", len(d.Readers), len(d.Tags))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path/x.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

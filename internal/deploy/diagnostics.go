@@ -1,0 +1,113 @@
+package deploy
+
+import (
+	"fmt"
+	"io"
+
+	"rfidsched/internal/model"
+)
+
+// Diagnostics summarizes the geometry of a deployment: how much of the tag
+// population any schedule could ever serve, how contended the airspace is,
+// and how much RRc-prone interrogation overlap the radii create. rfidgen
+// prints it so a user knows what they generated; the experiment notes in
+// EXPERIMENTS.md lean on the same quantities to explain curve shapes.
+type Diagnostics struct {
+	Readers int
+	Tags    int
+
+	// CoverableTags is the number of tags inside at least one interrogation
+	// region — the ceiling any covering schedule can reach.
+	CoverableTags int
+	// CoverableFraction = CoverableTags / Tags (0 when there are no tags).
+	CoverableFraction float64
+
+	// MeanTagsPerReader is the average interrogation-region population.
+	MeanTagsPerReader float64
+	// MaxTagsPerReader is the largest single-reader population, a lower
+	// bound on any reader's busiest slot.
+	MaxTagsPerReader int
+
+	// InterferenceEdges counts non-independent reader pairs (the edges of
+	// Definition 7's interference graph).
+	InterferenceEdges int
+	// InterferenceDensity = edges / C(n,2).
+	InterferenceDensity float64
+
+	// OverlapPairs counts reader pairs whose interrogation regions
+	// intersect — RRc exposure. DangerousOverlapPairs counts the subset
+	// that is simultaneously independent (schedulable together), the pairs
+	// that can deadlock tag coverage for hop-local algorithms.
+	OverlapPairs          int
+	DangerousOverlapPairs int
+
+	// MultiCoveredTags counts tags inside >= 2 interrogation regions.
+	MultiCoveredTags int
+}
+
+// Diagnose computes deployment diagnostics for sys.
+func Diagnose(sys *model.System) Diagnostics {
+	d := Diagnostics{Readers: sys.NumReaders(), Tags: sys.NumTags()}
+	for t := 0; t < sys.NumTags(); t++ {
+		covering := len(sys.ReadersOf(t))
+		if covering > 0 {
+			d.CoverableTags++
+		}
+		if covering >= 2 {
+			d.MultiCoveredTags++
+		}
+	}
+	if d.Tags > 0 {
+		d.CoverableFraction = float64(d.CoverableTags) / float64(d.Tags)
+	}
+	total := 0
+	for i := 0; i < d.Readers; i++ {
+		n := len(sys.TagsOf(i))
+		total += n
+		if n > d.MaxTagsPerReader {
+			d.MaxTagsPerReader = n
+		}
+	}
+	if d.Readers > 0 {
+		d.MeanTagsPerReader = float64(total) / float64(d.Readers)
+	}
+	for i := 0; i < d.Readers; i++ {
+		ri := sys.Reader(i)
+		for j := i + 1; j < d.Readers; j++ {
+			rj := sys.Reader(j)
+			independent := sys.Independent(i, j)
+			if !independent {
+				d.InterferenceEdges++
+			}
+			if ri.InterrogationDisk().Intersects(rj.InterrogationDisk()) {
+				d.OverlapPairs++
+				if independent {
+					d.DangerousOverlapPairs++
+				}
+			}
+		}
+	}
+	if d.Readers > 1 {
+		d.InterferenceDensity = float64(d.InterferenceEdges) / float64(d.Readers*(d.Readers-1)/2)
+	}
+	return d
+}
+
+// Write renders the diagnostics as a human-readable block.
+func (d Diagnostics) Write(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"readers:             %d\n"+
+			"tags:                %d (%.0f%% coverable)\n"+
+			"tags per reader:     mean %.1f, max %d\n"+
+			"interference edges:  %d (density %.1f%%)\n"+
+			"interrogation overlaps: %d pairs (%d schedulable together: RRc risk)\n"+
+			"multi-covered tags:  %d\n",
+		d.Readers,
+		d.Tags, 100*d.CoverableFraction,
+		d.MeanTagsPerReader, d.MaxTagsPerReader,
+		d.InterferenceEdges, 100*d.InterferenceDensity,
+		d.OverlapPairs, d.DangerousOverlapPairs,
+		d.MultiCoveredTags,
+	)
+	return err
+}

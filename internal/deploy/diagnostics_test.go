@@ -1,0 +1,119 @@
+package deploy
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rfidsched/internal/geom"
+	"rfidsched/internal/model"
+)
+
+func TestDiagnoseHandBuilt(t *testing.T) {
+	// Two independent readers with an interrogation overlap (dangerous
+	// pair), one tag in the overlap, one tag exclusive, one uncovered.
+	readers := []model.Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 8, InterrogationR: 6},
+		{Pos: geom.Pt(10, 0), InterferenceR: 8, InterrogationR: 6},
+	}
+	tags := []model.Tag{
+		{Pos: geom.Pt(5, 0)},  // overlap -> multi covered
+		{Pos: geom.Pt(-3, 0)}, // reader 0 only
+		{Pos: geom.Pt(50, 50)},
+	}
+	sys, err := model.NewSystem(readers, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnose(sys)
+	if d.Readers != 2 || d.Tags != 3 {
+		t.Errorf("shape: %+v", d)
+	}
+	if d.CoverableTags != 2 {
+		t.Errorf("coverable = %d", d.CoverableTags)
+	}
+	if math.Abs(d.CoverableFraction-2.0/3) > 1e-12 {
+		t.Errorf("fraction = %v", d.CoverableFraction)
+	}
+	if d.InterferenceEdges != 0 {
+		t.Errorf("edges = %d (readers are independent: dist 10 > 8)", d.InterferenceEdges)
+	}
+	if d.OverlapPairs != 1 || d.DangerousOverlapPairs != 1 {
+		t.Errorf("overlaps: %+v", d)
+	}
+	if d.MultiCoveredTags != 1 {
+		t.Errorf("multi = %d", d.MultiCoveredTags)
+	}
+	if d.MaxTagsPerReader != 2 { // reader 0 covers tags 0 and 1
+		t.Errorf("max per reader = %d", d.MaxTagsPerReader)
+	}
+	if math.Abs(d.MeanTagsPerReader-1.5) > 1e-12 {
+		t.Errorf("mean per reader = %v", d.MeanTagsPerReader)
+	}
+}
+
+func TestDiagnoseInterferingPair(t *testing.T) {
+	readers := []model.Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 20, InterrogationR: 2},
+		{Pos: geom.Pt(10, 0), InterferenceR: 20, InterrogationR: 2},
+	}
+	sys, err := model.NewSystem(readers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnose(sys)
+	if d.InterferenceEdges != 1 || d.InterferenceDensity != 1 {
+		t.Errorf("%+v", d)
+	}
+	if d.OverlapPairs != 0 || d.DangerousOverlapPairs != 0 {
+		t.Errorf("phantom overlap: %+v", d)
+	}
+}
+
+func TestDiagnosePaperScale(t *testing.T) {
+	sys, err := Generate(Paper(17, 12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnose(sys)
+	if d.CoverableFraction < 0.2 || d.CoverableFraction > 0.8 {
+		t.Errorf("implausible coverable fraction %v at lambda_r=5", d.CoverableFraction)
+	}
+	if d.InterferenceEdges == 0 {
+		t.Error("no interference at lambda_R=12 is implausible")
+	}
+	if d.DangerousOverlapPairs > d.OverlapPairs {
+		t.Error("dangerous subset exceeds total")
+	}
+}
+
+func TestDiagnosticsWrite(t *testing.T) {
+	sys, err := Generate(Paper(19, 12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Diagnose(sys).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"readers:", "tags:", "interference edges:", "RRc risk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiagnoseEmpty(t *testing.T) {
+	sys, err := model.NewSystem([]model.Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 1, InterrogationR: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnose(sys)
+	if d.Tags != 0 || d.CoverableFraction != 0 || d.InterferenceDensity != 0 {
+		t.Errorf("%+v", d)
+	}
+}

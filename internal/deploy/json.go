@@ -1,0 +1,112 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rfidsched/internal/geom"
+	"rfidsched/internal/model"
+)
+
+// Deployment is the serializable form of a generated system, used by the
+// rfidgen/rfidsched command pair so a deployment can be generated once and
+// scheduled many times (or edited by hand).
+type Deployment struct {
+	Comment string         `json:"comment,omitempty"`
+	Side    float64        `json:"side,omitempty"`
+	Readers []ReaderRecord `json:"readers"`
+	Tags    []TagRecord    `json:"tags"`
+}
+
+// ReaderRecord is the JSON form of one reader.
+type ReaderRecord struct {
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+	InterferenceR  float64 `json:"interferenceRadius"`
+	InterrogationR float64 `json:"interrogationRadius"`
+}
+
+// TagRecord is the JSON form of one tag.
+type TagRecord struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// ToDeployment converts a system to its serializable form.
+func ToDeployment(sys *model.System) *Deployment {
+	d := &Deployment{
+		Readers: make([]ReaderRecord, sys.NumReaders()),
+		Tags:    make([]TagRecord, sys.NumTags()),
+	}
+	for i := 0; i < sys.NumReaders(); i++ {
+		r := sys.Reader(i)
+		d.Readers[i] = ReaderRecord{
+			X: r.Pos.X, Y: r.Pos.Y,
+			InterferenceR:  r.InterferenceR,
+			InterrogationR: r.InterrogationR,
+		}
+	}
+	for t := 0; t < sys.NumTags(); t++ {
+		p := sys.Tag(t).Pos
+		d.Tags[t] = TagRecord{X: p.X, Y: p.Y}
+	}
+	return d
+}
+
+// ToSystem converts a deployment back into a live system.
+func (d *Deployment) ToSystem() (*model.System, error) {
+	readers := make([]model.Reader, len(d.Readers))
+	for i, r := range d.Readers {
+		readers[i] = model.Reader{
+			Pos:            geom.Pt(r.X, r.Y),
+			InterferenceR:  r.InterferenceR,
+			InterrogationR: r.InterrogationR,
+		}
+	}
+	tags := make([]model.Tag, len(d.Tags))
+	for i, t := range d.Tags {
+		tags[i] = model.Tag{Pos: geom.Pt(t.X, t.Y)}
+	}
+	return model.NewSystem(readers, tags)
+}
+
+// Write encodes the deployment as indented JSON.
+func (d *Deployment) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Read decodes a deployment from JSON.
+func Read(r io.Reader) (*Deployment, error) {
+	var d Deployment
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("deploy: decode: %w", err)
+	}
+	return &d, nil
+}
+
+// SaveFile writes the deployment to a file.
+func (d *Deployment) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a deployment from a file.
+func LoadFile(path string) (*Deployment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

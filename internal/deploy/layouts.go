@@ -1,0 +1,120 @@
+package deploy
+
+import (
+	"math"
+
+	"rfidsched/internal/geom"
+	"rfidsched/internal/randx"
+)
+
+// Scenario layouts beyond the paper's uniform setting, used by the examples
+// (warehouse, supermarket hotspot) and by robustness tests: the algorithms'
+// relative ranking should be layout-invariant even though absolute numbers
+// move.
+
+func clusteredTagPositions(cfg Config, rng *randx.RNG) []geom.Point {
+	clusters := cfg.Clusters
+	if clusters <= 0 {
+		clusters = 6
+	}
+	spread := cfg.ClusterSpread
+	if spread <= 0 {
+		spread = cfg.Side / 20
+	}
+	centers := uniformPoints(clusters, cfg.Side, rng)
+	pts := make([]geom.Point, cfg.NumTags)
+	for i := range pts {
+		c := centers[rng.Intn(clusters)]
+		pts[i] = geom.Pt(
+			clamp(c.X+rng.NormalMS(0, spread), 0, cfg.Side),
+			clamp(c.Y+rng.NormalMS(0, spread), 0, cfg.Side),
+		)
+	}
+	return pts
+}
+
+func hotspotTagPositions(cfg Config, rng *randx.RNG) []geom.Point {
+	frac := cfg.HotspotFrac
+	if frac <= 0 || frac > 1 {
+		frac = 0.6
+	}
+	radius := cfg.HotspotRadius
+	if radius <= 0 {
+		radius = cfg.Side / 8
+	}
+	center := geom.Pt(cfg.Side/2, cfg.Side/2)
+	pts := make([]geom.Point, cfg.NumTags)
+	for i := range pts {
+		if rng.Bool(frac) {
+			// Uniform in the hotspot disk via sqrt radius transform.
+			ang := rng.Float64() * 2 * math.Pi
+			rr := radius * math.Sqrt(rng.Float64())
+			pts[i] = geom.Pt(
+				clamp(center.X+rr*math.Cos(ang), 0, cfg.Side),
+				clamp(center.Y+rr*math.Sin(ang), 0, cfg.Side),
+			)
+		} else {
+			pts[i] = geom.Pt(rng.Float64()*cfg.Side, rng.Float64()*cfg.Side)
+		}
+	}
+	return pts
+}
+
+func aisleReaderPositions(cfg Config, rng *randx.RNG) []geom.Point {
+	aisles := cfg.NumAisles
+	if aisles <= 0 {
+		aisles = 5
+	}
+	pts := make([]geom.Point, cfg.NumReaders)
+	for i := range pts {
+		aisle := i % aisles
+		x := (float64(aisle) + 0.5) * cfg.Side / float64(aisles)
+		// Readers spread evenly along the aisle with small jitter.
+		perAisle := (cfg.NumReaders + aisles - 1) / aisles
+		slot := i / aisles
+		y := (float64(slot) + 0.5) * cfg.Side / float64(perAisle)
+		pts[i] = geom.Pt(
+			clamp(x+rng.NormalMS(0, cfg.Side/200), 0, cfg.Side),
+			clamp(y+rng.NormalMS(0, cfg.Side/200), 0, cfg.Side),
+		)
+	}
+	return pts
+}
+
+func aisleTagPositions(cfg Config, rng *randx.RNG) []geom.Point {
+	aisles := cfg.NumAisles
+	if aisles <= 0 {
+		aisles = 5
+	}
+	shelfOffset := cfg.Side / float64(aisles) / 4
+	pts := make([]geom.Point, cfg.NumTags)
+	for i := range pts {
+		aisle := rng.Intn(aisles)
+		x := (float64(aisle) + 0.5) * cfg.Side / float64(aisles)
+		side := 1.0
+		if rng.Bool(0.5) {
+			side = -1.0
+		}
+		pts[i] = geom.Pt(
+			clamp(x+side*shelfOffset+rng.NormalMS(0, shelfOffset/4), 0, cfg.Side),
+			rng.Float64()*cfg.Side,
+		)
+	}
+	return pts
+}
+
+func gridReaderPositions(cfg Config) []geom.Point {
+	n := cfg.NumReaders
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	pts := make([]geom.Point, 0, n)
+	for r := 0; r < rows && len(pts) < n; r++ {
+		for c := 0; c < cols && len(pts) < n; c++ {
+			pts = append(pts, geom.Pt(
+				(float64(c)+0.5)*cfg.Side/float64(cols),
+				(float64(r)+0.5)*cfg.Side/float64(rows),
+			))
+		}
+	}
+	return pts
+}

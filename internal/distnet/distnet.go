@@ -1,0 +1,157 @@
+// Package distnet is the message-passing substrate for Algorithm 3: a
+// synchronous (BSP-style) network of reader nodes. Each node runs its Step
+// function once per round — all Steps of a round execute concurrently on
+// their own goroutines — and may send messages only to its neighbors in the
+// interference graph; messages sent in round t are delivered at round t+1.
+//
+// The synchronous model matches the paper's setting (slotted time is
+// already assumed for tag reading) and makes executions deterministic:
+// inboxes are sorted by sender before delivery, so a seeded run always
+// produces the same schedule regardless of goroutine interleaving.
+package distnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rfidsched/internal/graph"
+)
+
+// Message is a payload in flight between adjacent nodes.
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+// Node is the per-reader protocol logic. Implementations receive the round
+// number and this round's inbox and return messages to send (delivered next
+// round). Returning done=true parks the node: Step is no longer called, and
+// when every node is done the network halts.
+type Node interface {
+	Step(round int, inbox []Message) (outbox []Message, done bool)
+}
+
+// Stats summarizes one network run.
+type Stats struct {
+	Rounds        int
+	MessagesSent  int
+	MessagesLost  int // dropped by loss injection (subset of MessagesSent)
+	MaxInboxSize  int
+	ParkedAtRound []int // round at which each node declared done (-1 = never)
+}
+
+// Network executes nodes over an interference-graph topology.
+type Network struct {
+	g *graph.Graph
+
+	// lossRate drops each message independently with this probability
+	// (failure injection); lossDraw supplies the randomness.
+	lossRate float64
+	lossDraw func() float64
+}
+
+// NewNetwork builds a network with the given topology.
+func NewNetwork(g *graph.Graph) *Network { return &Network{g: g} }
+
+// WithLoss enables message-loss injection: every message is independently
+// dropped with probability rate, drawn from draw (a seeded uniform [0,1)
+// source keeps runs reproducible). Dropped messages still count in
+// Stats.MessagesSent — they were transmitted, just not delivered — and are
+// tallied in Stats.MessagesLost. Returns the network for chaining.
+func (n *Network) WithLoss(rate float64, draw func() float64) *Network {
+	n.lossRate = rate
+	n.lossDraw = draw
+	return n
+}
+
+// Run drives the nodes until all are done or maxRounds elapses. It returns
+// an error if a node addresses a non-neighbor (a protocol bug: radios
+// cannot reach beyond the interference range) or if maxRounds is exhausted
+// with undone nodes.
+func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
+	if len(nodes) != n.g.N() {
+		return nil, fmt.Errorf("distnet: %d nodes for %d-vertex topology", len(nodes), n.g.N())
+	}
+	stats := &Stats{ParkedAtRound: make([]int, len(nodes))}
+	for i := range stats.ParkedAtRound {
+		stats.ParkedAtRound[i] = -1
+	}
+	done := make([]bool, len(nodes))
+	inboxes := make([][]Message, len(nodes))
+	remaining := len(nodes)
+
+	type result struct {
+		id     int
+		outbox []Message
+		done   bool
+	}
+
+	for round := 0; remaining > 0; round++ {
+		if round >= maxRounds {
+			return stats, fmt.Errorf("distnet: %d nodes still running after %d rounds", remaining, maxRounds)
+		}
+		stats.Rounds = round + 1
+
+		results := make([]result, 0, remaining)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for id := range nodes {
+			if done[id] {
+				continue
+			}
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				inbox := inboxes[id]
+				sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+				out, d := nodes[id].Step(round, inbox)
+				mu.Lock()
+				results = append(results, result{id: id, outbox: out, done: d})
+				mu.Unlock()
+			}(id)
+		}
+		wg.Wait()
+		sort.Slice(results, func(a, b int) bool { return results[a].id < results[b].id })
+
+		next := make([][]Message, len(nodes))
+		for _, res := range results {
+			if l := len(inboxes[res.id]); l > stats.MaxInboxSize {
+				stats.MaxInboxSize = l
+			}
+			for _, m := range res.outbox {
+				if m.From != res.id {
+					return stats, fmt.Errorf("distnet: node %d forged sender %d", res.id, m.From)
+				}
+				if !n.g.HasEdge(m.From, m.To) {
+					return stats, fmt.Errorf("distnet: node %d sent beyond radio range to %d", m.From, m.To)
+				}
+				stats.MessagesSent++
+				if n.lossRate > 0 && n.lossDraw != nil && n.lossDraw() < n.lossRate {
+					stats.MessagesLost++
+					continue
+				}
+				next[m.To] = append(next[m.To], m)
+			}
+			if res.done {
+				done[res.id] = true
+				stats.ParkedAtRound[res.id] = round
+				remaining--
+			}
+		}
+		for id := range inboxes {
+			inboxes[id] = next[id]
+		}
+	}
+	return stats, nil
+}
+
+// Broadcast is a helper constructing one message per neighbor of from.
+func Broadcast(g *graph.Graph, from int, payload any) []Message {
+	nbrs := g.Neighbors(from)
+	out := make([]Message, 0, len(nbrs))
+	for _, to := range nbrs {
+		out = append(out, Message{From: from, To: int(to), Payload: payload})
+	}
+	return out
+}

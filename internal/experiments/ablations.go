@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rfidsched/internal/anticollision"
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/mobility"
+	"rfidsched/internal/slotsim"
+	"rfidsched/internal/stats"
+	"rfidsched/internal/survey"
+)
+
+// Ablation experiments: the design-choice sweeps DESIGN.md calls out,
+// packaged with the same multi-trial machinery and rendering as the paper
+// figures so `rfidsim -fig <ablation>` and the benchmarks share one
+// implementation.
+//
+//	abl-rho      Algorithm 2/3 growth threshold ρ vs one-shot weight
+//	abl-survey   RF-survey shadowing σ vs schedule size on the measured graph
+//	abl-channels dense-reading-mode channel count vs one-shot weight
+//	abl-mobility reader speed vs frozen-schedule weight retention
+//	abl-airtime  total link-layer air time per scheduler (EGA-style metric)
+//
+// Every ablation returns a FigureResult, so all renderers apply.
+
+// AblationIDs lists the available ablations in order.
+func AblationIDs() []string {
+	return []string{"abl-rho", "abl-survey", "abl-channels", "abl-mobility", "abl-airtime"}
+}
+
+// RunAblation executes one ablation under cfg (Trials, Seed, deployment
+// shape and Workers are honored; Algorithms/Sweep are ablation specific).
+func RunAblation(id string, cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	switch id {
+	case "abl-rho":
+		return ablRho(cfg)
+	case "abl-survey":
+		return ablSurvey(cfg)
+	case "abl-channels":
+		return ablChannels(cfg)
+	case "abl-mobility":
+		return ablMobility(cfg)
+	case "abl-airtime":
+		return ablAirtime(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown ablation %q (have %v)", id, AblationIDs())
+	}
+}
+
+// ablationSweep runs fn(sys, g, x, trial) for every (x, trial) pair in
+// parallel and aggregates per series label.
+func ablationSweep(cfg Config, sweep []float64, title, xlabel, ylabel string,
+	fn func(seed uint64, x float64) (map[string]float64, error)) (*FigureResult, error) {
+
+	type task struct {
+		x     float64
+		trial int
+	}
+	var tasks []task
+	for _, x := range sweep {
+		for tr := 0; tr < cfg.Trials; tr++ {
+			tasks = append(tasks, task{x, tr})
+		}
+	}
+	type res struct {
+		x    float64
+		vals map[string]float64
+	}
+	taskCh := make(chan task)
+	resCh := make(chan res, len(tasks))
+	errCh := make(chan error, len(tasks))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range taskCh {
+				// The swept variable is an ALGORITHM parameter here (rho,
+				// channels, speed, survey noise), so — unlike the paper
+				// figures where x shapes the deployment — the deployment
+				// seed depends only on the trial: every x sees the same
+				// paired instances.
+				seed := cfg.Seed*999983 + uint64(tk.trial)*7919
+				vals, err := fn(seed, tk.x)
+				if err != nil {
+					errCh <- err
+					continue
+				}
+				resCh <- res{x: tk.x, vals: vals}
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		taskCh <- tk
+	}
+	close(taskCh)
+	wg.Wait()
+	close(resCh)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+
+	accs := map[string]map[float64]*stats.Acc{}
+	var labels []string
+	for r := range resCh {
+		for label, v := range r.vals {
+			if accs[label] == nil {
+				accs[label] = map[float64]*stats.Acc{}
+				labels = append(labels, label)
+			}
+			if accs[label][r.x] == nil {
+				accs[label][r.x] = &stats.Acc{}
+			}
+			accs[label][r.x].Add(v)
+		}
+	}
+	sort.Strings(labels)
+
+	out := &FigureResult{ID: title, Title: title, XLabel: xlabel, YLabel: ylabel}
+	for _, label := range labels {
+		ser := Series{Algorithm: label}
+		for _, x := range sweep {
+			if a := accs[label][x]; a != nil {
+				ser.Points = append(ser.Points, Point{X: x, Mean: a.Mean(), CI95: a.CI95(), N: a.N()})
+			}
+		}
+		out.Series = append(out.Series, ser)
+	}
+	return out, nil
+}
+
+func (c Config) deployment(seed uint64, lambdaR, lambdar float64) (deploy.Config, error) {
+	d := deploy.Config{
+		Seed: seed, NumReaders: c.NumReaders, NumTags: c.NumTags,
+		Side: c.Side, LambdaR: lambdaR, LambdaSmallR: lambdar,
+	}
+	return d, d.Validate()
+}
+
+func ablRho(cfg Config) (*FigureResult, error) {
+	sweep := cfg.Sweep
+	if sweep == nil {
+		sweep = []float64{1.05, 1.1, 1.25, 1.5, 2.0}
+	}
+	return ablationSweep(cfg, sweep,
+		"Ablation: growth threshold rho vs one-shot weight and radius",
+		"rho", "weight / max radius",
+		func(seed uint64, rho float64) (map[string]float64, error) {
+			dcfg, err := cfg.deployment(seed, 12, 5)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := deploy.Generate(dcfg)
+			if err != nil {
+				return nil, err
+			}
+			g := graph.FromSystem(sys)
+			alg := core.NewGrowth(g, rho)
+			X, err := alg.OneShot(sys)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"weight": float64(sys.Weight(X)),
+				"max_r":  float64(alg.LastMaxRadius),
+			}, nil
+		})
+}
+
+func ablSurvey(cfg Config) (*FigureResult, error) {
+	sweep := cfg.Sweep
+	if sweep == nil {
+		sweep = []float64{0, 2, 4, 6, 8}
+	}
+	return ablationSweep(cfg, sweep,
+		"Ablation: survey shadowing sigma vs schedule quality on the measured graph",
+		"sigma (dB)", "slots / edge accuracy (%)",
+		func(seed uint64, sigma float64) (map[string]float64, error) {
+			dcfg, err := cfg.deployment(seed, 12, 5)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := deploy.Generate(dcfg)
+			if err != nil {
+				return nil, err
+			}
+			est, rep, err := survey.EstimateGraph(sys, survey.Params{ShadowSigma: sigma, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.RunMCS(sys.Clone(), core.NewGrowth(est, cfg.Rho), core.MCSOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"slots":      float64(res.Size),
+				"precision%": 100 * rep.Precision(),
+				"recall%":    100 * rep.Recall(),
+			}, nil
+		})
+}
+
+func ablChannels(cfg Config) (*FigureResult, error) {
+	sweep := cfg.Sweep
+	if sweep == nil {
+		sweep = []float64{1, 2, 4, 8}
+	}
+	return ablationSweep(cfg, sweep,
+		"Ablation: dense-reading-mode channels vs one-shot weight",
+		"channels", "well-covered tags in one slot",
+		func(seed uint64, ch float64) (map[string]float64, error) {
+			dcfg, err := cfg.deployment(seed, 14, 6)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := deploy.Generate(dcfg)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := (core.MultiChannel{Channels: int(ch)}).OneShot(sys)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{"weight": float64(plan.Weight(sys))}, nil
+		})
+}
+
+// ablAirtime compares total link-layer air time (micro slots to inventory
+// the whole population) across schedulers — the metric EGA-style protocols
+// optimize, computed by the slot simulator with Vogt dynamic-frame ALOHA.
+// The sweep axis indexes the scheduler (0=Alg1, 1=Alg2, 2=Alg3, 3=GHC,
+// 4=CA) so the table reads as one row per algorithm.
+func ablAirtime(cfg Config) (*FigureResult, error) {
+	sweep := cfg.Sweep
+	if sweep == nil {
+		sweep = []float64{0, 1, 2, 3, 4}
+	}
+	names := AlgNames
+	return ablationSweep(cfg, sweep,
+		"Ablation: total air time (Vogt-ALOHA micro slots) per scheduler",
+		"algorithm index (0=Alg1 1=Alg2 2=Alg3 3=CA 4=GHC)", "micro slots / macro slots",
+		func(seed uint64, idx float64) (map[string]float64, error) {
+			i := int(idx)
+			if i < 0 || i >= len(names) {
+				return nil, fmt.Errorf("experiments: algorithm index %v out of range", idx)
+			}
+			dcfg, err := cfg.deployment(seed, 12, 5)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := deploy.Generate(dcfg)
+			if err != nil {
+				return nil, err
+			}
+			g := graph.FromSystem(sys)
+			sched, err := makeScheduler(names[i], g, cfg.Rho, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := slotsim.Run(sys, sched, slotsim.Config{
+				Link: anticollision.VogtALOHA{},
+				Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"micro_slots": float64(res.TotalMicroSlots),
+				"macro_slots": float64(res.MacroSlots),
+			}, nil
+		})
+}
+
+func ablMobility(cfg Config) (*FigureResult, error) {
+	sweep := cfg.Sweep
+	if sweep == nil {
+		sweep = []float64{0, 1, 2, 4, 8}
+	}
+	return ablationSweep(cfg, sweep,
+		"Ablation: reader speed vs frozen-schedule weight retention after 10 slots",
+		"speed (units/slot)", "% of initial weight retained",
+		func(seed uint64, speed float64) (map[string]float64, error) {
+			dcfg, err := cfg.deployment(seed, 12, 5)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := deploy.Generate(dcfg)
+			if err != nil {
+				return nil, err
+			}
+			g := graph.FromSystem(sys)
+			d := mobility.NewDrift(sys.NumReaders(), geom.R2(0, 0, cfg.Side, cfg.Side), speed, seed)
+			res, err := mobility.MeasureStaleness(sys, core.NewGrowth(g, cfg.Rho), d, 10)
+			if err != nil {
+				return nil, err
+			}
+			if res.Weights[0] == 0 {
+				return map[string]float64{"retained%": 100}, nil
+			}
+			return map[string]float64{
+				"retained%": 100 * float64(res.Weights[len(res.Weights)-1]) / float64(res.Weights[0]),
+			}, nil
+		})
+}

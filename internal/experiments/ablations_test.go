@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func ablTiny() Config {
+	return Config{Trials: 2, Seed: 5, NumReaders: 15, NumTags: 200, Side: 60}
+}
+
+func TestAblationIDs(t *testing.T) {
+	ids := AblationIDs()
+	if len(ids) != 5 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for _, id := range ids {
+		if _, err := RunAblation(id, Config{Trials: 1, Seed: 1, NumReaders: 10, NumTags: 80, Side: 40, Sweep: sweepFor(id)}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func sweepFor(id string) []float64 {
+	switch id {
+	case "abl-rho":
+		return []float64{1.25}
+	case "abl-channels":
+		return []float64{2}
+	case "abl-mobility":
+		return []float64{1}
+	case "abl-airtime":
+		return []float64{4}
+	default:
+		return []float64{2}
+	}
+}
+
+func TestUnknownAblation(t *testing.T) {
+	if _, err := RunAblation("abl-nope", ablTiny()); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestAblRhoSeries(t *testing.T) {
+	cfg := ablTiny()
+	cfg.Sweep = []float64{1.1, 1.5}
+	res, err := RunAblation("abl-rho", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 { // weight and max_r
+		t.Fatalf("series: %+v", res.Series)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: %d points", s.Algorithm, len(s.Points))
+		}
+	}
+	// NOTE: weight is NOT monotone in rho — patient growth (small rho)
+	// builds bigger local solutions but removes bigger (r̄+1)-balls, which
+	// can cost more than it gains (the 1/rho guarantee is only a lower
+	// bound). We assert structure and positivity; the trade-off itself is
+	// the ablation's finding.
+	var weight, maxR Series
+	for _, s := range res.Series {
+		switch s.Algorithm {
+		case "weight":
+			weight = s
+		case "max_r":
+			maxR = s
+		}
+	}
+	if weight.Algorithm == "" || maxR.Algorithm == "" {
+		t.Fatal("expected weight and max_r series")
+	}
+	for _, p := range weight.Points {
+		if p.Mean <= 0 {
+			t.Errorf("non-positive weight at rho=%v", p.X)
+		}
+	}
+	// The growth radius must not increase with rho (stricter growth
+	// condition stops earlier).
+	if maxR.Points[0].Mean < maxR.Points[1].Mean {
+		t.Errorf("max_r rose with rho: %v -> %v", maxR.Points[0].Mean, maxR.Points[1].Mean)
+	}
+}
+
+func TestAblChannelsMonotone(t *testing.T) {
+	cfg := ablTiny()
+	cfg.Sweep = []float64{1, 4}
+	res, err := RunAblation("abl-channels", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	if pts[1].Mean < pts[0].Mean {
+		t.Errorf("4 channels (%v) below 1 channel (%v)", pts[1].Mean, pts[0].Mean)
+	}
+}
+
+func TestAblMobilityDecreasing(t *testing.T) {
+	cfg := ablTiny()
+	cfg.Trials = 3
+	cfg.Sweep = []float64{0, 6}
+	res, err := RunAblation("abl-mobility", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	if pts[0].Mean < 99.9 {
+		t.Errorf("zero speed retained %v%%, want 100", pts[0].Mean)
+	}
+	if pts[1].Mean >= pts[0].Mean {
+		t.Errorf("fast drift retained %v%% >= static %v%%", pts[1].Mean, pts[0].Mean)
+	}
+}
+
+func TestAblSurveyRendersEverywhere(t *testing.T) {
+	cfg := ablTiny()
+	cfg.Sweep = []float64{0, 4}
+	res, err := RunAblation("abl-survey", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, m, c, ch bytes.Buffer
+	if err := res.WriteASCII(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteMarkdown(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteChart(&ch); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || m.Len() == 0 || c.Len() == 0 || ch.Len() == 0 {
+		t.Error("a renderer produced no output")
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{
+		Trials: 2, Seed: 1, NumReaders: 20, NumTags: 300, Side: 80,
+		Sweep: []float64{8, 12},
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := RunFigure("fig99", tiny()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestFigureIDs(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for _, id := range ids {
+		if _, ok := figures[id]; !ok {
+			t.Errorf("id %s missing from registry", id)
+		}
+	}
+}
+
+func TestRunFigureOneShot(t *testing.T) {
+	res, err := RunFigure("fig9", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig9" || len(res.Series) != len(AlgNames) {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points, want 2", s.Algorithm, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.N != 2 {
+				t.Errorf("%s x=%v N=%d, want 2", s.Algorithm, p.X, p.N)
+			}
+			if p.Mean < 0 {
+				t.Errorf("%s negative mean", s.Algorithm)
+			}
+		}
+		if s.Points[0].X >= s.Points[1].X {
+			t.Errorf("%s points unsorted", s.Algorithm)
+		}
+	}
+}
+
+func TestRunFigureMCS(t *testing.T) {
+	cfg := tiny()
+	cfg.Algorithms = []string{"Alg2-Growth", "GHC"}
+	res, err := RunFigure("fig7", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Mean < 1 {
+				t.Errorf("%s schedule size %v < 1", s.Algorithm, p.Mean)
+			}
+		}
+	}
+}
+
+func TestRunFigureDeterministic(t *testing.T) {
+	cfg := tiny()
+	cfg.Algorithms = []string{"Alg2-Growth"}
+	a, err := RunFigure("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Points {
+			if a.Series[i].Points[j] != b.Series[i].Points[j] {
+				t.Fatalf("nondeterministic: %+v vs %+v", a.Series[i].Points[j], b.Series[i].Points[j])
+			}
+		}
+	}
+}
+
+// The headline comparison of the paper, at reduced scale: the proposed
+// algorithms must beat Colorwave on one-shot weight at every sweep point.
+func TestProposedBeatColorwave(t *testing.T) {
+	cfg := tiny()
+	cfg.Trials = 3
+	cfg.Algorithms = []string{"Alg2-Growth", "Colorwave"}
+	res, err := RunFigure("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := res.Series[0]
+	ca := res.Series[1]
+	for i := range growth.Points {
+		if growth.Points[i].Mean <= ca.Points[i].Mean {
+			t.Errorf("x=%v: Alg2 %.1f not above CA %.1f",
+				growth.Points[i].X, growth.Points[i].Mean, ca.Points[i].Mean)
+		}
+	}
+}
+
+func TestMakeSchedulerUnknown(t *testing.T) {
+	if _, err := makeScheduler("nope", nil, 1.25, 1); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	cfg := tiny()
+	cfg.FixedLambdaR = 9
+	cfg.FixedLambdaSmallR = 4
+	cfg.Algorithms = []string{"GHC"}
+	res, err := RunFigure("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series[0].Points) != 2 {
+		t.Fatal("override broke sweep")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := tiny()
+	cfg.Algorithms = []string{"Alg2-Growth", "GHC"}
+	res, err := RunFigure("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ascii, md, csv bytes.Buffer
+	if err := res.WriteASCII(&ascii); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "Alg2-Growth") {
+		t.Error("ascii missing series")
+	}
+	if !strings.Contains(md.String(), "| lambda_R |") {
+		t.Errorf("markdown header missing:\n%s", md.String())
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+2*2 { // header + 2 algs * 2 points
+		t.Errorf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[1], "fig9,Alg2-Growth,8,") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rfidsched/internal/tables"
+	"rfidsched/internal/viz"
+)
+
+// ToTable renders the figure as a wide table: one row per sweep value, one
+// column per algorithm (mean ± CI95), matching how the paper's figures are
+// read.
+func (f *FigureResult) ToTable() *tables.Table {
+	t := &tables.Table{Title: f.Title}
+	t.Header = append(t.Header, f.XLabel)
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s.Algorithm)
+	}
+	// Collect the x grid from the first non-empty series.
+	var xs []float64
+	for _, s := range f.Series {
+		if len(s.Points) > 0 {
+			for _, p := range s.Points {
+				xs = append(xs, p.X)
+			}
+			break
+		}
+	}
+	for _, x := range xs {
+		row := []any{x}
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.1f±%.1f", p.Mean, p.CI95)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// WriteASCII renders the figure to w as an aligned text table.
+func (f *FigureResult) WriteASCII(w io.Writer) error { return f.ToTable().WriteASCII(w) }
+
+// WriteMarkdown renders the figure to w as a Markdown table.
+func (f *FigureResult) WriteMarkdown(w io.Writer) error { return f.ToTable().WriteMarkdown(w) }
+
+// WriteChart renders the figure as an ASCII line chart — the closest
+// terminal analogue of the paper's plots.
+func (f *FigureResult) WriteChart(w io.Writer) error {
+	c := &viz.Chart{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		vs := viz.Series{Name: s.Algorithm}
+		for _, p := range s.Points {
+			vs.Points = append(vs.Points, viz.Point{X: p.X, Y: p.Mean})
+		}
+		c.Series = append(c.Series, vs)
+	}
+	return c.Render(w)
+}
+
+// WriteCSV renders the figure to w as CSV in long form (algorithm, x, mean,
+// ci95, n) — friendlier for downstream plotting than the wide table.
+func (f *FigureResult) WriteCSV(w io.Writer) error {
+	t := &tables.Table{Header: []string{"figure", "algorithm", "x", "mean", "ci95", "n"}}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			t.Add(f.ID, s.Algorithm, p.X, p.Mean, p.CI95, p.N)
+		}
+	}
+	return t.WriteCSV(w)
+}

@@ -1,0 +1,106 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Disk is a closed disk in the plane. In the RFID model a reader owns two
+// concentric disks: its interference disk (radius R_i) and its interrogation
+// disk (radius r_i = beta*R_i).
+type Disk struct {
+	Center Point
+	R      float64
+}
+
+// D is shorthand for Disk{Center: Pt(x, y), R: r}.
+func D(x, y, r float64) Disk { return Disk{Center: Pt(x, y), R: r} }
+
+// Contains reports whether p lies inside or on the boundary of d.
+func (d Disk) Contains(p Point) bool {
+	return d.Center.Dist2(p) <= d.R*d.R
+}
+
+// ContainsStrict reports whether p lies strictly inside d.
+func (d Disk) ContainsStrict(p Point) bool {
+	return d.Center.Dist2(p) < d.R*d.R
+}
+
+// Intersects reports whether d and e share at least one point.
+func (d Disk) Intersects(e Disk) bool {
+	s := d.R + e.R
+	return d.Center.Dist2(e.Center) <= s*s
+}
+
+// ContainsDisk reports whether e is entirely inside d (boundaries allowed to
+// touch).
+func (d Disk) ContainsDisk(e Disk) bool {
+	if e.R > d.R {
+		return false
+	}
+	return d.Center.Dist(e.Center)+e.R <= d.R+1e-12
+}
+
+// Area returns the area of the disk.
+func (d Disk) Area() float64 { return math.Pi * d.R * d.R }
+
+// Bounds returns the axis-aligned bounding box of d.
+func (d Disk) Bounds() Rect {
+	return Rect{
+		Min: Pt(d.Center.X-d.R, d.Center.Y-d.R),
+		Max: Pt(d.Center.X+d.R, d.Center.Y+d.R),
+	}
+}
+
+// LensArea returns the area of the intersection of d and e (the "lens").
+// It is used by deployment diagnostics to estimate expected RRc overlap.
+func (d Disk) LensArea(e Disk) float64 {
+	dist := d.Center.Dist(e.Center)
+	if dist >= d.R+e.R {
+		return 0
+	}
+	small, big := d, e
+	if small.R > big.R {
+		small, big = big, small
+	}
+	if dist+small.R <= big.R {
+		return small.Area()
+	}
+	r1, r2 := d.R, e.R
+	// Standard circular-lens formula.
+	d2 := dist * dist
+	a1 := r1 * r1 * math.Acos(clamp((d2+r1*r1-r2*r2)/(2*dist*r1), -1, 1))
+	a2 := r2 * r2 * math.Acos(clamp((d2+r2*r2-r1*r1)/(2*dist*r2), -1, 1))
+	k := (-dist + r1 + r2) * (dist + r1 - r2) * (dist - r1 + r2) * (dist + r1 + r2)
+	if k < 0 {
+		k = 0
+	}
+	return a1 + a2 - 0.5*math.Sqrt(k)
+}
+
+// HitsVerticalLine reports whether the disk "hits" the vertical line x = a
+// in the paper's sense: a-R < x <= a+R.
+func (d Disk) HitsVerticalLine(a float64) bool {
+	return a-d.R < d.Center.X && d.Center.X <= a+d.R
+}
+
+// HitsHorizontalLine reports whether the disk hits the horizontal line y = b:
+// b-R < y <= b+R.
+func (d Disk) HitsHorizontalLine(b float64) bool {
+	return b-d.R < d.Center.Y && d.Center.Y <= b+d.R
+}
+
+// String implements fmt.Stringer.
+func (d Disk) String() string {
+	return fmt.Sprintf("Disk{%v r=%.4g}", d.Center, d.R)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiskContains(t *testing.T) {
+	d := D(0, 0, 5)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(5, 0), true}, // boundary is inside (closed disk)
+		{Pt(3, 4), true}, // exactly on boundary
+		{Pt(5.01, 0), false},
+		{Pt(4, 4), false},
+	}
+	for _, c := range cases {
+		if got := d.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if d.ContainsStrict(Pt(5, 0)) {
+		t.Error("ContainsStrict includes boundary")
+	}
+}
+
+func TestDiskIntersects(t *testing.T) {
+	a := D(0, 0, 1)
+	if !a.Intersects(D(1.5, 0, 1)) {
+		t.Error("overlapping disks reported disjoint")
+	}
+	if !a.Intersects(D(2, 0, 1)) {
+		t.Error("tangent disks should intersect (closed)")
+	}
+	if a.Intersects(D(2.001, 0, 1)) {
+		t.Error("disjoint disks reported intersecting")
+	}
+}
+
+func TestDiskContainsDisk(t *testing.T) {
+	big := D(0, 0, 10)
+	if !big.ContainsDisk(D(2, 2, 3)) {
+		t.Error("inner disk not contained")
+	}
+	if !big.ContainsDisk(D(0, 0, 10)) {
+		t.Error("identical disk not contained")
+	}
+	if big.ContainsDisk(D(8, 0, 3)) {
+		t.Error("protruding disk reported contained")
+	}
+}
+
+func TestDiskArea(t *testing.T) {
+	if a := D(0, 0, 2).Area(); math.Abs(a-4*math.Pi) > 1e-12 {
+		t.Errorf("Area = %v", a)
+	}
+}
+
+func TestDiskBounds(t *testing.T) {
+	b := D(1, 2, 3).Bounds()
+	want := R2(-2, -1, 4, 5)
+	if b != want {
+		t.Errorf("Bounds = %v, want %v", b, want)
+	}
+}
+
+func TestLensAreaDisjoint(t *testing.T) {
+	if a := D(0, 0, 1).LensArea(D(5, 0, 1)); a != 0 {
+		t.Errorf("disjoint lens area = %v", a)
+	}
+}
+
+func TestLensAreaContained(t *testing.T) {
+	small := D(0.5, 0, 1)
+	big := D(0, 0, 4)
+	if a := big.LensArea(small); math.Abs(a-small.Area()) > 1e-9 {
+		t.Errorf("contained lens area = %v, want %v", a, small.Area())
+	}
+}
+
+func TestLensAreaHalfOverlap(t *testing.T) {
+	// Two unit disks with centers at distance 0; lens = full disk area.
+	a := D(0, 0, 1)
+	b := D(1e-12, 0, 1)
+	if got := a.LensArea(b); math.Abs(got-math.Pi) > 1e-4 {
+		t.Errorf("coincident lens area = %v, want pi", got)
+	}
+}
+
+func TestLensAreaSymmetric(t *testing.T) {
+	f := func(x1, y1, r1, x2, y2, r2 float64) bool {
+		if anyBad(x1, y1, r1, x2, y2, r2) {
+			return true
+		}
+		a := D(x1, y1, math.Abs(r1)+0.1)
+		b := D(x2, y2, math.Abs(r2)+0.1)
+		return relClose(a.LensArea(b), b.LensArea(a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLensAreaBounded(t *testing.T) {
+	f := func(x1, y1, r1, x2, y2, r2 float64) bool {
+		if anyBad(x1, y1, r1, x2, y2, r2) {
+			return true
+		}
+		a := D(x1, y1, math.Mod(math.Abs(r1), 100)+0.1)
+		b := D(x2, y2, math.Mod(math.Abs(r2), 100)+0.1)
+		lens := a.LensArea(b)
+		if lens < -1e-9 {
+			return false
+		}
+		maxA := math.Min(a.Area(), b.Area())
+		return lens <= maxA+1e-6*maxA+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiskHitsLines(t *testing.T) {
+	d := D(5, 5, 1)
+	if !d.HitsVerticalLine(5.5) {
+		t.Error("should hit x=5.5")
+	}
+	if !d.HitsVerticalLine(4) { // 4-1 < 5 <= 4+1: boundary of half-open interval
+		t.Error("should hit x=4 (half-open hit definition)")
+	}
+	if d.HitsVerticalLine(6) { // 6-1 < 5 is false: center exactly at a-R
+		t.Error("should not hit x=6 (half-open hit definition)")
+	}
+	if d.HitsVerticalLine(3.9) { // 3.9+1 < 5
+		t.Error("should not hit x=3.9")
+	}
+	if !d.HitsHorizontalLine(4.5) {
+		t.Error("should hit y=4.5")
+	}
+	if d.HitsHorizontalLine(7) {
+		t.Error("should not hit y=7")
+	}
+}
+
+func TestDiskString(t *testing.T) {
+	if D(0, 0, 1).String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp misbehaves")
+	}
+}

@@ -1,0 +1,145 @@
+package geom
+
+import "math"
+
+// SpatialGrid is a uniform-grid spatial index over a fixed set of points.
+// It answers "which point IDs lie within disk d" queries in expected time
+// proportional to the number of candidate cells, which makes coverage-list
+// construction O(n + m) for the deployments used in the paper instead of
+// O(n*m).
+//
+// The grid is built once and then read-only, so it is safe for concurrent
+// queries.
+type SpatialGrid struct {
+	cell   float64
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	points []Point
+	// buckets[row*cols+col] lists the indices of points in that cell.
+	buckets [][]int32
+}
+
+// NewSpatialGrid indexes pts with the given cell size. Cell size must be
+// positive; a good default is the median query radius. The points slice is
+// retained (not copied) and must not be mutated afterwards.
+func NewSpatialGrid(pts []Point, cell float64) *SpatialGrid {
+	if cell <= 0 {
+		cell = 1
+	}
+	g := &SpatialGrid{cell: cell, points: pts}
+	if len(pts) == 0 {
+		g.cols, g.rows = 1, 1
+		g.buckets = make([][]int32, 1)
+		return g
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	g.minX, g.minY = minX, minY
+	g.cols = int((maxX-minX)/cell) + 1
+	g.rows = int((maxY-minY)/cell) + 1
+	g.buckets = make([][]int32, g.cols*g.rows)
+	for i, p := range pts {
+		c := g.cellIndex(p)
+		g.buckets[c] = append(g.buckets[c], int32(i))
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *SpatialGrid) Len() int { return len(g.points) }
+
+func (g *SpatialGrid) cellIndex(p Point) int {
+	col := int((p.X - g.minX) / g.cell)
+	row := int((p.Y - g.minY) / g.cell)
+	if col < 0 {
+		col = 0
+	} else if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	} else if row >= g.rows {
+		row = g.rows - 1
+	}
+	return row*g.cols + col
+}
+
+// QueryDisk appends to dst the indices of all points within disk d (boundary
+// inclusive) and returns the extended slice. Results are in unspecified
+// order.
+func (g *SpatialGrid) QueryDisk(d Disk, dst []int32) []int32 {
+	if len(g.points) == 0 {
+		return dst
+	}
+	c0 := int(math.Floor((d.Center.X - d.R - g.minX) / g.cell))
+	c1 := int(math.Floor((d.Center.X + d.R - g.minX) / g.cell))
+	r0 := int(math.Floor((d.Center.Y - d.R - g.minY) / g.cell))
+	r1 := int(math.Floor((d.Center.Y + d.R - g.minY) / g.cell))
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c1 >= g.cols {
+		c1 = g.cols - 1
+	}
+	if r1 >= g.rows {
+		r1 = g.rows - 1
+	}
+	rr := d.R * d.R
+	for row := r0; row <= r1; row++ {
+		base := row * g.cols
+		for col := c0; col <= c1; col++ {
+			for _, idx := range g.buckets[base+col] {
+				if g.points[idx].Dist2(d.Center) <= rr {
+					dst = append(dst, idx)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// QueryRect appends to dst the indices of all points inside rectangle r
+// (boundary inclusive) and returns the extended slice.
+func (g *SpatialGrid) QueryRect(r Rect, dst []int32) []int32 {
+	if len(g.points) == 0 {
+		return dst
+	}
+	c0 := int(math.Floor((r.Min.X - g.minX) / g.cell))
+	c1 := int(math.Floor((r.Max.X - g.minX) / g.cell))
+	r0 := int(math.Floor((r.Min.Y - g.minY) / g.cell))
+	r1 := int(math.Floor((r.Max.Y - g.minY) / g.cell))
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c1 >= g.cols {
+		c1 = g.cols - 1
+	}
+	if r1 >= g.rows {
+		r1 = g.rows - 1
+	}
+	for row := r0; row <= r1; row++ {
+		base := row * g.cols
+		for col := c0; col <= c1; col++ {
+			for _, idx := range g.buckets[base+col] {
+				if r.Contains(g.points[idx]) {
+					dst = append(dst, idx)
+				}
+			}
+		}
+	}
+	return dst
+}

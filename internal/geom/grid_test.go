@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomPoints(n int, side float64, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return pts
+}
+
+func bruteDisk(pts []Point, d Disk) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if d.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func bruteRect(pts []Point, r Rect) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if r.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sortIDs(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpatialGridMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 100, 1)
+	g := NewSpatialGrid(pts, 7)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		d := D(rng.Float64()*100, rng.Float64()*100, rng.Float64()*20)
+		got := g.QueryDisk(d, nil)
+		want := bruteDisk(pts, d)
+		sortIDs(got)
+		sortIDs(want)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %v: got %d ids, want %d", d, len(got), len(want))
+		}
+	}
+}
+
+func TestSpatialGridRectMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 100, 3)
+	g := NewSpatialGrid(pts, 4)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		r := R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)
+		got := g.QueryRect(r, nil)
+		want := bruteRect(pts, r)
+		sortIDs(got)
+		sortIDs(want)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %v: got %d ids, want %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestSpatialGridEmpty(t *testing.T) {
+	g := NewSpatialGrid(nil, 5)
+	if g.Len() != 0 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if got := g.QueryDisk(D(0, 0, 10), nil); len(got) != 0 {
+		t.Errorf("query on empty grid returned %v", got)
+	}
+	if got := g.QueryRect(R2(0, 0, 1, 1), nil); len(got) != 0 {
+		t.Errorf("rect query on empty grid returned %v", got)
+	}
+}
+
+func TestSpatialGridSinglePoint(t *testing.T) {
+	g := NewSpatialGrid([]Point{Pt(5, 5)}, 3)
+	if got := g.QueryDisk(D(5, 5, 0.1), nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("got %v", got)
+	}
+	if got := g.QueryDisk(D(50, 50, 1), nil); len(got) != 0 {
+		t.Errorf("far query got %v", got)
+	}
+}
+
+func TestSpatialGridNonPositiveCell(t *testing.T) {
+	// Must not panic; falls back to a default cell size.
+	g := NewSpatialGrid([]Point{Pt(0, 0), Pt(1, 1)}, -3)
+	if got := g.QueryDisk(D(0, 0, 2), nil); len(got) != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSpatialGridQueryBeyondBounds(t *testing.T) {
+	pts := randomPoints(100, 10, 7)
+	g := NewSpatialGrid(pts, 2)
+	// Huge disk covering everything, centered far outside the data extent.
+	got := g.QueryDisk(D(-1000, -1000, 5000), nil)
+	if len(got) != len(pts) {
+		t.Errorf("got %d, want %d", len(got), len(pts))
+	}
+}
+
+func TestSpatialGridAppendSemantics(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0)}
+	g := NewSpatialGrid(pts, 1)
+	dst := make([]int32, 0, 4)
+	dst = append(dst, 99)
+	out := g.QueryDisk(D(0, 0, 5), dst)
+	if out[0] != 99 || len(out) != 3 {
+		t.Errorf("append semantics broken: %v", out)
+	}
+}

@@ -1,0 +1,126 @@
+package geom
+
+import "sort"
+
+// KDTree is a 2-d tree over a fixed point set — the alternative spatial
+// index to SpatialGrid. The grid wins on uniform paper-scale deployments;
+// the tree wins when densities are wildly non-uniform (hotspot layouts) or
+// query radii vary by orders of magnitude, because its depth adapts to the
+// data rather than to a fixed cell size. BenchmarkSpatialIndex compares
+// them; model.NewSystem uses the grid by default.
+//
+// The tree is built once and read-only afterwards, safe for concurrent
+// queries.
+type KDTree struct {
+	points []Point
+	// nodes store point indices in build order; node i's children are
+	// implicit via the recursion bounds kept in-line (slice-based kd-tree:
+	// idx is a permutation of point indices; each recursion level owns a
+	// contiguous segment with its median at the middle).
+	idx []int32
+}
+
+// NewKDTree builds a tree over pts. The pts slice is retained and must not
+// be mutated afterwards.
+func NewKDTree(pts []Point) *KDTree {
+	t := &KDTree{points: pts, idx: make([]int32, len(pts))}
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	t.build(0, len(t.idx), 0)
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.points) }
+
+// build arranges idx[lo:hi) so the median by the split axis sits at mid,
+// recursively.
+func (t *KDTree) build(lo, hi, axis int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := (lo + hi) / 2
+	seg := t.idx[lo:hi]
+	nth := mid - lo
+	// Partial selection sort of the median via sort.Slice on the segment:
+	// simple and fine for a build-once structure.
+	sort.Slice(seg, func(a, b int) bool {
+		pa, pb := t.points[seg[a]], t.points[seg[b]]
+		if axis == 0 {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	_ = nth
+	t.build(lo, mid, 1-axis)
+	t.build(mid+1, hi, 1-axis)
+}
+
+// QueryDisk appends the indices of all points within d (boundary inclusive)
+// and returns the extended slice.
+func (t *KDTree) QueryDisk(d Disk, dst []int32) []int32 {
+	return t.query(0, len(t.idx), 0, d, dst)
+}
+
+func (t *KDTree) query(lo, hi, axis int, d Disk, dst []int32) []int32 {
+	if lo >= hi {
+		return dst
+	}
+	mid := (lo + hi) / 2
+	p := t.points[t.idx[mid]]
+	if d.Contains(p) {
+		dst = append(dst, t.idx[mid])
+	}
+	var coord, center float64
+	if axis == 0 {
+		coord, center = p.X, d.Center.X
+	} else {
+		coord, center = p.Y, d.Center.Y
+	}
+	if center-d.R <= coord {
+		dst = t.query(lo, mid, 1-axis, d, dst)
+	}
+	if center+d.R >= coord {
+		dst = t.query(mid+1, hi, 1-axis, d, dst)
+	}
+	return dst
+}
+
+// Nearest returns the index of the nearest point to q and its distance
+// (squared); (-1, 0) on an empty tree.
+func (t *KDTree) Nearest(q Point) (int, float64) {
+	if len(t.points) == 0 {
+		return -1, 0
+	}
+	best := -1
+	bestD2 := 0.0
+	var rec func(lo, hi, axis int)
+	rec = func(lo, hi, axis int) {
+		if lo >= hi {
+			return
+		}
+		mid := (lo + hi) / 2
+		p := t.points[t.idx[mid]]
+		d2 := p.Dist2(q)
+		if best < 0 || d2 < bestD2 {
+			best, bestD2 = int(t.idx[mid]), d2
+		}
+		var diff float64
+		if axis == 0 {
+			diff = q.X - p.X
+		} else {
+			diff = q.Y - p.Y
+		}
+		near, far := [2]int{lo, mid}, [2]int{mid + 1, hi}
+		if diff > 0 {
+			near, far = far, near
+		}
+		rec(near[0], near[1], 1-axis)
+		if diff*diff < bestD2 {
+			rec(far[0], far[1], 1-axis)
+		}
+	}
+	rec(0, len(t.idx), 0)
+	return best, bestD2
+}

@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(400, 100, 21)
+	tree := NewKDTree(pts)
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 200; i++ {
+		d := D(rng.Float64()*100, rng.Float64()*100, rng.Float64()*25)
+		got := tree.QueryDisk(d, nil)
+		want := bruteDisk(pts, d)
+		sortIDs(got)
+		sortIDs(want)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %v: got %d, want %d", d, len(got), len(want))
+		}
+	}
+}
+
+func TestKDTreeMatchesGrid(t *testing.T) {
+	pts := randomPoints(300, 60, 23)
+	tree := NewKDTree(pts)
+	grid := NewSpatialGrid(pts, 5)
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 100; i++ {
+		d := D(rng.Float64()*60, rng.Float64()*60, rng.Float64()*15)
+		a := tree.QueryDisk(d, nil)
+		b := grid.QueryDisk(d, nil)
+		sortIDs(a)
+		sortIDs(b)
+		if !equalIDs(a, b) {
+			t.Fatalf("tree and grid disagree on %v: %d vs %d", d, len(a), len(b))
+		}
+	}
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	tree := NewKDTree(nil)
+	if tree.Len() != 0 {
+		t.Error("empty length")
+	}
+	if got := tree.QueryDisk(D(0, 0, 10), nil); len(got) != 0 {
+		t.Errorf("empty query = %v", got)
+	}
+	if i, _ := tree.Nearest(Pt(0, 0)); i != -1 {
+		t.Errorf("empty nearest = %d", i)
+	}
+}
+
+func TestKDTreeSinglePoint(t *testing.T) {
+	tree := NewKDTree([]Point{Pt(3, 4)})
+	if got := tree.QueryDisk(D(0, 0, 5), nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("got %v", got)
+	}
+	if got := tree.QueryDisk(D(0, 0, 4.9), nil); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+	i, d2 := tree.Nearest(Pt(0, 0))
+	if i != 0 || d2 != 25 {
+		t.Errorf("nearest = %d, %v", i, d2)
+	}
+}
+
+func TestKDTreeNearestMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(300, 80, 25)
+	tree := NewKDTree(pts)
+	rng := rand.New(rand.NewSource(26))
+	for i := 0; i < 300; i++ {
+		q := Pt(rng.Float64()*80, rng.Float64()*80)
+		gotIdx, gotD2 := tree.Nearest(q)
+		bestIdx, bestD2 := -1, 0.0
+		for j, p := range pts {
+			if d2 := p.Dist2(q); bestIdx < 0 || d2 < bestD2 {
+				bestIdx, bestD2 = j, d2
+			}
+		}
+		if gotD2 != bestD2 {
+			t.Fatalf("nearest(%v) = %d (%v), want %d (%v)", q, gotIdx, gotD2, bestIdx, bestD2)
+		}
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1), Pt(2, 2)}
+	tree := NewKDTree(pts)
+	got := tree.QueryDisk(D(1, 1, 0.5), nil)
+	if len(got) != 3 {
+		t.Errorf("duplicates: got %v", got)
+	}
+}
+
+func TestKDTreeAppendSemantics(t *testing.T) {
+	tree := NewKDTree([]Point{Pt(0, 0)})
+	dst := []int32{7}
+	out := tree.QueryDisk(D(0, 0, 1), dst)
+	if len(out) != 2 || out[0] != 7 {
+		t.Errorf("append semantics: %v", out)
+	}
+}

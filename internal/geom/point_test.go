@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := Pt(1, 1).Dist(Pt(1, 1)); d != 0 {
+		t.Errorf("Dist to self = %v", d)
+	}
+}
+
+func TestPointNorm(t *testing.T) {
+	if n := Pt(3, 4).Norm(); math.Abs(n-5) > 1e-12 {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+}
+
+func TestPointIsFinite(t *testing.T) {
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	if Pt(math.NaN(), 0).IsFinite() {
+		t.Error("NaN point reported finite")
+	}
+	if Pt(0, math.Inf(1)).IsFinite() {
+		t.Error("Inf point reported finite")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt(1, 2).String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: distance is symmetric and Dist2 == Dist^2.
+func TestPointDistProperties(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if anyBad(ax, ay, bx, by) {
+			return true
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		d1, d2 := a.Dist(b), b.Dist(a)
+		if d1 != d2 {
+			return false
+		}
+		return relClose(d1*d1, a.Dist2(b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality.
+func TestPointTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		if anyBad(ax, ay, bx, by, cx, cy) {
+			return true
+		}
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9*(1+a.Dist(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return true
+		}
+	}
+	return false
+}
+
+func relClose(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,98 @@
+package geom
+
+import "fmt"
+
+// Rect is a closed axis-aligned rectangle [Min.X, Max.X] x [Min.Y, Max.Y].
+type Rect struct {
+	Min, Max Point
+}
+
+// R2 is shorthand for a rectangle from (x0,y0) to (x1,y1). Coordinates are
+// normalized so Min <= Max componentwise.
+func R2(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Pt(x0, y0), Max: Pt(x1, y1)}
+}
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of the rectangle.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of the rectangle.
+func (r Rect) Center() Point {
+	return Pt((r.Min.X+r.Max.X)/2, (r.Min.Y+r.Max.Y)/2)
+}
+
+// Contains reports whether p is inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsStrict reports whether p is strictly inside r.
+func (r Rect) ContainsStrict(p Point) bool {
+	return p.X > r.Min.X && p.X < r.Max.X && p.Y > r.Min.Y && p.Y < r.Max.Y
+}
+
+// Intersects reports whether r and s overlap (touching boundaries count).
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// ContainsDisk reports whether disk d lies entirely within r, boundary
+// touches allowed.
+func (r Rect) ContainsDisk(d Disk) bool {
+	return d.Center.X-d.R >= r.Min.X && d.Center.X+d.R <= r.Max.X &&
+		d.Center.Y-d.R >= r.Min.Y && d.Center.Y+d.R <= r.Max.Y
+}
+
+// IntersectsDisk reports whether disk d and rectangle r share a point.
+func (r Rect) IntersectsDisk(d Disk) bool {
+	// Distance from disk center to the rectangle.
+	dx := 0.0
+	if d.Center.X < r.Min.X {
+		dx = r.Min.X - d.Center.X
+	} else if d.Center.X > r.Max.X {
+		dx = d.Center.X - r.Max.X
+	}
+	dy := 0.0
+	if d.Center.Y < r.Min.Y {
+		dy = r.Min.Y - d.Center.Y
+	} else if d.Center.Y > r.Max.Y {
+		dy = d.Center.Y - r.Max.Y
+	}
+	return dx*dx+dy*dy <= d.R*d.R
+}
+
+// DiskCrossesBoundary reports whether disk d intersects the boundary of r,
+// i.e. d has points both inside and outside of r. A disk entirely inside or
+// entirely outside does not cross.
+func (r Rect) DiskCrossesBoundary(d Disk) bool {
+	return r.IntersectsDisk(d) && !r.ContainsDisk(d)
+}
+
+// Expand returns r grown by m on every side.
+func (r Rect) Expand(m float64) Rect {
+	return Rect{Min: Pt(r.Min.X-m, r.Min.Y-m), Max: Pt(r.Max.X+m, r.Max.Y+m)}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("Rect[%v %v]", r.Min, r.Max)
+}

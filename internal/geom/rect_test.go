@@ -1,0 +1,121 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestR2Normalizes(t *testing.T) {
+	r := R2(5, 7, 1, 2)
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
+		t.Errorf("R2 did not normalize: %v", r)
+	}
+}
+
+func TestRectDims(t *testing.T) {
+	r := R2(0, 0, 4, 3)
+	if r.Width() != 4 || r.Height() != 3 || r.Area() != 12 {
+		t.Errorf("dims wrong: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+	if r.Center() != Pt(2, 1.5) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R2(0, 0, 10, 10)
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 10)) || !r.Contains(Pt(5, 5)) {
+		t.Error("Contains misses inside/boundary points")
+	}
+	if r.Contains(Pt(-0.1, 5)) || r.Contains(Pt(5, 10.1)) {
+		t.Error("Contains accepts outside points")
+	}
+	if r.ContainsStrict(Pt(0, 5)) {
+		t.Error("ContainsStrict accepts boundary")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := R2(0, 0, 2, 2)
+	if !a.Intersects(R2(1, 1, 3, 3)) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	if !a.Intersects(R2(2, 0, 4, 2)) {
+		t.Error("touching rects should intersect")
+	}
+	if a.Intersects(R2(2.1, 0, 4, 2)) {
+		t.Error("disjoint rects reported intersecting")
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := R2(0, 0, 10, 10)
+	if !outer.ContainsRect(R2(1, 1, 9, 9)) || !outer.ContainsRect(outer) {
+		t.Error("ContainsRect misses contained rects")
+	}
+	if outer.ContainsRect(R2(5, 5, 11, 9)) {
+		t.Error("ContainsRect accepts protruding rect")
+	}
+}
+
+func TestRectDiskPredicates(t *testing.T) {
+	r := R2(0, 0, 10, 10)
+	inside := D(5, 5, 2)
+	crossing := D(0.5, 5, 2)
+	outside := D(20, 20, 2)
+	touching := D(12, 5, 2)
+
+	if !r.ContainsDisk(inside) {
+		t.Error("inside disk not contained")
+	}
+	if r.ContainsDisk(crossing) {
+		t.Error("crossing disk reported contained")
+	}
+	if !r.IntersectsDisk(inside) || !r.IntersectsDisk(crossing) {
+		t.Error("IntersectsDisk misses")
+	}
+	if r.IntersectsDisk(outside) {
+		t.Error("IntersectsDisk accepts far disk")
+	}
+	if !r.IntersectsDisk(touching) {
+		t.Error("tangent disk should intersect (closed)")
+	}
+	if !r.DiskCrossesBoundary(crossing) {
+		t.Error("crossing disk should cross boundary")
+	}
+	if r.DiskCrossesBoundary(inside) || r.DiskCrossesBoundary(outside) {
+		t.Error("non-crossing disk reported as crossing")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := R2(0, 0, 2, 2).Expand(1)
+	if r != R2(-1, -1, 3, 3) {
+		t.Errorf("Expand = %v", r)
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if R2(0, 0, 1, 1).String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: a disk fully contained in a rect intersects it and does not
+// cross its boundary.
+func TestRectDiskConsistency(t *testing.T) {
+	f := func(cx, cy, r float64) bool {
+		if anyBad(cx, cy, r) {
+			return true
+		}
+		rect := R2(-100, -100, 100, 100)
+		d := D(clamp(cx, -99, 99), clamp(cy, -99, 99), clamp(r, 0.01, 0.5))
+		if !rect.ContainsDisk(d) {
+			return true // not the case under test
+		}
+		return rect.IntersectsDisk(d) && !rect.DiskCrossesBoundary(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package geom
+
+import "math"
+
+// ShiftGrid is the (r,s)-shifted hierarchical subdivision used by the PTAS
+// of Algorithm 1. After the interference radii are scaled so the largest
+// radius is 1/2, disks are binned into levels
+//
+//	level j:  1/(k+1)^(j+1) < 2R <= 1/(k+1)^j
+//
+// and for each level j the plane carries grid lines with spacing
+// u_j = 1/(k+1)^j. The (r,s)-shifting keeps only vertical lines whose index
+// is congruent to r (mod k) and horizontal lines congruent to s (mod k), so
+// a j-square has side k*u_j. Erlebach et al. (SODA'01) observed — and the
+// paper relies on — the fact that every shifted line at level j is also a
+// shifted line at level j+1, hence each j-square decomposes exactly into
+// (k+1)^2 child (j+1)-squares.
+type ShiftGrid struct {
+	K int // shift parameter k >= 2; the PTAS loses a (1-1/k)^2 factor
+	R int // vertical shifting index, 0 <= R < K
+	S int // horizontal shifting index, 0 <= S < K
+}
+
+// Spacing returns u_level = 1/(k+1)^level, the distance between consecutive
+// (unshifted) grid lines at the given level.
+func (g ShiftGrid) Spacing(level int) float64 {
+	return math.Pow(float64(g.K+1), -float64(level))
+}
+
+// SquareSide returns the side length of a level square: k * u_level.
+func (g ShiftGrid) SquareSide(level int) float64 {
+	return float64(g.K) * g.Spacing(level)
+}
+
+// DiskLevel returns the level of a disk of radius r under shift parameter k,
+// i.e. floor(log_{k+1}(1/(2r))). Radii must satisfy 0 < r <= 1/2 (callers
+// scale the instance first). A small relative tolerance absorbs floating-
+// point error at bin boundaries.
+func DiskLevel(r float64, k int) int {
+	if r <= 0 {
+		return 0
+	}
+	l := math.Log(1/(2*r)) / math.Log(float64(k+1))
+	lv := int(math.Floor(l + 1e-9))
+	if lv < 0 {
+		lv = 0
+	}
+	return lv
+}
+
+// SquareIndex returns the (ix, iy) index of the level-j square of the
+// shifting that contains p. The square with index a spans
+// x in [(r+a*k)*u_j, (r+(a+1)*k)*u_j) and analogously for y with s.
+func (g ShiftGrid) SquareIndex(p Point, level int) (ix, iy int) {
+	u := g.Spacing(level)
+	ix = int(math.Floor((p.X/u - float64(g.R)) / float64(g.K)))
+	iy = int(math.Floor((p.Y/u - float64(g.S)) / float64(g.K)))
+	return ix, iy
+}
+
+// SquareRect returns the rectangle of the level square with the given index.
+func (g ShiftGrid) SquareRect(level, ix, iy int) Rect {
+	u := g.Spacing(level)
+	x0 := (float64(g.R) + float64(ix)*float64(g.K)) * u
+	y0 := (float64(g.S) + float64(iy)*float64(g.K)) * u
+	side := float64(g.K) * u
+	return Rect{Min: Pt(x0, y0), Max: Pt(x0+side, y0+side)}
+}
+
+// Survives reports whether a disk of the given level survives the shifting:
+// it does not intersect the boundary of the level square containing its
+// center (and therefore of any level square). Survive disks are entirely
+// inside exactly one square of their level.
+func (g ShiftGrid) Survives(d Disk, level int) bool {
+	ix, iy := g.SquareIndex(d.Center, level)
+	sq := g.SquareRect(level, ix, iy)
+	return d.Center.X-d.R > sq.Min.X && d.Center.X+d.R < sq.Max.X &&
+		d.Center.Y-d.R > sq.Min.Y && d.Center.Y+d.R < sq.Max.Y
+}
+
+// ChildIndexRange maps a square index at level j to the inclusive range of
+// child square indices at level j+1 along the same axis. Every j-square has
+// exactly (k+1) children per axis; the same formula applies to x indices
+// (using R) and y indices (using S) because the derivation
+// a' = a*(k+1) + shift is shift-symmetric.
+func (g ShiftGrid) ChildIndexRange(idx int, shift int) (lo, hi int) {
+	lo = idx*(g.K+1) + shift
+	return lo, lo + g.K
+}
+
+// ChildXRange returns the child index range along x for a level-j square.
+func (g ShiftGrid) ChildXRange(ix int) (lo, hi int) { return g.ChildIndexRange(ix, g.R) }
+
+// ChildYRange returns the child index range along y for a level-j square.
+func (g ShiftGrid) ChildYRange(iy int) (lo, hi int) { return g.ChildIndexRange(iy, g.S) }
+
+// ParentIndex maps a level-(j+1) square index back to its level-j parent
+// index along one axis (inverse of ChildIndexRange).
+func (g ShiftGrid) ParentIndex(idx int, shift int) int {
+	return floorDiv(idx-shift, g.K+1)
+}
+
+// ParentX returns the parent x index of a child x index.
+func (g ShiftGrid) ParentX(ix int) int { return g.ParentIndex(ix, g.R) }
+
+// ParentY returns the parent y index of a child y index.
+func (g ShiftGrid) ParentY(iy int) int { return g.ParentIndex(iy, g.S) }
+
+// floorDiv returns floor(a/b) for b > 0, correct for negative a.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiskLevelBins(t *testing.T) {
+	k := 3
+	// Level 0: 1/(k+1) < 2R <= 1  =>  1/8 < R <= 1/2.
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0.5, 0},
+		{0.2, 0},
+		{0.126, 0},
+		{0.124, 1}, // 2R = 0.248 <= 1/4
+		{0.5 / 4, 1},
+		{0.5 / 16, 2},
+		{0.5 / 64, 3},
+	}
+	for _, c := range cases {
+		if got := DiskLevel(c.r, k); got != c.want {
+			t.Errorf("DiskLevel(%v, %d) = %d, want %d", c.r, k, got, c.want)
+		}
+	}
+}
+
+func TestDiskLevelBoundary(t *testing.T) {
+	// Exactly 2R = 1/(k+1)^j belongs to level j (right-closed bins).
+	k := 3
+	for j := 0; j <= 4; j++ {
+		r := 0.5 * math.Pow(float64(k+1), -float64(j))
+		if got := DiskLevel(r, k); got != j {
+			t.Errorf("boundary radius for level %d classified as %d", j, got)
+		}
+	}
+}
+
+func TestDiskLevelDegenerate(t *testing.T) {
+	if DiskLevel(0, 3) != 0 || DiskLevel(-1, 3) != 0 {
+		t.Error("non-positive radius should map to level 0")
+	}
+}
+
+func TestSpacingAndSide(t *testing.T) {
+	g := ShiftGrid{K: 3}
+	if g.Spacing(0) != 1 {
+		t.Errorf("Spacing(0) = %v", g.Spacing(0))
+	}
+	if math.Abs(g.Spacing(2)-1.0/16) > 1e-15 {
+		t.Errorf("Spacing(2) = %v", g.Spacing(2))
+	}
+	if math.Abs(g.SquareSide(1)-3.0/4) > 1e-15 {
+		t.Errorf("SquareSide(1) = %v", g.SquareSide(1))
+	}
+}
+
+func TestSquareIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for k := 2; k <= 5; k++ {
+		for r := 0; r < k; r++ {
+			for s := 0; s < k; s++ {
+				g := ShiftGrid{K: k, R: r, S: s}
+				for i := 0; i < 50; i++ {
+					p := Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+					for level := 0; level <= 3; level++ {
+						ix, iy := g.SquareIndex(p, level)
+						rect := g.SquareRect(level, ix, iy)
+						if !rect.Contains(p) {
+							t.Fatalf("k=%d (r,s)=(%d,%d) level=%d: square %v does not contain %v",
+								k, r, s, level, rect, p)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSurviveDiskInsideItsSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := ShiftGrid{K: 4, R: 1, S: 2}
+	for i := 0; i < 500; i++ {
+		level := rng.Intn(3)
+		// Radius valid for this level: 1/(k+1)^(level+1) < 2R <= 1/(k+1)^level.
+		lo := 0.5 * g.Spacing(level+1)
+		hi := 0.5 * g.Spacing(level)
+		r := lo + rng.Float64()*(hi-lo)*0.999 + (hi-lo)*0.0005
+		d := D(rng.Float64()*3, rng.Float64()*3, r)
+		if lv := DiskLevel(d.R, g.K); lv != level {
+			continue // floating point at bin edge; skip
+		}
+		if g.Survives(d, level) {
+			ix, iy := g.SquareIndex(d.Center, level)
+			sq := g.SquareRect(level, ix, iy)
+			if !sq.ContainsDisk(d) {
+				t.Fatalf("survive disk %v (level %d) not inside its square %v", d, level, sq)
+			}
+		}
+	}
+}
+
+func TestChildParentInverse(t *testing.T) {
+	g := ShiftGrid{K: 3, R: 2, S: 1}
+	for idx := -10; idx <= 10; idx++ {
+		lo, hi := g.ChildXRange(idx)
+		if hi-lo != g.K {
+			t.Fatalf("x child range size = %d, want %d", hi-lo+1, g.K+1)
+		}
+		for c := lo; c <= hi; c++ {
+			if p := g.ParentX(c); p != idx {
+				t.Fatalf("ParentX(%d) = %d, want %d", c, p, idx)
+			}
+		}
+		lo, hi = g.ChildYRange(idx)
+		for c := lo; c <= hi; c++ {
+			if p := g.ParentY(c); p != idx {
+				t.Fatalf("ParentY(%d) = %d, want %d", c, p, idx)
+			}
+		}
+	}
+}
+
+// Children tile the parent square exactly.
+func TestChildSquaresTileParent(t *testing.T) {
+	g := ShiftGrid{K: 3, R: 1, S: 1}
+	for _, idx := range [][2]int{{0, 0}, {-2, 3}, {5, -1}} {
+		parent := g.SquareRect(1, idx[0], idx[1])
+		xlo, xhi := g.ChildXRange(idx[0])
+		ylo, yhi := g.ChildYRange(idx[1])
+		var area float64
+		for ix := xlo; ix <= xhi; ix++ {
+			for iy := ylo; iy <= yhi; iy++ {
+				child := g.SquareRect(2, ix, iy)
+				if !parent.Expand(1e-9).ContainsRect(child) {
+					t.Fatalf("child %v escapes parent %v", child, parent)
+				}
+				area += child.Area()
+			}
+		}
+		if math.Abs(area-parent.Area()) > 1e-9 {
+			t.Fatalf("children area %v != parent area %v", area, parent.Area())
+		}
+	}
+}
+
+// A point's child square index is within the child range of its parent
+// square index (consistency of the hierarchy).
+func TestSquareHierarchyConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := ShiftGrid{K: 4, R: 3, S: 0}
+	for i := 0; i < 300; i++ {
+		p := Pt(rng.Float64()*6-3, rng.Float64()*6-3)
+		for level := 0; level < 3; level++ {
+			pix, piy := g.SquareIndex(p, level)
+			cix, ciy := g.SquareIndex(p, level+1)
+			if g.ParentX(cix) != pix || g.ParentY(ciy) != piy {
+				t.Fatalf("hierarchy broken at %v level %d: parent (%d,%d), child (%d,%d) -> (%d,%d)",
+					p, level, pix, piy, cix, ciy, g.ParentX(cix), g.ParentY(ciy))
+			}
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0}, {-1, 5, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// The fraction of disks that survive at least one shifting should be 1 for
+// disks much smaller than the square side placed away from lines; and a disk
+// centered on a line never survives.
+func TestSurvivesEdgeCases(t *testing.T) {
+	g := ShiftGrid{K: 3, R: 0, S: 0}
+	// Level-0 square side is 3. Disk of radius 0.3 centered mid-square survives.
+	d := D(1.5, 1.5, 0.3)
+	if !g.Survives(d, 0) {
+		t.Error("central disk should survive")
+	}
+	// Disk overlapping the x=0 line (a shifted line for r=0) cannot survive.
+	d2 := D(0.1, 1.5, 0.3)
+	if g.Survives(d2, 0) {
+		t.Error("line-crossing disk should not survive")
+	}
+}

@@ -1,0 +1,171 @@
+package graph
+
+// Hop-distance utilities. Algorithm 2 grows the ball N(v)^r hop by hop;
+// Algorithm 3 additionally needs (2c+2)-hop information gathering, so these
+// run on every scheduling round and keep allocation low via caller-supplied
+// or internal scratch.
+
+// HopDistances returns a slice dist of length N where dist[u] is the hop
+// distance from v to u, capped at maxHops: vertices farther than maxHops (or
+// unreachable) get -1. maxHops < 0 means unbounded.
+func (g *Graph) HopDistances(v int, maxHops int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if v < 0 || v >= g.n {
+		return dist
+	}
+	dist[v] = 0
+	queue := make([]int32, 0, 16)
+	queue = append(queue, int32(v))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		if maxHops >= 0 && du >= maxHops {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if dist[w] == -1 {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Ball returns N(v)^r — every vertex within hop distance r of v, including v
+// itself — in ascending vertex order.
+func (g *Graph) Ball(v, r int) []int {
+	dist := g.HopDistances(v, r)
+	out := make([]int, 0, 16)
+	for u, d := range dist {
+		if d >= 0 && d <= r {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// BallSize returns |N(v)^r| without materializing the ball.
+func (g *Graph) BallSize(v, r int) int {
+	dist := g.HopDistances(v, r)
+	n := 0
+	for _, d := range dist {
+		if d >= 0 && d <= r {
+			n++
+		}
+	}
+	return n
+}
+
+// Components returns the connected components, each sorted ascending, in
+// order of their smallest vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		comp := []int{v}
+		seen[v] = true
+		for i := 0; i < len(comp); i++ {
+			for _, w := range g.adj[comp[i]] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, int(w))
+				}
+			}
+		}
+		// BFS order is not sorted; sort for deterministic output.
+		insertionSort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eccentricity returns the maximum finite hop distance from v.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.HopDistances(v, -1)
+	e := 0
+	for _, d := range dist {
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// Diameter returns the largest eccentricity over all vertices (per
+// component; unreachable pairs are ignored). O(n * (n + m)).
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if e := g.Eccentricity(v); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// GrowthFunction measures the growth-bounded property the paper's Algorithm
+// 2 analysis relies on: f(r) = max over v of the size of a maximum
+// independent set inside N(v)^r. For polynomially growth-bounded graphs
+// (which geometric interference graphs are), f(r) is polynomial in r. The
+// computation is exponential in the ball's independence number and intended
+// for diagnostics and tests on small instances. rMax caps the radius.
+func (g *Graph) GrowthFunction(rMax int) []int {
+	f := make([]int, rMax+1)
+	for v := 0; v < g.n; v++ {
+		for r := 0; r <= rMax; r++ {
+			ball := g.Ball(v, r)
+			size := g.maxIndependentSetSize(ball)
+			if size > f[r] {
+				f[r] = size
+			}
+		}
+	}
+	return f
+}
+
+// maxIndependentSetSize computes the independence number of the subgraph
+// induced by verts via branch and bound.
+func (g *Graph) maxIndependentSetSize(verts []int) int {
+	best := 0
+	var rec func(cand []int, size int)
+	rec = func(cand []int, size int) {
+		if size+len(cand) <= best {
+			return
+		}
+		if len(cand) == 0 {
+			if size > best {
+				best = size
+			}
+			return
+		}
+		v := cand[0]
+		// Branch 1: include v.
+		var rest []int
+		for _, u := range cand[1:] {
+			if !g.HasEdge(v, u) {
+				rest = append(rest, u)
+			}
+		}
+		rec(rest, size+1)
+		// Branch 2: exclude v.
+		rec(cand[1:], size)
+	}
+	rec(verts, 0)
+	return best
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

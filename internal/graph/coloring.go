@@ -1,0 +1,129 @@
+package graph
+
+// Coloring utilities backing the Colorwave baseline: a proper coloring of
+// the interference graph maps directly to a TDMA frame (one color = one time
+// slot) in which simultaneously transmitting readers never collide.
+
+// GreedyColoring colors vertices in the given order, assigning each vertex
+// the smallest color unused by its already-colored neighbors. It returns the
+// color of every vertex and the number of colors used. If order is nil the
+// natural order 0..n-1 is used. Vertices missing from a partial order are
+// appended in natural order.
+func (g *Graph) GreedyColoring(order []int) ([]int, int) {
+	ord := normalizeOrder(g.n, order)
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	maxColor := 0
+	used := make([]bool, g.n+1)
+	for _, v := range ord {
+		for _, w := range g.adj[v] {
+			if c := colors[w]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+		for _, w := range g.adj[v] {
+			if cc := colors[w]; cc >= 0 {
+				used[cc] = false
+			}
+		}
+	}
+	return colors, maxColor
+}
+
+// DegeneracyOrder returns a smallest-last vertex order; greedy coloring in
+// this order uses at most degeneracy+1 colors, the strongest cheap bound for
+// geometric graphs.
+func (g *Graph) DegeneracyOrder() []int {
+	deg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	for v := 0; v < g.n; v++ {
+		deg[v] = len(g.adj[v])
+	}
+	order := make([]int, 0, g.n)
+	for len(order) < g.n {
+		best, bestDeg := -1, int(^uint(0)>>1)
+		for v := 0; v < g.n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		removed[best] = true
+		order = append(order, best)
+		for _, w := range g.adj[best] {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	// Smallest-last: reverse the removal order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// IsProperColoring reports whether colors is a proper coloring (no edge
+// monochromatic, all vertices colored with a non-negative color).
+func (g *Graph) IsProperColoring(colors []int) bool {
+	if len(colors) != g.n {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		if colors[v] < 0 {
+			return false
+		}
+		for _, w := range g.adj[v] {
+			if colors[w] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ColorClasses groups vertices by color: result[c] lists the vertices with
+// color c, each class sorted ascending. Classes are independent sets when
+// the coloring is proper.
+func ColorClasses(colors []int, numColors int) [][]int {
+	classes := make([][]int, numColors)
+	for v, c := range colors {
+		if c >= 0 && c < numColors {
+			classes[c] = append(classes[c], v)
+		}
+	}
+	return classes
+}
+
+func normalizeOrder(n int, order []int) []int {
+	if order == nil {
+		ord := make([]int, n)
+		for i := range ord {
+			ord[i] = i
+		}
+		return ord
+	}
+	seen := make([]bool, n)
+	ord := make([]int, 0, n)
+	for _, v := range order {
+		if v >= 0 && v < n && !seen[v] {
+			seen[v] = true
+			ord = append(ord, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			ord = append(ord, v)
+		}
+	}
+	return ord
+}

@@ -1,0 +1,133 @@
+// Package graph implements the interference graph of Definition 7: one node
+// per reader, an edge whenever one reader lies inside the other's
+// interference region (equivalently, whenever the two readers are NOT
+// independent per Definition 2). Algorithms 2 and 3 operate purely on this
+// graph — no geometry — which is exactly the paper's "no location
+// information" setting. The package also provides the hop-neighborhood,
+// coloring and growth-bound utilities those algorithms and the Colorwave
+// baseline need.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidsched/internal/model"
+)
+
+// Graph is an undirected simple graph over vertices 0..n-1 with sorted
+// adjacency lists. It is immutable after construction and safe for
+// concurrent reads.
+type Graph struct {
+	n   int
+	adj [][]int32
+	m   int // edge count
+}
+
+// New builds a graph over n vertices from an edge list. Self-loops and
+// duplicate edges are rejected.
+func New(n int, edges [][2]int) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	g := &Graph{n: n, adj: make([][]int32, n)}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at %d", u)
+		}
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+		g.adj[u] = append(g.adj[u], int32(v))
+		g.adj[v] = append(g.adj[v], int32(u))
+		g.m++
+	}
+	for _, l := range g.adj {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	return g, nil
+}
+
+// FromSystem derives the true interference graph of a deployment: an edge
+// joins i and j iff they are not independent. This is the graph a perfect
+// RF site survey would measure; package survey builds the noisy version.
+func FromSystem(sys *model.System) *Graph {
+	n := sys.NumReaders()
+	g := &Graph{n: n, adj: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !sys.Independent(i, j) {
+				g.adj[i] = append(g.adj[i], int32(j))
+				g.adj[j] = append(g.adj[j], int32(i))
+				g.m++
+			}
+		}
+	}
+	// adjacency built in increasing order; already sorted.
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Neighbors returns the sorted adjacency list of v. Callers must not mutate
+// the returned slice.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	l := g.adj[u]
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= int32(v) })
+	return i < len(l) && l[i] == int32(v)
+}
+
+// IsIndependentSet reports whether no two vertices of set are adjacent. In
+// the interference graph this is precisely feasibility of a scheduling set.
+func (g *Graph) IsIndependentSet(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if set[i] == set[j] || g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

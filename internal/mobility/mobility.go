@@ -1,0 +1,187 @@
+// Package mobility models moving readers — the situation the paper's
+// introduction uses to motivate location-free scheduling ("the position of
+// each reader is often highly dynamic and we can not expect that their
+// exact geometry location can always be obtained").
+//
+// Readers drift with constant-speed random headings, reflecting off the
+// region boundary. Because model.System is immutable geometry, each Step
+// rebuilds the system at the new positions while carrying the read-state
+// over; tag indices are stable so bookkeeping survives.
+//
+// Two measurement harnesses quantify what mobility does to scheduling:
+//
+//   - MeasureStaleness freezes one activation set and watches its weight
+//     and feasibility decay as the readers move out from under it — the
+//     cost of NOT rescheduling.
+//   - RunAdaptive re-runs the one-shot scheduler every `recompute` slots
+//     and reports throughput, the knob a deployment actually tunes.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"rfidsched/internal/geom"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+)
+
+// Drift moves readers with constant speed and per-slot heading jitter,
+// reflecting at the region boundary.
+type Drift struct {
+	Region geom.Rect
+	Speed  float64 // distance per slot
+	Jitter float64 // heading change std-dev per slot, radians
+
+	rng      *randx.RNG
+	headings []float64
+}
+
+// NewDrift builds a drift process for n readers.
+func NewDrift(n int, region geom.Rect, speed float64, seed uint64) *Drift {
+	d := &Drift{Region: region, Speed: speed, Jitter: 0.3, rng: randx.New(seed)}
+	d.headings = make([]float64, n)
+	for i := range d.headings {
+		d.headings[i] = d.rng.Float64() * 2 * math.Pi
+	}
+	return d
+}
+
+// Step advances every reader one slot and returns the rebuilt system with
+// the read-state carried over. The input system is not mutated.
+func (d *Drift) Step(sys *model.System) (*model.System, error) {
+	if len(d.headings) != sys.NumReaders() {
+		return nil, fmt.Errorf("mobility: drift built for %d readers, system has %d",
+			len(d.headings), sys.NumReaders())
+	}
+	readers := make([]model.Reader, sys.NumReaders())
+	for i := range readers {
+		r := sys.Reader(i)
+		d.headings[i] += d.rng.NormalMS(0, d.Jitter)
+		nx := r.Pos.X + d.Speed*math.Cos(d.headings[i])
+		ny := r.Pos.Y + d.Speed*math.Sin(d.headings[i])
+		// Reflect at the boundary (and flip the heading component).
+		if nx < d.Region.Min.X {
+			nx = 2*d.Region.Min.X - nx
+			d.headings[i] = math.Pi - d.headings[i]
+		} else if nx > d.Region.Max.X {
+			nx = 2*d.Region.Max.X - nx
+			d.headings[i] = math.Pi - d.headings[i]
+		}
+		if ny < d.Region.Min.Y {
+			ny = 2*d.Region.Min.Y - ny
+			d.headings[i] = -d.headings[i]
+		} else if ny > d.Region.Max.Y {
+			ny = 2*d.Region.Max.Y - ny
+			d.headings[i] = -d.headings[i]
+		}
+		r.Pos = geom.Pt(nx, ny)
+		readers[i] = r
+	}
+	next, err := model.NewSystem(readers, sys.Tags())
+	if err != nil {
+		return nil, fmt.Errorf("mobility: rebuilding system: %w", err)
+	}
+	for t := 0; t < sys.NumTags(); t++ {
+		if sys.IsRead(t) {
+			next.MarkRead(t)
+		}
+	}
+	return next, nil
+}
+
+// StalenessResult traces a frozen activation set under drift.
+type StalenessResult struct {
+	// Weights[k] is the weight of the frozen set after k drift steps
+	// (Weights[0] is the weight at computation time). Read-state is frozen
+	// too: this isolates the geometric decay.
+	Weights []int
+	// FeasibleUntil is the first step at which the frozen set stopped
+	// being a feasible scheduling set (len(Weights) if it never broke).
+	FeasibleUntil int
+}
+
+// MeasureStaleness computes one activation set with sched, then drifts the
+// readers for horizon steps, recording the set's weight and feasibility at
+// each step without serving any tags.
+func MeasureStaleness(sys *model.System, sched model.OneShotScheduler, drift *Drift, horizon int) (*StalenessResult, error) {
+	X, err := sched.OneShot(sys)
+	if err != nil {
+		return nil, err
+	}
+	res := &StalenessResult{FeasibleUntil: horizon + 1}
+	cur := sys
+	for k := 0; k <= horizon; k++ {
+		res.Weights = append(res.Weights, cur.Weight(X))
+		if k < res.FeasibleUntil && !cur.IsFeasible(X) {
+			res.FeasibleUntil = k
+		}
+		if k == horizon {
+			break
+		}
+		cur, err = drift.Step(cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res.FeasibleUntil > horizon {
+		res.FeasibleUntil = len(res.Weights)
+	}
+	return res, nil
+}
+
+// AdaptiveResult reports a rescheduling run under drift.
+type AdaptiveResult struct {
+	Slots      int
+	TagsRead   int
+	Recomputes int
+	Incomplete bool
+	Final      *model.System
+}
+
+// RunAdaptive serves tags under drift, recomputing the activation set every
+// `recompute` slots (1 = every slot, the paper's implicit assumption). The
+// scheduler factory receives the current system so graph-based algorithms
+// can rebuild their interference graph after movement.
+func RunAdaptive(sys *model.System, makeSched func(*model.System) (model.OneShotScheduler, error),
+	drift *Drift, recompute, maxSlots int) (*AdaptiveResult, error) {
+	if recompute < 1 {
+		recompute = 1
+	}
+	if maxSlots <= 0 {
+		maxSlots = 10000
+	}
+	res := &AdaptiveResult{}
+	cur := sys
+	var X []int
+	for cur.UnreadCoverableCount() > 0 {
+		if res.Slots >= maxSlots {
+			res.Incomplete = true
+			break
+		}
+		if res.Slots%recompute == 0 {
+			sched, err := makeSched(cur)
+			if err != nil {
+				return nil, err
+			}
+			X, err = sched.OneShot(cur)
+			if err != nil {
+				return nil, err
+			}
+			res.Recomputes++
+		}
+		covered := cur.Covered(X, nil)
+		for _, t := range covered {
+			cur.MarkRead(int(t))
+		}
+		res.TagsRead += len(covered)
+		res.Slots++
+		next, err := drift.Step(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	res.Final = cur
+	return res, nil
+}

@@ -1,0 +1,178 @@
+package mobility
+
+import (
+	"testing"
+
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+)
+
+func paperSystem(t *testing.T, seed uint64) *model.System {
+	t.Helper()
+	sys, err := deploy.Generate(deploy.Paper(seed, 12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func region() geom.Rect { return geom.R2(0, 0, 100, 100) }
+
+func TestStepKeepsReadersInRegion(t *testing.T) {
+	sys := paperSystem(t, 1)
+	d := NewDrift(sys.NumReaders(), region(), 3, 7)
+	cur := sys
+	var err error
+	for step := 0; step < 50; step++ {
+		cur, err = d.Step(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cur.NumReaders(); i++ {
+			p := cur.Reader(i).Pos
+			if p.X < -1e-9 || p.X > 100+1e-9 || p.Y < -1e-9 || p.Y > 100+1e-9 {
+				t.Fatalf("step %d: reader %d escaped to %v", step, i, p)
+			}
+		}
+	}
+}
+
+func TestStepMovesReadersBySpeed(t *testing.T) {
+	sys := paperSystem(t, 3)
+	d := NewDrift(sys.NumReaders(), region(), 2, 9)
+	next, err := d.Step(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.NumReaders(); i++ {
+		moved := sys.Reader(i).Pos.Dist(next.Reader(i).Pos)
+		// Reflection can shorten the apparent displacement but never extend
+		// it beyond the speed.
+		if moved > 2+1e-9 {
+			t.Fatalf("reader %d moved %v > speed", i, moved)
+		}
+	}
+}
+
+func TestStepCarriesReadState(t *testing.T) {
+	sys := paperSystem(t, 5)
+	sys.MarkRead(0)
+	sys.MarkRead(7)
+	d := NewDrift(sys.NumReaders(), region(), 1, 11)
+	next, err := d.Step(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.IsRead(0) || !next.IsRead(7) || next.IsRead(1) {
+		t.Error("read state not carried through movement")
+	}
+	if next.NumTags() != sys.NumTags() {
+		t.Error("tag population changed")
+	}
+}
+
+func TestStepSizeMismatch(t *testing.T) {
+	sys := paperSystem(t, 7)
+	d := NewDrift(3, region(), 1, 13)
+	if _, err := d.Step(sys); err == nil {
+		t.Error("reader-count mismatch accepted")
+	}
+}
+
+func TestStalenessDecays(t *testing.T) {
+	sys := paperSystem(t, 9)
+	g := graph.FromSystem(sys)
+	d := NewDrift(sys.NumReaders(), region(), 4, 15)
+	res, err := MeasureStaleness(sys, core.NewGrowth(g, 1.25), d, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weights) != 31 {
+		t.Fatalf("weights traced %d steps", len(res.Weights))
+	}
+	if res.Weights[0] <= 0 {
+		t.Fatal("initial weight not positive")
+	}
+	// After 30 steps at speed 4 (half the region width of total drift) the
+	// frozen set must have lost a meaningful fraction of its weight.
+	last := res.Weights[len(res.Weights)-1]
+	if float64(last) > 0.9*float64(res.Weights[0]) {
+		t.Errorf("weight barely decayed: %d -> %d", res.Weights[0], last)
+	}
+}
+
+func TestStalenessZeroSpeedIsStable(t *testing.T) {
+	sys := paperSystem(t, 11)
+	g := graph.FromSystem(sys)
+	d := NewDrift(sys.NumReaders(), region(), 0, 17)
+	res, err := MeasureStaleness(sys, core.NewGrowth(g, 1.25), d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range res.Weights {
+		if w != res.Weights[0] {
+			t.Fatalf("zero-speed weight changed at step %d: %d -> %d", k, res.Weights[0], w)
+		}
+	}
+	if res.FeasibleUntil != len(res.Weights) {
+		t.Error("zero-speed set lost feasibility")
+	}
+}
+
+func TestRunAdaptiveCompletes(t *testing.T) {
+	sys := paperSystem(t, 13)
+	d := NewDrift(sys.NumReaders(), region(), 1, 19)
+	res, err := RunAdaptive(sys.Clone(), func(cur *model.System) (model.OneShotScheduler, error) {
+		return core.NewGrowth(graph.FromSystem(cur), 1.25), nil
+	}, d, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Fatalf("adaptive run incomplete after %d slots", res.Slots)
+	}
+	if res.Final.UnreadCoverableCount() != 0 {
+		t.Error("coverable tags left")
+	}
+	if res.Recomputes != res.Slots {
+		t.Errorf("recompute-every-slot: %d recomputes for %d slots", res.Recomputes, res.Slots)
+	}
+}
+
+func TestRunAdaptiveStaleIsWorse(t *testing.T) {
+	base := paperSystem(t, 15)
+	mk := func(cur *model.System) (model.OneShotScheduler, error) {
+		return core.NewGrowth(graph.FromSystem(cur), 1.25), nil
+	}
+	fresh, err := RunAdaptive(base.Clone(), mk, NewDrift(base.NumReaders(), region(), 3, 21), 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := RunAdaptive(base.Clone(), mk, NewDrift(base.NumReaders(), region(), 3, 21), 25, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rescheduling every slot must not be slower than rescheduling every 25
+	// slots under fast movement (allow equality: both may be limited by
+	// coverage, and small slack for lucky drift).
+	if fresh.Slots > stale.Slots+2 {
+		t.Errorf("fresh schedule (%d slots) worse than 25-slot-stale (%d slots)", fresh.Slots, stale.Slots)
+	}
+}
+
+func TestRunAdaptiveDefaults(t *testing.T) {
+	sys := paperSystem(t, 17)
+	d := NewDrift(sys.NumReaders(), region(), 1, 23)
+	res, err := RunAdaptive(sys.Clone(), func(cur *model.System) (model.OneShotScheduler, error) {
+		return core.NewGrowth(graph.FromSystem(cur), 1.25), nil
+	}, d, 0, 0) // recompute<1 and maxSlots<=0 take defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots == 0 {
+		t.Error("no slots executed")
+	}
+}

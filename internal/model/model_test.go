@@ -1,0 +1,347 @@
+package model
+
+import (
+	"testing"
+
+	"rfidsched/internal/geom"
+)
+
+// mustSystem builds a system or fails the test.
+func mustSystem(t *testing.T, readers []Reader, tags []Tag) *System {
+	t.Helper()
+	s, err := NewSystem(readers, tags)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+// figure2System reproduces the example of Figure 2 in the paper: three
+// independent readers A(0), B(1), C(2) in a row, five tags, where activating
+// all three yields weight 3 but activating only A and C yields weight 4.
+func figure2System(t *testing.T) *System {
+	readers := []Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 8, InterrogationR: 6},  // A
+		{Pos: geom.Pt(10, 0), InterferenceR: 8, InterrogationR: 6}, // B
+		{Pos: geom.Pt(20, 0), InterferenceR: 8, InterrogationR: 6}, // C
+	}
+	tags := []Tag{
+		{Pos: geom.Pt(0, 0)},  // Tag1: A only
+		{Pos: geom.Pt(5, 0)},  // Tag2: A and B overlap
+		{Pos: geom.Pt(15, 0)}, // Tag3: B and C overlap
+		{Pos: geom.Pt(20, 0)}, // Tag4: C only
+		{Pos: geom.Pt(10, 0)}, // Tag5: B only
+	}
+	return mustSystem(t, readers, tags)
+}
+
+func TestFigure2Weights(t *testing.T) {
+	s := figure2System(t)
+	if !s.IsFeasible([]int{0, 1, 2}) {
+		t.Fatal("A,B,C should be pairwise independent")
+	}
+	if w := s.Weight([]int{0, 1, 2}); w != 3 {
+		t.Errorf("w({A,B,C}) = %d, want 3", w)
+	}
+	if w := s.Weight([]int{0, 2}); w != 4 {
+		t.Errorf("w({A,C}) = %d, want 4", w)
+	}
+}
+
+func TestFigure2WeightOfBAlone(t *testing.T) {
+	s := figure2System(t)
+	if w := s.Weight([]int{1}); w != 3 {
+		t.Errorf("w({B}) = %d, want 3 (tags 2,3,5 all singly covered)", w)
+	}
+}
+
+func TestCoveredMatchesWeight(t *testing.T) {
+	s := figure2System(t)
+	for _, X := range [][]int{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}} {
+		w := s.Weight(X)
+		cov := s.Covered(X, nil)
+		if len(cov) != w {
+			t.Errorf("X=%v: weight %d but %d covered tags", X, w, len(cov))
+		}
+		for _, tg := range cov {
+			if s.IsRead(int(tg)) {
+				t.Errorf("X=%v: covered tag %d already read", X, tg)
+			}
+		}
+	}
+}
+
+func TestWeightIgnoresReadTags(t *testing.T) {
+	s := figure2System(t)
+	s.MarkRead(0) // Tag1 (A only)
+	if w := s.Weight([]int{0, 2}); w != 3 {
+		t.Errorf("after reading Tag1, w({A,C}) = %d, want 3", w)
+	}
+	s.MarkRead(0) // idempotent
+	if s.UnreadCount() != 4 {
+		t.Errorf("UnreadCount = %d, want 4", s.UnreadCount())
+	}
+	s.ResetReads()
+	if s.UnreadCount() != 5 {
+		t.Errorf("after reset UnreadCount = %d", s.UnreadCount())
+	}
+	if w := s.Weight([]int{0, 2}); w != 4 {
+		t.Errorf("after reset w({A,C}) = %d, want 4", w)
+	}
+}
+
+func TestRTcSuppressesReader(t *testing.T) {
+	// B sits inside A's interference disk, so with both active B reads
+	// nothing; A is outside B's smaller disk and stays clean.
+	readers := []Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 8, InterrogationR: 3}, // A
+		{Pos: geom.Pt(7, 0), InterferenceR: 5, InterrogationR: 3}, // B
+	}
+	tags := []Tag{
+		{Pos: geom.Pt(0, 0)}, // A only
+		{Pos: geom.Pt(7, 0)}, // B only
+	}
+	s := mustSystem(t, readers, tags)
+	if s.IsFeasible([]int{0, 1}) {
+		t.Fatal("A,B should not be independent (dist 7 <= max(8,5))")
+	}
+	if w := s.Weight([]int{0, 1}); w != 1 {
+		t.Errorf("w({A,B}) = %d, want 1 (only A's tag)", w)
+	}
+	st := s.Collisions([]int{0, 1})
+	if st.RTcReaders != 1 {
+		t.Errorf("RTcReaders = %d, want 1", st.RTcReaders)
+	}
+	if st.WellCovered != 1 {
+		t.Errorf("WellCovered = %d, want 1", st.WellCovered)
+	}
+	if st.RRcTags != 0 {
+		t.Errorf("RRcTags = %d, want 0", st.RRcTags)
+	}
+}
+
+func TestMutualRTcKillsBoth(t *testing.T) {
+	readers := []Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 10, InterrogationR: 2},
+		{Pos: geom.Pt(5, 0), InterferenceR: 10, InterrogationR: 2},
+	}
+	tags := []Tag{{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(5, 0)}}
+	s := mustSystem(t, readers, tags)
+	if w := s.Weight([]int{0, 1}); w != 0 {
+		t.Errorf("mutually interfering pair has weight %d, want 0", w)
+	}
+	st := s.Collisions([]int{0, 1})
+	if st.RTcReaders != 2 {
+		t.Errorf("RTcReaders = %d, want 2", st.RTcReaders)
+	}
+}
+
+func TestRRcCounting(t *testing.T) {
+	s := figure2System(t)
+	st := s.Collisions([]int{0, 1, 2})
+	if st.RRcTags != 2 { // tags 2 and 3 sit in overlaps
+		t.Errorf("RRcTags = %d, want 2", st.RRcTags)
+	}
+	if st.WellCovered != 3 {
+		t.Errorf("WellCovered = %d, want 3", st.WellCovered)
+	}
+	if st.RTcReaders != 0 {
+		t.Errorf("RTcReaders = %d, want 0", st.RTcReaders)
+	}
+}
+
+func TestMarginalWeight(t *testing.T) {
+	s := figure2System(t)
+	// Adding B to {A,C} turns tags 2,3 into RRc losses and gains tag 5:
+	// 3 - 4 = -1.
+	if mw := s.MarginalWeight([]int{0, 2}, 1); mw != -1 {
+		t.Errorf("marginal of B to {A,C} = %d, want -1", mw)
+	}
+	if mw := s.MarginalWeight(nil, 1); mw != 3 {
+		t.Errorf("marginal of B to {} = %d, want 3", mw)
+	}
+}
+
+func TestSingletonWeight(t *testing.T) {
+	s := figure2System(t)
+	for v := 0; v < 3; v++ {
+		if got, want := s.SingletonWeight(v), s.Weight([]int{v}); got != want {
+			t.Errorf("SingletonWeight(%d) = %d, Weight = %d", v, got, want)
+		}
+	}
+	s.MarkRead(1)
+	for v := 0; v < 3; v++ {
+		if got, want := s.SingletonWeight(v), s.Weight([]int{v}); got != want {
+			t.Errorf("after read: SingletonWeight(%d) = %d, Weight = %d", v, got, want)
+		}
+	}
+}
+
+func TestIsFeasible(t *testing.T) {
+	s := figure2System(t)
+	if !s.IsFeasible(nil) {
+		t.Error("empty set should be feasible")
+	}
+	if !s.IsFeasible([]int{1}) {
+		t.Error("singleton should be feasible")
+	}
+	if s.IsFeasible([]int{1, 1}) {
+		t.Error("duplicate entries should be infeasible")
+	}
+}
+
+func TestIndependenceSymmetric(t *testing.T) {
+	s := figure2System(t)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if s.Independent(i, j) != s.Independent(j, i) {
+				t.Errorf("independence not symmetric for (%d,%d)", i, j)
+			}
+		}
+	}
+	if s.Independent(0, 0) {
+		t.Error("a reader cannot be independent of itself (distance 0)")
+	}
+}
+
+func TestCoverageLists(t *testing.T) {
+	s := figure2System(t)
+	if got := s.TagsOf(0); len(got) != 2 { // tags 0 and 1
+		t.Errorf("TagsOf(A) = %v", got)
+	}
+	if got := s.TagsOf(1); len(got) != 3 { // tags 1(no!), check: B at 10 covers [4,16]: tags 2? positions 5,15,10 -> tags 1,2,4
+		_ = got
+	}
+	// Cross-check tagsOf and readersOf are inverse relations.
+	for ri := 0; ri < s.NumReaders(); ri++ {
+		for _, tg := range s.TagsOf(ri) {
+			found := false
+			for _, rr := range s.ReadersOf(int(tg)) {
+				if int(rr) == ri {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("readersOf missing inverse of tagsOf: reader %d tag %d", ri, tg)
+			}
+		}
+	}
+	for tg := 0; tg < s.NumTags(); tg++ {
+		for _, rr := range s.ReadersOf(tg) {
+			found := false
+			for _, tt := range s.TagsOf(int(rr)) {
+				if int(tt) == tg {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("tagsOf missing inverse of readersOf: tag %d reader %d", tg, rr)
+			}
+		}
+	}
+}
+
+func TestValidationRejectsBadRadii(t *testing.T) {
+	_, err := NewSystem([]Reader{{Pos: geom.Pt(0, 0), InterferenceR: 1, InterrogationR: 2}}, nil)
+	if err == nil {
+		t.Error("interrogation > interference accepted")
+	}
+	_, err = NewSystem([]Reader{{Pos: geom.Pt(0, 0), InterferenceR: 1, InterrogationR: 0}}, nil)
+	if err == nil {
+		t.Error("zero interrogation radius accepted")
+	}
+}
+
+func TestCoverableCounts(t *testing.T) {
+	readers := []Reader{{Pos: geom.Pt(0, 0), InterferenceR: 2, InterrogationR: 1}}
+	tags := []Tag{
+		{Pos: geom.Pt(0, 0)},   // coverable
+		{Pos: geom.Pt(50, 50)}, // not coverable
+	}
+	s := mustSystem(t, readers, tags)
+	if s.CoverableCount() != 1 {
+		t.Errorf("CoverableCount = %d", s.CoverableCount())
+	}
+	if s.UnreadCoverableCount() != 1 {
+		t.Errorf("UnreadCoverableCount = %d", s.UnreadCoverableCount())
+	}
+	s.MarkRead(0)
+	if s.UnreadCoverableCount() != 0 {
+		t.Errorf("after read UnreadCoverableCount = %d", s.UnreadCoverableCount())
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := figure2System(t)
+	c := s.Clone()
+	s.MarkRead(0)
+	if c.IsRead(0) {
+		t.Error("clone shares read state")
+	}
+	if c.UnreadCount() != 5 || s.UnreadCount() != 4 {
+		t.Errorf("unread counts: clone %d orig %d", c.UnreadCount(), s.UnreadCount())
+	}
+	// Clone must produce identical weights on identical state.
+	c.MarkRead(0)
+	for _, X := range [][]int{{0}, {0, 1, 2}, {0, 2}} {
+		if s.Weight(X) != c.Weight(X) {
+			t.Errorf("weight mismatch on %v", X)
+		}
+	}
+}
+
+func TestEmptySystem(t *testing.T) {
+	s := mustSystem(t, nil, nil)
+	if s.Weight([]int{}) != 0 {
+		t.Error("empty weight nonzero")
+	}
+	if s.NumReaders() != 0 || s.NumTags() != 0 {
+		t.Error("empty system has elements")
+	}
+	_ = s.Bounds()
+	_ = s.String()
+}
+
+func TestWeightOutOfRangeIndices(t *testing.T) {
+	s := figure2System(t)
+	// Defensive: invalid indices contribute nothing rather than panicking.
+	if w := s.Weight([]int{-1, 99, 0}); w != s.Weight([]int{0}) {
+		t.Error("out-of-range indices changed weight")
+	}
+}
+
+func TestReaderAccessors(t *testing.T) {
+	s := figure2System(t)
+	r := s.Reader(1)
+	if r.ID != 1 {
+		t.Errorf("reader ID = %d", r.ID)
+	}
+	if d := r.InterferenceDisk(); d.R != 8 {
+		t.Errorf("interference disk radius = %v", d.R)
+	}
+	if d := r.InterrogationDisk(); d.R != 6 {
+		t.Errorf("interrogation disk radius = %v", d.R)
+	}
+	if !r.Covers(geom.Pt(10, 5)) || r.Covers(geom.Pt(10, 7)) {
+		t.Error("Covers wrong")
+	}
+	tg := s.Tag(2)
+	if tg.ID != 2 {
+		t.Errorf("tag ID = %d", tg.ID)
+	}
+	if len(s.Readers()) != 3 || len(s.Tags()) != 5 {
+		t.Error("slice accessors wrong")
+	}
+}
+
+func TestSchedulerFunc(t *testing.T) {
+	f := Func{SchedName: "test", F: func(sys *System) ([]int, error) { return []int{0}, nil }}
+	if f.Name() != "test" {
+		t.Error("Func.Name")
+	}
+	s := figure2System(t)
+	X, err := f.OneShot(s)
+	if err != nil || len(X) != 1 {
+		t.Errorf("Func.OneShot = %v, %v", X, err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package model implements the multi-reader RFID system model of Tang et
+// al. (IPDPS 2011): readers with heterogeneous interference and
+// interrogation radii, passive tags, the independence relation between
+// readers (Definition 2), the well-covered predicate (Definition 1), and the
+// weight function w(X) of an activation set (Definition 3) together with
+// unread-tag bookkeeping across time slots.
+//
+// The model deliberately accepts arbitrary (possibly infeasible) activation
+// sets in Weight and Covered so that baseline algorithms such as Colorwave
+// and Greedy Hill-Climbing, which may momentarily consider conflicting
+// activations, are scored under exactly the same physics as the paper's
+// algorithms.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"rfidsched/internal/geom"
+)
+
+// Reader is one RFID reader. InterferenceR is R_i: any other reader within
+// this distance is interfered with (RTc). InterrogationR is r_i = beta*R_i:
+// tags within this distance can be read. The model requires
+// 0 < InterrogationR <= InterferenceR.
+type Reader struct {
+	ID             int
+	Pos            geom.Point
+	InterferenceR  float64
+	InterrogationR float64
+}
+
+// InterferenceDisk returns O(v_i), the interference disk of the reader.
+func (r Reader) InterferenceDisk() geom.Disk {
+	return geom.Disk{Center: r.Pos, R: r.InterferenceR}
+}
+
+// InterrogationDisk returns the interrogation disk of the reader.
+func (r Reader) InterrogationDisk() geom.Disk {
+	return geom.Disk{Center: r.Pos, R: r.InterrogationR}
+}
+
+// Independent reports whether r and o are independent per Definition 2:
+// ||v_i - v_j|| > max(R_i, R_j). Independent readers can be activated
+// simultaneously without reader-tag collision.
+func (r Reader) Independent(o Reader) bool {
+	maxR := math.Max(r.InterferenceR, o.InterferenceR)
+	return r.Pos.Dist2(o.Pos) > maxR*maxR
+}
+
+// Interferes reports whether reader o lies inside r's interference disk,
+// i.e. r's transmission drowns responses destined for o (the asymmetric RTc
+// relation of Definition 1, condition 2).
+func (r Reader) Interferes(o Reader) bool {
+	return r.Pos.Dist2(o.Pos) <= r.InterferenceR*r.InterferenceR
+}
+
+// Covers reports whether the tag position p is inside r's interrogation
+// region.
+func (r Reader) Covers(p geom.Point) bool {
+	return r.Pos.Dist2(p) <= r.InterrogationR*r.InterrogationR
+}
+
+// Validate checks the radii invariants of a single reader.
+func (r Reader) Validate() error {
+	if !r.Pos.IsFinite() {
+		return fmt.Errorf("model: reader %d has non-finite position %v", r.ID, r.Pos)
+	}
+	if r.InterrogationR <= 0 {
+		return fmt.Errorf("model: reader %d has non-positive interrogation radius %v", r.ID, r.InterrogationR)
+	}
+	if r.InterferenceR < r.InterrogationR {
+		return fmt.Errorf("model: reader %d has interference radius %v < interrogation radius %v",
+			r.ID, r.InterferenceR, r.InterrogationR)
+	}
+	return nil
+}
+
+// Tag is one passive tag. Tags have no radios of their own; they are read
+// when well-covered by an activated reader. Read state lives in System, not
+// here, so a Tag value is immutable.
+type Tag struct {
+	ID  int
+	Pos geom.Point
+}

@@ -1,0 +1,31 @@
+package model
+
+// OneShotScheduler solves (exactly or approximately) the One-Shot Schedule
+// Problem of Definition 6: given the current system state (geometry plus
+// which tags are still unread), return a feasible scheduling set whose
+// weight is as large as possible.
+//
+// Implementations must return a feasible set — the MCS driver verifies this
+// and treats a violation as a bug, not a recoverable condition — but they
+// may return an empty set when no activation can serve any unread tag.
+type OneShotScheduler interface {
+	// Name identifies the algorithm in experiment tables ("Alg1-PTAS",
+	// "Colorwave", ...).
+	Name() string
+
+	// OneShot returns reader indices to activate for the next time slot.
+	OneShot(sys *System) ([]int, error)
+}
+
+// Func adapts a function to the OneShotScheduler interface, mirroring
+// http.HandlerFunc.
+type Func struct {
+	SchedName string
+	F         func(sys *System) ([]int, error)
+}
+
+// Name implements OneShotScheduler.
+func (f Func) Name() string { return f.SchedName }
+
+// OneShot implements OneShotScheduler.
+func (f Func) OneShot(sys *System) ([]int, error) { return f.F(sys) }

@@ -1,0 +1,243 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rfidsched/internal/geom"
+)
+
+// System is an immutable deployment (readers + tags + precomputed coverage
+// lists) plus the mutable unread-tag state that evolves as a covering
+// schedule runs. The geometry never changes after construction; only the
+// read/unread flags do. A System is not safe for concurrent mutation; use
+// Clone to give each goroutine its own read-state.
+type System struct {
+	readers []Reader
+	tags    []Tag
+
+	// tagsOf[i] lists tag indices inside reader i's interrogation region,
+	// sorted ascending. readersOf[t] lists reader indices whose
+	// interrogation region contains tag t, sorted ascending.
+	tagsOf    [][]int32
+	readersOf [][]int32
+
+	read        []bool
+	unreadCount int
+
+	// scratch buffers for Weight; see weight.go.
+	coverCount []int32
+	coverOwner []int32
+	touched    []int32
+}
+
+// NewSystem builds a system from readers and tags, precomputing coverage
+// lists with a spatial index. Reader and tag IDs are reassigned to their
+// slice indices so the rest of the codebase can use indices and IDs
+// interchangeably. It returns an error if any reader violates the radius
+// invariants.
+func NewSystem(readers []Reader, tags []Tag) (*System, error) {
+	rs := make([]Reader, len(readers))
+	copy(rs, readers)
+	ts := make([]Tag, len(tags))
+	copy(ts, tags)
+	for i := range rs {
+		rs[i].ID = i
+		if err := rs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range ts {
+		ts[i].ID = i
+	}
+
+	s := &System{
+		readers:     rs,
+		tags:        ts,
+		tagsOf:      make([][]int32, len(rs)),
+		readersOf:   make([][]int32, len(ts)),
+		read:        make([]bool, len(ts)),
+		unreadCount: len(ts),
+		coverCount:  make([]int32, len(ts)),
+		coverOwner:  make([]int32, len(ts)),
+		touched:     make([]int32, 0, len(ts)),
+	}
+
+	if len(ts) > 0 {
+		pts := make([]geom.Point, len(ts))
+		for i, t := range ts {
+			pts[i] = t.Pos
+		}
+		cell := medianInterrogation(rs)
+		idx := geom.NewSpatialGrid(pts, cell)
+		for i, r := range rs {
+			covered := idx.QueryDisk(r.InterrogationDisk(), nil)
+			sort.Slice(covered, func(a, b int) bool { return covered[a] < covered[b] })
+			s.tagsOf[i] = covered
+			for _, t := range covered {
+				s.readersOf[t] = append(s.readersOf[t], int32(i))
+			}
+		}
+	}
+	return s, nil
+}
+
+func medianInterrogation(rs []Reader) float64 {
+	if len(rs) == 0 {
+		return 1
+	}
+	radii := make([]float64, len(rs))
+	for i, r := range rs {
+		radii[i] = r.InterrogationR
+	}
+	sort.Float64s(radii)
+	m := radii[len(radii)/2]
+	if m <= 0 {
+		return 1
+	}
+	return m
+}
+
+// NumReaders returns the number of readers.
+func (s *System) NumReaders() int { return len(s.readers) }
+
+// NumTags returns the number of tags.
+func (s *System) NumTags() int { return len(s.tags) }
+
+// Reader returns reader i by value.
+func (s *System) Reader(i int) Reader { return s.readers[i] }
+
+// Readers returns the reader slice. Callers must not mutate it.
+func (s *System) Readers() []Reader { return s.readers }
+
+// Tag returns tag t by value.
+func (s *System) Tag(t int) Tag { return s.tags[t] }
+
+// Tags returns the tag slice. Callers must not mutate it.
+func (s *System) Tags() []Tag { return s.tags }
+
+// TagsOf returns the sorted indices of tags inside reader i's interrogation
+// region (read and unread alike). Callers must not mutate the slice.
+func (s *System) TagsOf(i int) []int32 { return s.tagsOf[i] }
+
+// ReadersOf returns the sorted indices of readers covering tag t. Callers
+// must not mutate the slice.
+func (s *System) ReadersOf(t int) []int32 { return s.readersOf[t] }
+
+// Independent reports whether readers i and j are independent (Def. 2).
+func (s *System) Independent(i, j int) bool {
+	return s.readers[i].Independent(s.readers[j])
+}
+
+// IsFeasible reports whether X (reader indices) is a feasible scheduling
+// set: pairwise independent per Definition 2.
+func (s *System) IsFeasible(X []int) bool {
+	for a := 0; a < len(X); a++ {
+		for b := a + 1; b < len(X); b++ {
+			if X[a] == X[b] {
+				return false // duplicate activation is not a set
+			}
+			if !s.Independent(X[a], X[b]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsRead reports whether tag t has already been served.
+func (s *System) IsRead(t int) bool { return s.read[t] }
+
+// UnreadCount returns the number of tags not yet served.
+func (s *System) UnreadCount() int { return s.unreadCount }
+
+// MarkRead marks tag t as served. Marking an already-read tag is a no-op.
+func (s *System) MarkRead(t int) {
+	if !s.read[t] {
+		s.read[t] = true
+		s.unreadCount--
+	}
+}
+
+// ResetReads marks every tag unread again, e.g. between experiment trials.
+func (s *System) ResetReads() {
+	for i := range s.read {
+		s.read[i] = false
+	}
+	s.unreadCount = len(s.tags)
+}
+
+// UnreadCoverableCount returns the number of unread tags that at least one
+// reader can interrogate. Tags outside every interrogation region can never
+// be read; a covering schedule terminates when this reaches zero.
+func (s *System) UnreadCoverableCount() int {
+	n := 0
+	for t := range s.tags {
+		if !s.read[t] && len(s.readersOf[t]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CoverableCount returns the number of tags (read or not) covered by at
+// least one reader.
+func (s *System) CoverableCount() int {
+	n := 0
+	for t := range s.tags {
+		if len(s.readersOf[t]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy sharing the immutable geometry but owning its
+// own read-state and scratch buffers, so clones can run on separate
+// goroutines.
+func (s *System) Clone() *System {
+	c := &System{
+		readers:     s.readers,
+		tags:        s.tags,
+		tagsOf:      s.tagsOf,
+		readersOf:   s.readersOf,
+		read:        append([]bool(nil), s.read...),
+		unreadCount: s.unreadCount,
+		coverCount:  make([]int32, len(s.tags)),
+		coverOwner:  make([]int32, len(s.tags)),
+		touched:     make([]int32, 0, len(s.tags)),
+	}
+	return c
+}
+
+// Bounds returns the bounding box of all readers and tags, expanded by the
+// largest interference radius, which is a convenient canvas for the PTAS
+// scaling step.
+func (s *System) Bounds() geom.Rect {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	maxR := 0.0
+	for _, r := range s.readers {
+		minX = math.Min(minX, r.Pos.X)
+		minY = math.Min(minY, r.Pos.Y)
+		maxX = math.Max(maxX, r.Pos.X)
+		maxY = math.Max(maxY, r.Pos.Y)
+		maxR = math.Max(maxR, r.InterferenceR)
+	}
+	for _, t := range s.tags {
+		minX = math.Min(minX, t.Pos.X)
+		minY = math.Min(minY, t.Pos.Y)
+		maxX = math.Max(maxX, t.Pos.X)
+		maxY = math.Max(maxY, t.Pos.Y)
+	}
+	if len(s.readers) == 0 && len(s.tags) == 0 {
+		return geom.R2(0, 0, 1, 1)
+	}
+	return geom.R2(minX, minY, maxX, maxY).Expand(maxR)
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (s *System) String() string {
+	return fmt.Sprintf("System{readers=%d tags=%d unread=%d}", len(s.readers), len(s.tags), s.unreadCount)
+}

@@ -1,0 +1,148 @@
+package model
+
+// This file implements the weight function w(X) of Definition 3 and its
+// relatives. Weight is the hottest operation in the repository — every
+// scheduler calls it inside enumeration loops — so it uses epoch-free
+// scratch buffers owned by the System: coverCount/coverOwner are only ever
+// non-zero for tag indices recorded in touched, and are re-zeroed on exit.
+
+// Weight returns w(X): the number of unread tags that are well-covered when
+// exactly the readers in X are activated (Definition 1/3). X may be any set
+// of reader indices, feasible or not — readers suffering RTc simply
+// contribute nothing, exactly as in the physical model.
+func (s *System) Weight(X []int) int {
+	w, _ := s.weightAndCovered(X, nil, false)
+	return w
+}
+
+// Covered appends to dst the indices of unread tags well-covered under X and
+// returns the extended slice alongside being exactly the tags Weight counts.
+func (s *System) Covered(X []int, dst []int32) []int32 {
+	_, dst = s.weightAndCovered(X, dst, true)
+	return dst
+}
+
+func (s *System) weightAndCovered(X []int, dst []int32, collect bool) (int, []int32) {
+	clean := s.cleanMask(X)
+
+	s.touched = s.touched[:0]
+	for _, v := range X {
+		if v < 0 || v >= len(s.readers) {
+			continue
+		}
+		for _, t := range s.tagsOf[v] {
+			if s.coverCount[t] == 0 {
+				s.touched = append(s.touched, t)
+			}
+			s.coverCount[t]++
+			s.coverOwner[t] = int32(v)
+		}
+	}
+
+	w := 0
+	for _, t := range s.touched {
+		if s.coverCount[t] == 1 && !s.read[t] {
+			owner := s.coverOwner[t]
+			if clean[owner] {
+				w++
+				if collect {
+					dst = append(dst, t)
+				}
+			}
+		}
+		s.coverCount[t] = 0
+	}
+	return w, dst
+}
+
+// cleanMask returns a map-like boolean slice over reader indices marking the
+// readers in X that do NOT suffer RTc: reader v is clean iff no other
+// activated reader u has v inside u's interference disk.
+func (s *System) cleanMask(X []int) []bool {
+	clean := make([]bool, len(s.readers))
+	for _, v := range X {
+		if v >= 0 && v < len(s.readers) {
+			clean[v] = true
+		}
+	}
+	for _, u := range X {
+		if u < 0 || u >= len(s.readers) {
+			continue
+		}
+		for _, v := range X {
+			if u == v || v < 0 || v >= len(s.readers) {
+				continue
+			}
+			if s.readers[u].Interferes(s.readers[v]) {
+				clean[v] = false
+			}
+		}
+	}
+	return clean
+}
+
+// MarginalWeight returns w(X ∪ {v}) - w(X), the quantity Greedy
+// Hill-Climbing maximizes at each step. It may be negative: activating v can
+// destroy previously well-covered tags through RRc overlap or RTc.
+func (s *System) MarginalWeight(X []int, v int) int {
+	base := s.Weight(X)
+	ext := append(append(make([]int, 0, len(X)+1), X...), v)
+	return s.Weight(ext) - base
+}
+
+// CollisionStats describes what happens physically in one slot if the
+// readers in X transmit simultaneously.
+type CollisionStats struct {
+	Activated   int // |X|
+	RTcReaders  int // activated readers drowned by another reader's signal
+	RRcTags     int // unread tags lost to interrogation overlap (count >= 2)
+	WellCovered int // unread tags actually served, == Weight(X)
+}
+
+// Collisions classifies the collision outcome of activating X.
+func (s *System) Collisions(X []int) CollisionStats {
+	st := CollisionStats{Activated: len(X)}
+	clean := s.cleanMask(X)
+	for _, v := range X {
+		if v >= 0 && v < len(s.readers) && !clean[v] {
+			st.RTcReaders++
+		}
+	}
+
+	s.touched = s.touched[:0]
+	for _, v := range X {
+		if v < 0 || v >= len(s.readers) {
+			continue
+		}
+		for _, t := range s.tagsOf[v] {
+			if s.coverCount[t] == 0 {
+				s.touched = append(s.touched, t)
+			}
+			s.coverCount[t]++
+			s.coverOwner[t] = int32(v)
+		}
+	}
+	for _, t := range s.touched {
+		if !s.read[t] {
+			if s.coverCount[t] >= 2 {
+				st.RRcTags++
+			} else if clean[s.coverOwner[t]] {
+				st.WellCovered++
+			}
+		}
+		s.coverCount[t] = 0
+	}
+	return st
+}
+
+// SingletonWeight returns w({v}); Algorithm 2 seeds its growth from the
+// reader maximizing this.
+func (s *System) SingletonWeight(v int) int {
+	w := 0
+	for _, t := range s.tagsOf[v] {
+		if !s.read[t] {
+			w++
+		}
+	}
+	return w
+}

@@ -1,0 +1,186 @@
+// Package mwfs provides an exact branch-and-bound solver for the Maximum
+// Weighted Feasible Scheduling set problem (Definition 6) restricted to a
+// candidate subset of readers.
+//
+// It serves three masters:
+//
+//   - the exact baseline used as ground truth in approximation-ratio tests,
+//   - Algorithm 2/3's local computation of Γ_r(v), the MWFS inside the r-hop
+//     ball of a seed reader (the paper "computes it by enumeration",
+//     justified by the growth-bounded property of interference graphs —
+//     balls contain few mutually independent readers), and
+//   - ablation benchmarks comparing exact and approximate one-shot weights.
+//
+// The search orders candidates by decreasing singleton weight and prunes
+// with the subadditive bound w(X ∪ S) <= w(X) + Σ_{v∈S} w({v}), which holds
+// because a newly activated reader can only create well-covered tags inside
+// its own interrogation region.
+package mwfs
+
+import (
+	"rfidsched/internal/model"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes caps the number of search-tree nodes; 0 means the default
+	// (4M). When the cap is hit the best set found so far is returned with
+	// Exact=false in the result.
+	MaxNodes int
+
+	// Independent overrides the feasibility predicate. Algorithms 2 and 3
+	// pass graph adjacency here so that feasibility is judged purely from
+	// the (possibly survey-estimated) interference graph, never from
+	// geometry. Nil means the system's geometric independence (Def. 2).
+	Independent func(u, v int) bool
+
+	// Context lists readers already committed to be active elsewhere. The
+	// solver then maximizes the MARGINAL weight w(set ∪ Context) -
+	// w(Context), so interrogation overlaps between the candidate set and
+	// the context are charged to the candidates. Candidates are not
+	// required to be independent from the context — feasibility across
+	// clusters is the caller's concern (Algorithms 2/3 guarantee it by hop
+	// separation); the context only shapes the objective.
+	Context []int
+}
+
+// Result reports the solved set and search telemetry.
+type Result struct {
+	Set    []int // reader indices, ascending
+	Weight int
+	Exact  bool // false if the node cap truncated the search
+	Nodes  int  // search nodes expanded
+}
+
+const defaultMaxNodes = 4 << 20
+
+// Solve returns a maximum-weight feasible subset of candidates for the
+// current unread-tag state of sys. The candidates slice is not mutated.
+func Solve(sys *model.System, candidates []int, opts Options) Result {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxNodes
+	}
+
+	// Order by singleton weight, heaviest first: good solutions early make
+	// the bound bite.
+	cand := make([]int, 0, len(candidates))
+	for _, v := range candidates {
+		if v >= 0 && v < sys.NumReaders() {
+			cand = append(cand, v)
+		}
+	}
+	single := make(map[int]int, len(cand))
+	for _, v := range cand {
+		single[v] = sys.SingletonWeight(v)
+	}
+	insertionSortBy(cand, func(a, b int) bool {
+		if single[a] != single[b] {
+			return single[a] > single[b]
+		}
+		return a < b
+	})
+
+	// suffix[i] = sum of singleton weights of cand[i:]; upper bound on any
+	// weight still obtainable from the remaining candidates.
+	suffix := make([]int, len(cand)+1)
+	for i := len(cand) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + single[cand[i]]
+	}
+
+	indep := opts.Independent
+	if indep == nil {
+		indep = sys.Independent
+	}
+	s := &solver{
+		sys:      sys,
+		indep:    indep,
+		cand:     cand,
+		suffix:   suffix,
+		maxNodes: maxNodes,
+		exact:    true,
+		ctx:      opts.Context,
+		ctxW:     sys.Weight(opts.Context),
+	}
+	s.best = append([]int(nil), s.cur...) // empty set, marginal weight 0
+	s.rec(0, 0)
+
+	set := append([]int(nil), s.best...)
+	insertionSortBy(set, func(a, b int) bool { return a < b })
+	return Result{Set: set, Weight: s.bestW, Exact: s.exact, Nodes: s.nodes}
+}
+
+type solver struct {
+	sys      *model.System
+	indep    func(u, v int) bool
+	cand     []int
+	suffix   []int
+	cur      []int
+	curW     int
+	best     []int
+	bestW    int
+	nodes    int
+	maxNodes int
+	exact    bool
+	ctx      []int
+	ctxW     int
+	scratch  []int
+}
+
+// marginal returns w(cur ∪ ctx) - w(ctx) for the current partial set.
+func (s *solver) marginal() int {
+	if len(s.ctx) == 0 {
+		return s.sys.Weight(s.cur)
+	}
+	s.scratch = s.scratch[:0]
+	s.scratch = append(s.scratch, s.cur...)
+	s.scratch = append(s.scratch, s.ctx...)
+	return s.sys.Weight(s.scratch) - s.ctxW
+}
+
+func (s *solver) rec(i, curW int) {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.exact = false
+		return
+	}
+	if curW > s.bestW {
+		s.bestW = curW
+		s.best = append(s.best[:0], s.cur...)
+	}
+	if i >= len(s.cand) {
+		return
+	}
+	// Bound: nothing past i can add more than suffix[i].
+	if curW+s.suffix[i] <= s.bestW {
+		return
+	}
+
+	v := s.cand[i]
+	// Branch 1: include v if feasible with the current set.
+	feasible := true
+	for _, u := range s.cur {
+		if !s.indep(u, v) {
+			feasible = false
+			break
+		}
+	}
+	if feasible {
+		s.cur = append(s.cur, v)
+		s.rec(i+1, s.marginal())
+		s.cur = s.cur[:len(s.cur)-1]
+	}
+	// Branch 2: exclude v.
+	s.rec(i+1, curW)
+}
+
+// insertionSortBy sorts a small slice in place with the given less func;
+// candidate lists here are tiny (<= number of readers), so this beats the
+// interface overhead of sort.Slice on the hot local-MWFS path.
+func insertionSortBy(a []int, less func(x, y int) bool) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && less(a[j], a[j-1]); j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

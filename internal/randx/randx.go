@@ -1,0 +1,208 @@
+// Package randx provides the deterministic random number generation used by
+// every stochastic component of rfidsched: deployment generation, radius
+// assignment (the paper draws interference and interrogation radii from
+// Poisson distributions with means lambdaR and lambdar), link-layer slot
+// selection, Colorwave color rolls, and shadowing noise in the RF survey.
+//
+// The core generator is a splitmix64-style splittable generator (Steele,
+// Lea, Flood 2014) implemented from scratch so experiments are
+// bit-reproducible across Go releases — math/rand's stream ordering is not
+// part of its compatibility promise. The type also satisfies math/rand's
+// Source/Source64 for callers that want the stdlib convenience methods.
+package randx
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator. The zero
+// value is not usable; construct with New. RNG is not safe for concurrent
+// use; give each goroutine its own stream via Split.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+// New returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{inc: 0xda3e39cb94b95bdb | 1}
+	r.state = splitmix64(&seed)
+	r.Uint64() // decorrelate the first output from the raw seed
+	return r
+}
+
+// NewStream returns a generator on an independent stream: same seed,
+// different stream index. Streams with distinct indices are statistically
+// independent, which is how per-trial and per-goroutine generators are
+// derived from one experiment seed.
+func NewStream(seed, stream uint64) *RNG {
+	s := seed
+	r := &RNG{inc: (splitmix64(&s)+2*stream)<<1 | 1}
+	r.state = splitmix64(&s) + stream*0x9e3779b97f4a7c15
+	r.Uint64()
+	return r
+}
+
+// Split derives a new independent generator from r, advancing r.
+func (r *RNG) Split() *RNG {
+	return NewStream(r.Uint64(), r.Uint64())
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits. The generator is a
+// splitmix64-style counter generator (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators"): the state advances by a per-stream odd
+// gamma and the output is a finalizing bijective mix of the new state.
+func (r *RNG) Uint64() uint64 {
+	r.state += r.inc
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative 63-bit integer; part of rand.Source.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed is part of rand.Source; it reseeds the generator in place.
+func (r *RNG) Seed(seed int64) { *r = *New(uint64(seed)) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, bias-free.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hi = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi += aHi*bHi + t>>32
+	return hi, lo
+}
+
+// UniformRange returns a uniform value in [lo, hi).
+func (r *RNG) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Normal returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormalMS returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) NormalMS(mean, sd float64) float64 { return mean + sd*r.Normal() }
+
+// Exponential returns an exponential variate with the given rate (mean
+// 1/rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("randx: Exponential with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Poisson returns a Poisson variate with the given mean lambda. The paper's
+// radius assignment draws R_i ~ Poisson(lambdaR) and r_i ~ Poisson(lambdar).
+// Knuth's product method is used for small lambda; for large lambda the
+// method switches to the normal approximation with continuity correction,
+// clamped at zero, which is accurate to well under the experiment's trial
+// noise for lambda >= 30.
+func (r *RNG) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		limit := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	default:
+		v := math.Floor(r.NormalMS(lambda, math.Sqrt(lambda)) + 0.5)
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+}
+
+// PoissonPositive returns a Poisson variate conditioned to be at least 1.
+// Radius assignment uses it so no reader ends up with a zero range.
+func (r *RNG) PoissonPositive(lambda float64) int {
+	for i := 0; i < 10000; i++ {
+		if v := r.Poisson(lambda); v > 0 {
+			return v
+		}
+	}
+	return 1 // lambda so small that rejection is hopeless; degenerate to 1
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,305 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between streams", same)
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	a := New(9)
+	c := a.Split()
+	if a.Uint64() == c.Uint64() {
+		t.Error("split stream identical to parent")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/7.0) > 0.05*n/7.0 {
+			t.Errorf("bucket %d count %d far from uniform %d", i, c, n/7)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 1000; i++ {
+		v := r.UniformRange(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("UniformRange out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestNormalMS(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormalMS(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Errorf("NormalMS mean = %v", mean)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(10)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("exponential mean = %v, want 0.5", mean)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestPoissonSmallLambda(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	lambda := 5.0
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := float64(r.Poisson(lambda))
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-lambda) > 0.05 {
+		t.Errorf("poisson mean = %v, want %v", mean, lambda)
+	}
+	if math.Abs(variance-lambda) > 0.15 {
+		t.Errorf("poisson variance = %v, want %v", variance, lambda)
+	}
+}
+
+func TestPoissonLargeLambda(t *testing.T) {
+	r := New(12)
+	const n = 100000
+	lambda := 100.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Poisson(lambda))
+	}
+	if mean := sum / n; math.Abs(mean-lambda) > 0.5 {
+		t.Errorf("poisson(100) mean = %v", mean)
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if v := r.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d", v)
+		}
+		if v := r.Poisson(-1); v != 0 {
+			t.Fatalf("Poisson(-1) = %d", v)
+		}
+	}
+}
+
+func TestPoissonPositive(t *testing.T) {
+	r := New(14)
+	for _, lambda := range []float64{0.001, 0.5, 3, 50} {
+		for i := 0; i < 200; i++ {
+			if v := r.PoissonPositive(lambda); v < 1 {
+				t.Fatalf("PoissonPositive(%v) = %d", lambda, v)
+			}
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(15)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) len = %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(16)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), s...)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make(map[int]bool)
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != len(orig) {
+		t.Errorf("shuffle lost elements: %v", s)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			count++
+		}
+	}
+	if frac := float64(count) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+// RNG satisfies math/rand.Source so it can back stdlib helpers.
+func TestSourceCompat(t *testing.T) {
+	src := New(18)
+	stdr := rand.New(src)
+	for i := 0; i < 100; i++ {
+		v := stdr.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("stdlib adapter out of range: %d", v)
+		}
+	}
+}
+
+func TestSeedMethod(t *testing.T) {
+	r := New(1)
+	r.Seed(99)
+	want := New(99)
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != want.Uint64() {
+			t.Fatal("Seed did not reset to seed-99 stream")
+		}
+	}
+}
+
+func TestMul128(t *testing.T) {
+	hi, lo := mul128(0xffffffffffffffff, 0xffffffffffffffff)
+	// (2^64-1)^2 = 2^128 - 2^65 + 1
+	if hi != 0xfffffffffffffffe || lo != 1 {
+		t.Errorf("mul128 max = (%x, %x)", hi, lo)
+	}
+	hi, lo = mul128(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Errorf("mul128(2^32,2^32) = (%x, %x)", hi, lo)
+	}
+	hi, lo = mul128(12345, 67890)
+	if hi != 0 || lo != 12345*67890 {
+		t.Errorf("mul128 small = (%x, %x)", hi, lo)
+	}
+}

@@ -1,0 +1,249 @@
+// Package slotsim is the discrete slot-level simulator gluing a reader
+// activation schedule to the link layer: it is the instrument corresponding
+// to the paper's "custom simulator" (Section VI) plus a finer-grained
+// air-time model.
+//
+// Each macro slot activates the reader set chosen by a one-shot scheduler;
+// every clean (non-RTc) reader then inventories its well-covered tags with
+// a tag anti-collision protocol, costing link-layer micro slots. The
+// simulator therefore reports both the paper's metric (macro slots until
+// every coverable tag is read) and total air time (micro slots), along with
+// RTc/RRc collision telemetry per slot.
+//
+// As an extension beyond the paper's static-tag model (its Related Work
+// points out that EGA assumes "no new tags will appear in the system
+// dynamically"), the simulator optionally injects tag arrivals between
+// macro slots, rebuilding coverage incrementally, so churn experiments can
+// measure how the schedulers track a moving population.
+package slotsim
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidsched/internal/anticollision"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+)
+
+// Config tunes a simulation run.
+type Config struct {
+	// Link is the tag anti-collision protocol used inside each macro slot.
+	// nil models the paper's idealized slot: every well-covered tag is read
+	// in exactly one micro slot.
+	Link anticollision.Protocol
+
+	// MaxMacroSlots caps the run (0 = 100000).
+	MaxMacroSlots int
+
+	// Seed drives link-layer randomness and arrivals.
+	Seed uint64
+
+	// RecordTimeline retains per-slot statistics.
+	RecordTimeline bool
+
+	// ArrivalRate is the Poisson mean of new tags appearing per macro slot
+	// (0 = the paper's static population). Arrivals are uniform in the
+	// arrival region.
+	ArrivalRate float64
+
+	// ArrivalRegion is the box new tags appear in; the zero value uses the
+	// system's bounding box.
+	ArrivalRegion geom.Rect
+
+	// MaxArrivals caps total injected tags so runs terminate (default
+	// 10x initial population when ArrivalRate > 0).
+	MaxArrivals int
+}
+
+// SlotStats records one macro slot.
+type SlotStats struct {
+	Slot       int
+	Active     []int
+	TagsRead   int
+	MicroSlots int
+	RTcReaders int
+	RRcTags    int
+	Arrivals   int
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Algorithm       string
+	MacroSlots      int
+	TotalMicroSlots int
+	TagsRead        int
+	TagsInjected    int
+	Incomplete      bool
+	Timeline        []SlotStats
+
+	// Final is the system state at the end of the run. With tag arrivals
+	// the simulator rebuilds the system, so the caller's original pointer
+	// goes stale; read the final population from here.
+	Final *model.System
+}
+
+// Run simulates sched on sys until every coverable tag has been read (and,
+// with churn enabled, the arrival budget is exhausted and drained). The
+// system's read state is mutated; pass a clone to preserve the original.
+func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, error) {
+	maxSlots := cfg.MaxMacroSlots
+	if maxSlots <= 0 {
+		maxSlots = 100000
+	}
+	rng := randx.New(cfg.Seed)
+	res := &Result{Algorithm: sched.Name()}
+
+	arrivalsLeft := 0
+	if cfg.ArrivalRate > 0 {
+		arrivalsLeft = cfg.MaxArrivals
+		if arrivalsLeft <= 0 {
+			arrivalsLeft = 10 * sys.NumTags()
+		}
+	}
+	region := cfg.ArrivalRegion
+	if region.Width() == 0 || region.Height() == 0 {
+		region = sys.Bounds()
+	}
+
+	for sys.UnreadCoverableCount() > 0 || arrivalsLeft > 0 {
+		if res.MacroSlots >= maxSlots {
+			res.Incomplete = true
+			break
+		}
+		// Inject arrivals before scheduling the slot.
+		arrived := 0
+		if cfg.ArrivalRate > 0 && arrivalsLeft > 0 {
+			arrived = rng.Poisson(cfg.ArrivalRate)
+			if arrived > arrivalsLeft {
+				arrived = arrivalsLeft
+			}
+			arrivalsLeft -= arrived
+			if arrived > 0 {
+				var err error
+				sys, err = injectTags(sys, arrived, region, rng)
+				if err != nil {
+					return nil, err
+				}
+				res.TagsInjected += arrived
+			}
+		}
+		if sys.UnreadCoverableCount() == 0 {
+			if arrivalsLeft == 0 {
+				break
+			}
+			// Nothing to read yet; an idle macro slot passes while we wait
+			// for arrivals.
+			res.MacroSlots++
+			continue
+		}
+
+		X, err := sched.OneShot(sys)
+		if err != nil {
+			return nil, fmt.Errorf("slotsim: %s failed at slot %d: %w", sched.Name(), res.MacroSlots, err)
+		}
+		covered := sys.Covered(X, nil)
+		if len(covered) == 0 && sys.UnreadCoverableCount() > 0 {
+			// Zero-progress guard: replace a useless activation with the
+			// best singleton so the run always terminates (slot-level
+			// experiments should not burn hundreds of dead slots the way
+			// a patient MCS driver can afford to).
+			X = []int{bestSingleton(sys)}
+			covered = sys.Covered(X, nil)
+		}
+		col := sys.Collisions(X)
+
+		micro := len(covered) // ideal link layer: one micro slot per tag
+		if cfg.Link != nil {
+			micro = 0
+			counts := perReaderCounts(sys, X, covered)
+			// Deterministic reader order: the link-layer RNG is shared, so
+			// map-iteration order would otherwise leak into the totals.
+			owners := make([]int, 0, len(counts))
+			for v := range counts {
+				owners = append(owners, v)
+			}
+			sort.Ints(owners)
+			for _, v := range owners {
+				micro += cfg.Link.Inventory(counts[v], rng).Slots
+			}
+		}
+		for _, t := range covered {
+			sys.MarkRead(int(t))
+		}
+
+		res.MacroSlots++
+		res.TotalMicroSlots += micro
+		res.TagsRead += len(covered)
+		if cfg.RecordTimeline {
+			res.Timeline = append(res.Timeline, SlotStats{
+				Slot:       res.MacroSlots - 1,
+				Active:     append([]int(nil), X...),
+				TagsRead:   len(covered),
+				MicroSlots: micro,
+				RTcReaders: col.RTcReaders,
+				RRcTags:    col.RRcTags,
+				Arrivals:   arrived,
+			})
+		}
+	}
+	res.Final = sys
+	return res, nil
+}
+
+// perReaderCounts returns, for each clean active reader, how many of the
+// covered tags it owns (the population it must singulate).
+func perReaderCounts(sys *model.System, X []int, covered []int32) map[int]int {
+	owner := make(map[int32]int, len(covered))
+	counts := make(map[int]int)
+	for _, t := range covered {
+		// The owner is the unique active reader covering t.
+		for _, r := range sys.ReadersOf(int(t)) {
+			for _, v := range X {
+				if int(r) == v {
+					owner[t] = v
+				}
+			}
+		}
+	}
+	for _, v := range owner {
+		counts[v]++
+	}
+	return counts
+}
+
+func bestSingleton(sys *model.System) int {
+	best, bestW := 0, -1
+	for v := 0; v < sys.NumReaders(); v++ {
+		if w := sys.SingletonWeight(v); w > bestW {
+			best, bestW = v, w
+		}
+	}
+	return best
+}
+
+// injectTags rebuilds the system with extra tags appended, carrying over
+// the read state of the existing population.
+func injectTags(sys *model.System, n int, region geom.Rect, rng *randx.RNG) (*model.System, error) {
+	readers := sys.Readers()
+	oldTags := sys.Tags()
+	tags := make([]model.Tag, 0, len(oldTags)+n)
+	tags = append(tags, oldTags...)
+	for i := 0; i < n; i++ {
+		tags = append(tags, model.Tag{Pos: geom.Pt(
+			rng.UniformRange(region.Min.X, region.Max.X),
+			rng.UniformRange(region.Min.Y, region.Max.Y),
+		)})
+	}
+	next, err := model.NewSystem(readers, tags)
+	if err != nil {
+		return nil, fmt.Errorf("slotsim: rebuilding system with arrivals: %w", err)
+	}
+	for t := 0; t < len(oldTags); t++ {
+		if sys.IsRead(t) {
+			next.MarkRead(t)
+		}
+	}
+	return next, nil
+}

@@ -1,0 +1,239 @@
+package slotsim
+
+import (
+	"testing"
+
+	"rfidsched/internal/anticollision"
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+)
+
+func paperSystem(t *testing.T, seed uint64) *model.System {
+	t.Helper()
+	sys, err := deploy.Generate(deploy.Paper(seed, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestIdealLinkReadsAllCoverable(t *testing.T) {
+	sys := paperSystem(t, 1)
+	coverable := sys.CoverableCount()
+	g := graph.FromSystem(sys)
+	res, err := Run(sys, core.NewGrowth(g, 1.25), Config{RecordTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Fatal("incomplete")
+	}
+	if res.TagsRead != coverable {
+		t.Errorf("read %d of %d coverable", res.TagsRead, coverable)
+	}
+	// Ideal link layer: one micro slot per tag.
+	if res.TotalMicroSlots != res.TagsRead {
+		t.Errorf("ideal link micro slots %d != tags %d", res.TotalMicroSlots, res.TagsRead)
+	}
+	if len(res.Timeline) != res.MacroSlots {
+		t.Errorf("timeline length %d != %d slots", len(res.Timeline), res.MacroSlots)
+	}
+	sum := 0
+	for _, sl := range res.Timeline {
+		sum += sl.TagsRead
+	}
+	if sum != res.TagsRead {
+		t.Errorf("timeline reads %d != total %d", sum, res.TagsRead)
+	}
+	if res.Final == nil {
+		t.Error("Final system not set")
+	}
+}
+
+func TestLinkLayerCostsMoreThanIdeal(t *testing.T) {
+	base := paperSystem(t, 3)
+	g := graph.FromSystem(base)
+
+	ideal, err := Run(base.Clone(), core.NewGrowth(g, 1.25), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aloha, err := Run(base.Clone(), core.NewGrowth(g, 1.25), Config{
+		Seed: 5, Link: anticollision.VogtALOHA{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aloha.TotalMicroSlots <= ideal.TotalMicroSlots {
+		t.Errorf("ALOHA micro slots %d not above ideal %d", aloha.TotalMicroSlots, ideal.TotalMicroSlots)
+	}
+	if aloha.TagsRead != ideal.TagsRead {
+		t.Errorf("link layer changed tags read: %d vs %d", aloha.TagsRead, ideal.TagsRead)
+	}
+}
+
+func TestArrivalsAreReadToo(t *testing.T) {
+	sys := paperSystem(t, 7)
+	g := graph.FromSystem(sys)
+	res, err := Run(sys, core.NewGrowth(g, 1.25), Config{
+		Seed:        9,
+		ArrivalRate: 20,
+		MaxArrivals: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TagsInjected != 200 {
+		t.Errorf("injected %d, want 200", res.TagsInjected)
+	}
+	if res.Incomplete {
+		t.Fatal("incomplete with arrivals")
+	}
+	if res.Final.UnreadCoverableCount() != 0 {
+		t.Error("coverable arrivals left unread")
+	}
+	// Every coverable tag — initial population and arrivals alike — must
+	// end up read. (Only ~40% of uniform tags fall inside any
+	// interrogation region at these radii, so compare against coverable.)
+	if res.TagsRead != res.Final.CoverableCount() {
+		t.Errorf("read %d, coverable %d", res.TagsRead, res.Final.CoverableCount())
+	}
+	if res.Final.NumTags() != 1400 {
+		t.Errorf("final population %d, want 1400", res.Final.NumTags())
+	}
+}
+
+func TestMaxSlotsCap(t *testing.T) {
+	sys := paperSystem(t, 11)
+	lazy := model.Func{SchedName: "lazy", F: func(*model.System) ([]int, error) { return nil, nil }}
+	res, err := Run(sys, lazy, Config{MaxMacroSlots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero-progress guard turns every lazy slot into a singleton read,
+	// so the run makes progress but may still hit the cap.
+	if res.MacroSlots > 5 {
+		t.Errorf("macro slots %d exceeded cap", res.MacroSlots)
+	}
+	if res.TagsRead == 0 {
+		t.Error("guard did not force progress")
+	}
+}
+
+func TestSchedulerErrorPropagates(t *testing.T) {
+	sys := paperSystem(t, 13)
+	bad := model.Func{SchedName: "bad", F: func(*model.System) ([]int, error) {
+		return nil, errBoom
+	}}
+	if _, err := Run(sys, bad, Config{}); err == nil {
+		t.Error("error swallowed")
+	}
+}
+
+var errBoom = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestCollisionTelemetry(t *testing.T) {
+	sys := paperSystem(t, 15)
+	res, err := Run(sys, baseline.GHC{}, Config{RecordTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sl := range res.Timeline {
+		if sl.RTcReaders < 0 || sl.RRcTags < 0 {
+			t.Fatalf("negative collision stats: %+v", sl)
+		}
+	}
+}
+
+func TestPerReaderCounts(t *testing.T) {
+	readers := []model.Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 8, InterrogationR: 6},
+		{Pos: geom.Pt(20, 0), InterferenceR: 8, InterrogationR: 6},
+	}
+	tags := []model.Tag{
+		{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(1, 0)}, {Pos: geom.Pt(20, 0)},
+	}
+	sys, err := model.NewSystem(readers, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := []int{0, 1}
+	covered := sys.Covered(X, nil)
+	counts := perReaderCounts(sys, X, covered)
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestColorwaveUnderSlotSim(t *testing.T) {
+	sys := paperSystem(t, 17)
+	g := graph.FromSystem(sys)
+	res, err := Run(sys, baseline.NewColorwave(g, 19), Config{MaxMacroSlots: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Errorf("colorwave incomplete after %d slots", res.MacroSlots)
+	}
+}
+
+func TestTimelineRecordsArrivals(t *testing.T) {
+	sys := paperSystem(t, 21)
+	g := graph.FromSystem(sys)
+	res, err := Run(sys, core.NewGrowth(g, 1.25), Config{
+		Seed: 23, ArrivalRate: 10, MaxArrivals: 50, RecordTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sl := range res.Timeline {
+		total += sl.Arrivals
+	}
+	if total != res.TagsInjected {
+		t.Errorf("timeline arrivals %d != injected %d", total, res.TagsInjected)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	mk := func() *Result {
+		sys := paperSystem(t, 25)
+		g := graph.FromSystem(sys)
+		res, err := Run(sys, core.NewGrowth(g, 1.25), Config{
+			Seed: 27, Link: anticollision.VogtALOHA{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.MacroSlots != b.MacroSlots || a.TotalMicroSlots != b.TotalMicroSlots || a.TagsRead != b.TagsRead {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMicroSlotsAtLeastTags(t *testing.T) {
+	sys := paperSystem(t, 29)
+	g := graph.FromSystem(sys)
+	for _, link := range []anticollision.Protocol{
+		anticollision.VogtALOHA{}, anticollision.TreeSplitting{}, anticollision.QProtocol{},
+	} {
+		res, err := Run(sys.Clone(), core.NewGrowth(g, 1.25), Config{Seed: 31, Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalMicroSlots < res.TagsRead {
+			t.Errorf("%s: %d micro slots for %d tags is impossible",
+				link.Name(), res.TotalMicroSlots, res.TagsRead)
+		}
+	}
+}

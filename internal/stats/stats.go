@@ -1,0 +1,146 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: single-pass (Welford) accumulators with confidence
+// intervals, and summary helpers. All computations are numerically stable
+// and allocation-free on the hot path.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Acc accumulates samples with Welford's online algorithm. The zero value
+// is ready to use.
+type Acc struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample into the accumulator.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the sample count.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// SE returns the standard error of the mean.
+func (a *Acc) SE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Std() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (a *Acc) CI95() float64 { return 1.96 * a.SE() }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Acc) Max() float64 { return a.max }
+
+// Merge folds another accumulator into a (Chan et al. parallel variance).
+func (a *Acc) Merge(b *Acc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	delta := b.mean - a.mean
+	total := a.n + b.n
+	a.mean += delta * float64(b.n) / float64(total)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(total)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = total
+}
+
+// Summary describes a sample set.
+type Summary struct {
+	N                int
+	Mean, Std, CI95  float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary of xs (zero Summary for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N: a.N(), Mean: a.Mean(), Std: a.Std(), CI95: a.CI95(),
+		Min: a.Min(), Median: quantileSorted(sorted, 0.5), Max: a.Max(),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation; NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

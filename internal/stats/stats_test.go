@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almost(a.Var(), 32.0/7, 1e-12) {
+		t.Errorf("Var = %v", a.Var())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 || a.SE() != 0 || a.CI95() != 0 {
+		t.Error("empty accumulator not all-zero")
+	}
+}
+
+func TestAccSingle(t *testing.T) {
+	var a Acc
+	a.Add(3)
+	if a.Var() != 0 || a.Mean() != 3 || a.Min() != 3 || a.Max() != 3 {
+		t.Error("single-sample stats wrong")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Acc
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 5))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 5))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %v -> %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		var whole Acc
+		for _, x := range clean {
+			whole.Add(x)
+		}
+		var a, b Acc
+		for i, x := range clean {
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(whole.Mean())
+		return almost(a.Mean(), whole.Mean(), 1e-9*scale) &&
+			almost(a.Var(), whole.Var(), 1e-6*(1+whole.Var())) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Acc
+	a.Merge(&b) // both empty
+	if a.N() != 0 {
+		t.Error("merging empties changed N")
+	}
+	b.Add(5)
+	a.Merge(&b)
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Error("merge into empty broken")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary N != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Error("single-element quantile")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated input")
+	}
+}

@@ -1,0 +1,146 @@
+// Package survey simulates the RF site survey the paper invokes (Section V,
+// footnote 1: "This can be done by a RF site survey using a localization
+// device and radio signal strength measurement device") to obtain the
+// interference graph without knowing reader coordinates.
+//
+// Physical model: log-distance path loss with log-normal shadowing,
+//
+//	RSS(d) = P_tx - PL0 - 10·α·log10(d/1m) + N(0, σ)
+//
+// Each reader's transmit power is calibrated so its signal crosses the
+// interference threshold exactly at its interference radius R_i; the survey
+// then measures each directed link with K samples and declares "j is inside
+// i's interference region" when the averaged RSS clears the threshold. With
+// σ = 0 the estimated graph equals the true interference graph; with noise
+// the graph has missing/extra edges, which is precisely the regime
+// Algorithms 2 and 3 must tolerate. A positive Margin makes the survey
+// conservative (extra edges): a schedule feasible on a conservative graph
+// is feasible in the real system, trading throughput for safety.
+package survey
+
+import (
+	"math"
+
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+)
+
+// Params configures the survey.
+type Params struct {
+	// PathLossExp is the path-loss exponent α (2 = free space, 3-4 = indoor
+	// clutter). Default 3.
+	PathLossExp float64
+	// RefLoss is PL0, the loss at 1 m in dB. Default 40.
+	RefLoss float64
+	// ShadowSigma is the log-normal shadowing std-dev in dB. Default 2.
+	ShadowSigma float64
+	// Samples is the number of RSS measurements averaged per directed link.
+	// Default 8.
+	Samples int
+	// Threshold is the interference RSS threshold in dBm. Default -70.
+	Threshold float64
+	// Margin (dB) biases the edge decision: positive values declare edges
+	// that are Margin below the threshold, over-approximating interference.
+	Margin float64
+	// Seed drives the shadowing noise.
+	Seed uint64
+}
+
+// Defaults fills zero fields with the documented defaults.
+func (p Params) Defaults() Params {
+	if p.PathLossExp == 0 {
+		p.PathLossExp = 3
+	}
+	if p.RefLoss == 0 {
+		p.RefLoss = 40
+	}
+	if p.Samples <= 0 {
+		p.Samples = 8
+	}
+	if p.Threshold == 0 {
+		p.Threshold = -70
+	}
+	return p
+}
+
+// Report compares the estimated graph with the true interference graph.
+type Report struct {
+	TruePositive  int // edges present in both
+	FalsePositive int // estimated edges absent from the true graph
+	FalseNegative int // true edges the survey missed
+	TrueNegative  int // non-edges in both
+}
+
+// Precision returns TP/(TP+FP), or 1 if no edges were estimated.
+func (r Report) Precision() float64 {
+	if r.TruePositive+r.FalsePositive == 0 {
+		return 1
+	}
+	return float64(r.TruePositive) / float64(r.TruePositive+r.FalsePositive)
+}
+
+// Recall returns TP/(TP+FN), or 1 if the true graph has no edges.
+func (r Report) Recall() float64 {
+	if r.TruePositive+r.FalseNegative == 0 {
+		return 1
+	}
+	return float64(r.TruePositive) / float64(r.TruePositive+r.FalseNegative)
+}
+
+// EstimateGraph runs the survey over every reader pair and returns the
+// estimated interference graph plus an accuracy report against the true
+// geometry.
+func EstimateGraph(sys *model.System, p Params) (*graph.Graph, Report, error) {
+	p = p.Defaults()
+	rng := randx.New(p.Seed)
+	n := sys.NumReaders()
+
+	var edges [][2]int
+	var rep Report
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			est := p.linkCovered(sys, i, j, rng) || p.linkCovered(sys, j, i, rng)
+			truth := !sys.Independent(i, j)
+			switch {
+			case est && truth:
+				rep.TruePositive++
+			case est && !truth:
+				rep.FalsePositive++
+			case !est && truth:
+				rep.FalseNegative++
+			default:
+				rep.TrueNegative++
+			}
+			if est {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		return nil, rep, err
+	}
+	return g, rep, nil
+}
+
+// linkCovered measures the directed link i -> j: is reader j inside reader
+// i's interference region according to averaged RSS samples?
+func (p Params) linkCovered(sys *model.System, i, j int, rng *randx.RNG) bool {
+	ri := sys.Reader(i)
+	d := ri.Pos.Dist(sys.Reader(j).Pos)
+	if d < 1e-9 {
+		return true // co-located readers always interfere
+	}
+	// Calibrated transmit power: RSS(R_i) == Threshold when σ = 0.
+	ptx := p.Threshold + p.RefLoss + 10*p.PathLossExp*math.Log10(math.Max(ri.InterferenceR, 1e-9))
+	mean := ptx - p.RefLoss - 10*p.PathLossExp*math.Log10(d)
+	if p.ShadowSigma > 0 {
+		noise := 0.0
+		for s := 0; s < p.Samples; s++ {
+			noise += rng.NormalMS(0, p.ShadowSigma)
+		}
+		mean += noise / float64(p.Samples)
+	}
+	return mean+p.Margin >= p.Threshold
+}

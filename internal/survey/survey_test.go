@@ -1,0 +1,173 @@
+package survey
+
+import (
+	"testing"
+
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+)
+
+func paperSystem(t *testing.T, seed uint64) *model.System {
+	t.Helper()
+	sys, err := deploy.Generate(deploy.Paper(seed, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNoiselessSurveyIsExact(t *testing.T) {
+	sys := paperSystem(t, 1)
+	est, rep, err := EstimateGraph(sys, Params{ShadowSigma: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := graph.FromSystem(sys)
+	if rep.FalsePositive != 0 || rep.FalseNegative != 0 {
+		t.Errorf("noiseless survey erred: %+v", rep)
+	}
+	if est.M() != truth.M() {
+		t.Errorf("edge counts differ: est %d true %d", est.M(), truth.M())
+	}
+	for i := 0; i < truth.N(); i++ {
+		for j := i + 1; j < truth.N(); j++ {
+			if est.HasEdge(i, j) != truth.HasEdge(i, j) {
+				t.Fatalf("edge (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+	if rep.Precision() != 1 || rep.Recall() != 1 {
+		t.Errorf("precision %v recall %v", rep.Precision(), rep.Recall())
+	}
+}
+
+func TestNoisySurveyStillGoodOnAverage(t *testing.T) {
+	sys := paperSystem(t, 3)
+	_, rep, err := EstimateGraph(sys, Params{ShadowSigma: 2, Samples: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Precision() < 0.8 {
+		t.Errorf("precision %v too low for sigma=2", rep.Precision())
+	}
+	if rep.Recall() < 0.8 {
+		t.Errorf("recall %v too low for sigma=2", rep.Recall())
+	}
+}
+
+func TestMoreNoiseMoreErrors(t *testing.T) {
+	sys := paperSystem(t, 5)
+	_, low, err := EstimateGraph(sys, Params{ShadowSigma: 1, Samples: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, high, err := EstimateGraph(sys, Params{ShadowSigma: 8, Samples: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowErr := low.FalsePositive + low.FalseNegative
+	highErr := high.FalsePositive + high.FalseNegative
+	if highErr <= lowErr {
+		t.Errorf("sigma=8 errors (%d) not above sigma=1 errors (%d)", highErr, lowErr)
+	}
+}
+
+func TestMarginImprovesRecall(t *testing.T) {
+	sys := paperSystem(t, 7)
+	_, plain, err := EstimateGraph(sys, Params{ShadowSigma: 4, Samples: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, margined, err := EstimateGraph(sys, Params{ShadowSigma: 4, Samples: 2, Seed: 8, Margin: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margined.Recall() < plain.Recall() {
+		t.Errorf("margin reduced recall: %v -> %v", plain.Recall(), margined.Recall())
+	}
+	if margined.FalseNegative > plain.FalseNegative {
+		t.Errorf("margin increased false negatives")
+	}
+}
+
+func TestMoreSamplesFewerErrors(t *testing.T) {
+	sys := paperSystem(t, 9)
+	errAt := func(samples int) int {
+		_, rep, err := EstimateGraph(sys, Params{ShadowSigma: 6, Samples: samples, Seed: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.FalsePositive + rep.FalseNegative
+	}
+	if e64, e1 := errAt(64), errAt(1); e64 > e1 {
+		t.Errorf("64-sample errors (%d) exceed 1-sample errors (%d)", e64, e1)
+	}
+}
+
+// A schedule computed by Algorithm 2 on a conservative (high-recall) survey
+// graph must be feasible in the true system whenever the survey missed no
+// true edge.
+func TestConservativeGraphYieldsTrulyFeasibleSchedule(t *testing.T) {
+	sys := paperSystem(t, 11)
+	est, rep, err := EstimateGraph(sys, Params{ShadowSigma: 3, Samples: 4, Seed: 12, Margin: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FalseNegative != 0 {
+		t.Skipf("margin did not fully cover: %d false negatives", rep.FalseNegative)
+	}
+	X, err := core.NewGrowth(est, 1.25).OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.IsFeasible(X) {
+		t.Fatal("schedule from conservative survey graph infeasible in truth")
+	}
+}
+
+func TestColocatedReadersAlwaysInterfere(t *testing.T) {
+	readers := []model.Reader{
+		{Pos: geom.Pt(5, 5), InterferenceR: 2, InterrogationR: 1},
+		{Pos: geom.Pt(5, 5), InterferenceR: 2, InterrogationR: 1},
+	}
+	sys, err := model.NewSystem(readers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _, err := EstimateGraph(sys, Params{ShadowSigma: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.HasEdge(0, 1) {
+		t.Error("co-located readers not connected")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{}.Defaults()
+	if p.PathLossExp != 3 || p.RefLoss != 40 || p.Samples != 8 || p.Threshold != -70 {
+		t.Errorf("defaults: %+v", p)
+	}
+	// Explicit values survive.
+	q := Params{PathLossExp: 2.5, Samples: 3}.Defaults()
+	if q.PathLossExp != 2.5 || q.Samples != 3 {
+		t.Errorf("explicit values clobbered: %+v", q)
+	}
+}
+
+func TestReportEdgeCases(t *testing.T) {
+	r := Report{}
+	if r.Precision() != 1 || r.Recall() != 1 {
+		t.Error("empty report should have perfect precision/recall")
+	}
+	r = Report{TruePositive: 3, FalsePositive: 1, FalseNegative: 1}
+	if r.Precision() != 0.75 {
+		t.Errorf("precision = %v", r.Precision())
+	}
+	if r.Recall() != 0.75 {
+		t.Errorf("recall = %v", r.Recall())
+	}
+}

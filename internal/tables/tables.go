@@ -1,0 +1,155 @@
+// Package tables renders experiment results as aligned ASCII, Markdown, or
+// CSV tables. The benchmark harness prints the same rows/series the paper's
+// figures report, so everything here is presentation only: no statistics,
+// no floats parsed back.
+package tables
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple header + rows structure.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// WriteASCII renders the table with aligned columns and a rule under the
+// header.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if err := writeRow(w, t.Header, widths); err != nil {
+		return err
+	}
+	rule := make([]string, len(widths))
+	for i, wd := range widths {
+		rule[i] = strings.Repeat("-", wd)
+	}
+	if err := writeRow(w, rule, widths); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(w, row, widths); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders a GitHub-flavored Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := pad(row, len(t.Header))
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(padded, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders header and rows as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(pad(row, len(t.Header))); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (t *Table) widths() []int {
+	n := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > n {
+			n = len(row)
+		}
+	}
+	widths := make([]int, n)
+	measure := func(row []string) {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, row := range t.Rows {
+		measure(row)
+	}
+	return widths
+}
+
+func writeRow(w io.Writer, cells []string, widths []int) error {
+	parts := make([]string, len(widths))
+	for i := range widths {
+		cell := ""
+		if i < len(cells) {
+			cell = cells[i]
+		}
+		parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+	}
+	_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	return err
+}
+
+func pad(row []string, n int) []string {
+	if len(row) >= n {
+		return row[:n]
+	}
+	out := make([]string, n)
+	copy(out, row)
+	return out
+}

@@ -1,0 +1,125 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Demo", Header: []string{"alg", "x", "mean"}}
+	t.Add("Alg1", 6, 12.50)
+	t.Add("Alg2", 6, 13.0)
+	t.Add("CA", 6, 22.125)
+	return t
+}
+
+func TestASCIIAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "alg") || !strings.Contains(lines[1], "mean") {
+		t.Errorf("header: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("rule: %q", lines[2])
+	}
+	if !strings.Contains(out, "12.5") {
+		t.Error("float not rendered trimmed")
+	}
+	if strings.Contains(out, "12.50") {
+		t.Error("trailing zero kept")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "**Demo**") {
+		t.Error("missing bold title")
+	}
+	if !strings.Contains(out, "| alg | x | mean |") {
+		t.Errorf("header row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Error("separator row wrong")
+	}
+	if !strings.Contains(out, "| Alg2 | 6 | 13 |") {
+		t.Errorf("data row wrong:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "alg,x,mean" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[3] != "CA,6,22.12" {
+		t.Errorf("csv row = %q", lines[3])
+	}
+}
+
+func TestRaggedRowsPadded(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b", "c"}}
+	tbl.Rows = append(tbl.Rows, []string{"only"})
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only,,") {
+		t.Errorf("ragged row not padded: %q", buf.String())
+	}
+	buf.Reset()
+	if err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := tbl.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := &Table{Header: []string{"x"}}
+	tbl.Add(1)
+	var buf bytes.Buffer
+	if err := tbl.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Error("blank title line emitted")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.0, "1"}, {1.25, "1.25"}, {1.2, "1.2"}, {0, "0"}, {-2.50, "-2.5"},
+	}
+	for _, c := range cases {
+		if got := trimFloat(c.in); got != c.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package verify
+
+import (
+	"testing"
+
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+)
+
+func paperSystem(t *testing.T, seed uint64) *model.System {
+	t.Helper()
+	sys, err := deploy.Generate(deploy.Paper(seed, 12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func runRecorded(t *testing.T, sys *model.System, sched model.OneShotScheduler) *core.MCSResult {
+	t.Helper()
+	res, err := core.RunMCS(sys.Clone(), sched, core.MCSOptions{RecordSlots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVerifyAllAlgorithms(t *testing.T) {
+	sys := paperSystem(t, 1)
+	g := graph.FromSystem(sys)
+	cases := []struct {
+		sched    model.OneShotScheduler
+		feasible bool
+	}{
+		{core.NewPTAS(), true},
+		{core.NewGrowth(g, 1.25), true},
+		{core.NewDistributed(g, 1.25), true},
+		{baseline.GHC{}, false},              // GHC may activate conflicting readers
+		{baseline.NewColorwave(g, 3), false}, // kicks can momentarily conflict
+	}
+	for _, c := range cases {
+		res := runRecorded(t, sys, c.sched)
+		rep, err := Schedule(sys, res, Options{RequireFeasible: c.feasible})
+		if err != nil {
+			t.Errorf("%s: %v", c.sched.Name(), err)
+			continue
+		}
+		if rep.TagsServed != res.TotalRead {
+			t.Errorf("%s: verifier served %d != result %d", c.sched.Name(), rep.TagsServed, res.TotalRead)
+		}
+		if c.feasible && rep.FeasibleSlots+rep.FallbackSlots < rep.Slots {
+			t.Errorf("%s: %d/%d slots feasible", c.sched.Name(), rep.FeasibleSlots, rep.Slots)
+		}
+	}
+}
+
+func TestVerifyDetectsDoubleServe(t *testing.T) {
+	sys := paperSystem(t, 3)
+	g := graph.FromSystem(sys)
+	res := runRecorded(t, sys, core.NewGrowth(g, 1.25))
+	// Replay the first slot a second time at the end: its tags are already
+	// read in the replay, so the recorded TagsRead will disagree.
+	res.Slots = append(res.Slots, res.Slots[0])
+	res.Size++
+	if _, err := Schedule(sys, res, Options{}); err == nil {
+		t.Error("duplicated slot not detected")
+	}
+}
+
+func TestVerifyDetectsWrongCount(t *testing.T) {
+	sys := paperSystem(t, 5)
+	g := graph.FromSystem(sys)
+	res := runRecorded(t, sys, core.NewGrowth(g, 1.25))
+	res.Slots[0].TagsRead++
+	if _, err := Schedule(sys, res, Options{}); err == nil {
+		t.Error("inflated per-slot count not detected")
+	}
+}
+
+func TestVerifyDetectsTotalMismatch(t *testing.T) {
+	sys := paperSystem(t, 7)
+	g := graph.FromSystem(sys)
+	res := runRecorded(t, sys, core.NewGrowth(g, 1.25))
+	res.TotalRead++
+	if _, err := Schedule(sys, res, Options{}); err == nil {
+		t.Error("total mismatch not detected")
+	}
+}
+
+func TestVerifyDetectsInfeasibleSlot(t *testing.T) {
+	sys := paperSystem(t, 9)
+	g := graph.FromSystem(sys)
+	res := runRecorded(t, sys, core.NewGrowth(g, 1.25))
+	// Find two non-independent readers and force them into slot 0's set;
+	// the tag counts will also break, but feasibility is checked first.
+	found := false
+outer:
+	for i := 0; i < sys.NumReaders() && !found; i++ {
+		for j := i + 1; j < sys.NumReaders(); j++ {
+			if !sys.Independent(i, j) {
+				res.Slots[0].Active = []int{i, j}
+				found = true
+				break outer
+			}
+		}
+	}
+	if !found {
+		t.Skip("no interfering pair in this deployment")
+	}
+	if _, err := Schedule(sys, res, Options{RequireFeasible: true}); err == nil {
+		t.Error("infeasible slot not detected")
+	}
+}
+
+func TestVerifyDetectsFalseCompletion(t *testing.T) {
+	sys := paperSystem(t, 11)
+	g := graph.FromSystem(sys)
+	res := runRecorded(t, sys, core.NewGrowth(g, 1.25))
+	// Drop the last slot but keep claiming completeness.
+	last := res.Slots[len(res.Slots)-1]
+	res.Slots = res.Slots[:len(res.Slots)-1]
+	res.Size--
+	res.TotalRead -= last.TagsRead
+	if _, err := Schedule(sys, res, Options{}); err == nil {
+		t.Error("false completion not detected")
+	}
+}
+
+func TestVerifyNilAndUnrecorded(t *testing.T) {
+	sys := paperSystem(t, 13)
+	if _, err := Schedule(sys, nil, Options{}); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := &core.MCSResult{Size: 3} // no slot records
+	if _, err := Schedule(sys, res, Options{}); err == nil {
+		t.Error("unrecorded result accepted")
+	}
+	empty := &core.MCSResult{}
+	sysEmpty, err := model.NewSystem(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Schedule(sysEmpty, empty, Options{}); err != nil {
+		t.Errorf("empty schedule on empty system rejected: %v", err)
+	}
+}

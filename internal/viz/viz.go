@@ -1,0 +1,170 @@
+// Package viz renders experiment series as ASCII line charts so the figure
+// shapes — who wins, where curves cross — are visible straight from the
+// terminal without any plotting dependency. One glyph per series, points
+// scaled into a fixed-size grid, axes annotated with the data ranges.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is an (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Chart is a renderable ASCII chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	Series []Series
+}
+
+// glyphs assigns one marker per series, cycling if there are many.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+
+	minX, maxX, minY, maxY, any := c.bounds()
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		// Plot interpolated segments so curves read as lines, then overlay
+		// the sample markers.
+		for i := 0; i+1 < len(s.Points); i++ {
+			c.segment(grid, width, height, minX, maxX, minY, maxY, s.Points[i], s.Points[i+1], g)
+		}
+		for _, p := range s.Points {
+			col, row := c.project(p, width, height, minX, maxX, minY, maxY)
+			grid[row][col] = g
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.6g ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.6g ", minY)
+		case height / 2:
+			label = fmt.Sprintf("%7.6g ", (minY+maxY)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xAxis := fmt.Sprintf("%-10.6g%s%10.6g", minX, strings.Repeat(" ", max(0, width-12)), maxX)
+	if _, err := fmt.Fprintf(w, "        %s\n", xAxis); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "        x: %s   y: %s\n", c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "        %s\n", strings.Join(legend, "   "))
+	return err
+}
+
+func (c *Chart) bounds() (minX, maxX, minY, maxY float64, any bool) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+			any = true
+		}
+	}
+	return minX, maxX, minY, maxY, any
+}
+
+func (c *Chart) project(p Point, width, height int, minX, maxX, minY, maxY float64) (col, row int) {
+	col = int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+	row = int(math.Round((maxY - p.Y) / (maxY - minY) * float64(height-1)))
+	if col < 0 {
+		col = 0
+	}
+	if col >= width {
+		col = width - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= height {
+		row = height - 1
+	}
+	return col, row
+}
+
+// segment draws a light interpolation between two points with '.' where the
+// cell is still empty, letting markers and other series win collisions.
+func (c *Chart) segment(grid [][]byte, width, height int, minX, maxX, minY, maxY float64, a, b Point, _ byte) {
+	steps := width / 2
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		p := Point{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}
+		col, row := c.project(p, width, height, minX, maxX, minY, maxY)
+		if grid[row][col] == ' ' {
+			grid[row][col] = '.'
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demo() *Chart {
+	return &Chart{
+		Title:  "demo",
+		XLabel: "lambda",
+		YLabel: "weight",
+		Series: []Series{
+			{Name: "up", Points: []Point{{0, 0}, {5, 50}, {10, 100}}},
+			{Name: "down", Points: []Point{{0, 100}, {5, 50}, {10, 0}}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demo().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "x: lambda") {
+		t.Error("missing axis labels")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing data markers")
+	}
+	// 16 plot rows + frame lines.
+	if lines := strings.Count(out, "\n"); lines < 18 {
+		t.Errorf("only %d lines", lines)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Chart{Title: "empty"}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart not flagged")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Chart{Series: []Series{{Name: "pt", Points: []Point{{3, 7}}}}}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate Y range must not divide by zero.
+	var buf bytes.Buffer
+	c := &Chart{Series: []Series{{Name: "flat", Points: []Point{{0, 5}, {10, 5}}}}}
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectionCorners(t *testing.T) {
+	c := &Chart{}
+	w, h := 64, 16
+	col, row := c.project(Point{0, 0}, w, h, 0, 10, 0, 10)
+	if col != 0 || row != h-1 {
+		t.Errorf("min corner at (%d,%d)", col, row)
+	}
+	col, row = c.project(Point{10, 10}, w, h, 0, 10, 0, 10)
+	if col != w-1 || row != 0 {
+		t.Errorf("max corner at (%d,%d)", col, row)
+	}
+	// Out-of-range points clamp.
+	col, row = c.project(Point{-5, 20}, w, h, 0, 10, 0, 10)
+	if col != 0 || row != 0 {
+		t.Errorf("clamp failed: (%d,%d)", col, row)
+	}
+}
+
+func TestManySeriesCycleGlyphs(t *testing.T) {
+	c := &Chart{}
+	for i := 0; i < 10; i++ {
+		c.Series = append(c.Series, Series{
+			Name:   strings.Repeat("s", i+1),
+			Points: []Point{{0, float64(i)}, {1, float64(i)}},
+		})
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	c := demo()
+	c.Width = 20
+	c.Height = 5
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 20+30 { // plot + labels margin
+			t.Errorf("line too long for custom width: %q", line)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package rfidsched is a from-scratch Go implementation of the reader
+// activation scheduling algorithms of Tang, Wang, Li and Jiang, "Reader
+// Activation Scheduling in Multi-Reader RFID Systems: A Study of General
+// Case" (IEEE IPDPS 2011), together with every substrate their evaluation
+// depends on: the multi-reader/tag system model with heterogeneous
+// interference and interrogation radii, interference graphs and RF site
+// surveys, link-layer tag anti-collision protocols, a synchronous
+// message-passing kernel for the distributed variant, a slot-level
+// simulator and the full experiment harness reproducing the paper's
+// Figures 6-9.
+//
+// # The problem
+//
+// Multiple RFID readers share a deployment region. Activating two readers
+// whose interference disks overlap destroys one of them for the slot
+// (reader-tag collision); a tag inside two active interrogation regions is
+// unreadable (reader-reader collision). A feasible scheduling set is a set
+// of pairwise-independent readers; its weight is the number of unread tags
+// it well-covers. The One-Shot Schedule Problem asks for a maximum-weight
+// feasible set; iterating it greedily yields a log(n)-approximate Minimum
+// Covering Schedule.
+//
+// # Quick start
+//
+//	sys, _ := rfidsched.PaperDeployment(1, 12, 5) // 50 readers, 1200 tags
+//	g := rfidsched.InterferenceGraph(sys)
+//	sched := rfidsched.NewGrowth(g, 1.25) // Algorithm 2: no locations needed
+//	res, _ := rfidsched.RunCoveringSchedule(sys, sched, rfidsched.MCSOptions{})
+//	fmt.Println("slots:", res.Size)
+//
+// Three one-shot schedulers implement the paper's contributions:
+// NewPTAS (Algorithm 1, locations known, heterogeneous radii), NewGrowth
+// (Algorithm 2, interference graph only) and NewDistributed (Algorithm 3,
+// same guarantee with no central entity, executed over a goroutine-per-
+// reader message-passing network). NewColorwave and NewGHC provide the
+// paper's comparison baselines, and NewExact the ground-truth solver.
+package rfidsched
+
+import (
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/experiments"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/mobility"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+	"rfidsched/internal/slotsim"
+	"rfidsched/internal/survey"
+	"rfidsched/internal/verify"
+)
+
+// Core model types.
+type (
+	// Reader is one RFID reader: position, interference radius R_i and
+	// interrogation radius r_i <= R_i.
+	Reader = model.Reader
+	// Tag is one passive tag.
+	Tag = model.Tag
+	// System is a deployment plus unread-tag state; see NewSystem.
+	System = model.System
+	// Scheduler solves the One-Shot Schedule Problem (Definition 6).
+	Scheduler = model.OneShotScheduler
+	// CollisionStats classifies a slot's physical outcome (RTc/RRc counts).
+	CollisionStats = model.CollisionStats
+	// Graph is an interference graph (Definition 7).
+	Graph = graph.Graph
+)
+
+// Deployment generation.
+type (
+	// DeployConfig parameterizes random deployments; see Generate.
+	DeployConfig = deploy.Config
+	// Layout selects the spatial distribution of readers and tags.
+	Layout = deploy.Layout
+	// Deployment is the JSON-serializable form of a System.
+	Deployment = deploy.Deployment
+)
+
+// Deployment layouts.
+const (
+	LayoutUniform     = deploy.Uniform
+	LayoutClustered   = deploy.Clustered
+	LayoutAisles      = deploy.Aisles
+	LayoutHotspot     = deploy.Hotspot
+	LayoutGridReaders = deploy.GridReaders
+)
+
+// Scheduling drivers.
+type (
+	// MCSOptions tunes RunCoveringSchedule.
+	MCSOptions = core.MCSOptions
+	// MCSResult reports a covering schedule run.
+	MCSResult = core.MCSResult
+	// PTAS is Algorithm 1; construct with NewPTAS and optionally adjust K
+	// and Lambda.
+	PTAS = core.PTAS
+	// Growth is Algorithm 2; construct with NewGrowth.
+	Growth = core.Growth
+	// Distributed is Algorithm 3; construct with NewDistributed.
+	Distributed = core.Distributed
+	// SimConfig tunes Simulate (link layer, arrivals, timeline recording).
+	SimConfig = slotsim.Config
+	// SimResult reports a slot-level simulation.
+	SimResult = slotsim.Result
+	// SurveyParams configures the RF site survey; see SurveyGraph.
+	SurveyParams = survey.Params
+	// SurveyReport grades a survey against the true geometry.
+	SurveyReport = survey.Report
+	// ExperimentConfig parameterizes RunFigure.
+	ExperimentConfig = experiments.Config
+	// FigureResult is a reproduced evaluation figure.
+	FigureResult = experiments.FigureResult
+)
+
+// NewSystem builds a System from explicit readers and tags, validating the
+// radius invariants and precomputing coverage.
+func NewSystem(readers []Reader, tags []Tag) (*System, error) {
+	return model.NewSystem(readers, tags)
+}
+
+// Generate draws a random deployment.
+func Generate(cfg DeployConfig) (*System, error) { return deploy.Generate(cfg) }
+
+// PaperDeployment returns the paper's Section VI setting: 50 readers and
+// 1200 tags uniform in a 100x100 square, radii Poisson(lambdaR) and
+// Poisson(lambdaSmallR) with R_i >= r_i enforced.
+func PaperDeployment(seed uint64, lambdaR, lambdaSmallR float64) (*System, error) {
+	return deploy.Generate(deploy.Paper(seed, lambdaR, lambdaSmallR))
+}
+
+// InterferenceGraph derives the exact interference graph of a deployment
+// (what a perfect RF site survey would measure).
+func InterferenceGraph(sys *System) *Graph { return graph.FromSystem(sys) }
+
+// SurveyGraph estimates the interference graph through a simulated RF site
+// survey with log-distance path loss and shadowing, returning the graph and
+// an accuracy report against the true geometry.
+func SurveyGraph(sys *System, p SurveyParams) (*Graph, SurveyReport, error) {
+	return survey.EstimateGraph(sys, p)
+}
+
+// NewPTAS returns Algorithm 1, the location-aware PTAS (default k=3, Λ=6).
+func NewPTAS() *PTAS { return core.NewPTAS() }
+
+// NewGrowth returns Algorithm 2, the centralized location-free scheduler
+// with guarantee w(X) >= w(OPT)/rho.
+func NewGrowth(g *Graph, rho float64) *Growth { return core.NewGrowth(g, rho) }
+
+// NewDistributed returns Algorithm 3, the distributed location-free
+// scheduler (same guarantee, no central entity).
+func NewDistributed(g *Graph, rho float64) *Distributed { return core.NewDistributed(g, rho) }
+
+// NewColorwave returns the Colorwave (CA) baseline.
+func NewColorwave(g *Graph, seed uint64) Scheduler { return baseline.NewColorwave(g, seed) }
+
+// NewGHC returns the Greedy Hill-Climbing baseline.
+func NewGHC() Scheduler { return baseline.GHC{} }
+
+// NewExact returns the exact branch-and-bound one-shot solver (ground
+// truth; exponential worst case).
+func NewExact() Scheduler { return &baseline.Exact{} }
+
+// NewRandomScheduler returns the random maximal feasible set baseline.
+func NewRandomScheduler(seed uint64) Scheduler {
+	rng := randx.New(seed)
+	return &baseline.Random{Next: rng.Intn}
+}
+
+// RunCoveringSchedule iterates a one-shot scheduler until every coverable
+// tag has been read (the paper's greedy MCS driver, Theorem 1). The
+// system's read state is mutated.
+func RunCoveringSchedule(sys *System, sched Scheduler, opts MCSOptions) (*MCSResult, error) {
+	return core.RunMCS(sys, sched, opts)
+}
+
+// Simulate runs the slot-level simulator: reader schedule plus link-layer
+// tag anti-collision and optional tag arrivals.
+func Simulate(sys *System, sched Scheduler, cfg SimConfig) (*SimResult, error) {
+	return slotsim.Run(sys, sched, cfg)
+}
+
+// RunFigure reproduces one of the paper's evaluation figures ("fig6".."fig9").
+func RunFigure(id string, cfg ExperimentConfig) (*FigureResult, error) {
+	return experiments.RunFigure(id, cfg)
+}
+
+// FigureIDs lists the reproducible figures.
+func FigureIDs() []string { return experiments.FigureIDs() }
+
+// Extensions beyond the paper's evaluation.
+type (
+	// MultiChannel is the dense-reading-mode scheduler: C frequency
+	// channels remove RTc between channels (RRc remains, tags are
+	// frequency blind).
+	MultiChannel = core.MultiChannel
+	// ChannelAssignment is a multi-channel activation plan.
+	ChannelAssignment = core.Assignment
+	// Drift moves readers with constant-speed random headings, reflecting
+	// at the region boundary (the "highly dynamic readers" of the paper's
+	// introduction).
+	Drift = mobility.Drift
+	// VerifyOptions tunes VerifySchedule.
+	VerifyOptions = verify.Options
+	// VerifyReport is the independent checker's outcome.
+	VerifyReport = verify.Report
+)
+
+// NewDrift builds a reader-mobility process over the given region; see
+// package mobility for the staleness and adaptive-rescheduling harnesses.
+func NewDrift(numReaders int, minX, minY, maxX, maxY, speed float64, seed uint64) *Drift {
+	return mobility.NewDrift(numReaders, geom.R2(minX, minY, maxX, maxY), speed, seed)
+}
+
+// VerifySchedule independently replays a recorded covering schedule against
+// a pristine copy of the deployment, checking feasibility, per-slot tag
+// accounting, double-serves and completion. Run RunCoveringSchedule with
+// MCSOptions.RecordSlots to obtain a verifiable result.
+func VerifySchedule(sys *System, result *MCSResult, opts VerifyOptions) (VerifyReport, error) {
+	return verify.Schedule(sys, result, opts)
+}
+
+// ToDeployment converts a System to its serializable form.
+func ToDeployment(sys *System) *Deployment { return deploy.ToDeployment(sys) }
+
+// LoadDeployment reads a deployment JSON file.
+func LoadDeployment(path string) (*Deployment, error) { return deploy.LoadFile(path) }

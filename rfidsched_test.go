@@ -1,0 +1,210 @@
+package rfidsched
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rfidsched/internal/anticollision"
+	"rfidsched/internal/geom"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys, err := PaperDeployment(1, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumReaders() != 50 || sys.NumTags() != 1200 {
+		t.Fatalf("paper deployment shape: %v", sys)
+	}
+	g := InterferenceGraph(sys)
+	if g.N() != 50 {
+		t.Fatalf("graph size %d", g.N())
+	}
+
+	for _, sched := range []Scheduler{
+		NewPTAS(), NewGrowth(g, 1.25), NewDistributed(g, 1.25),
+		NewColorwave(g, 7), NewGHC(), NewRandomScheduler(3),
+	} {
+		s := sys.Clone()
+		res, err := RunCoveringSchedule(s, sched, MCSOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if res.Incomplete {
+			t.Errorf("%s: incomplete schedule", sched.Name())
+		}
+		if s.UnreadCoverableCount() != 0 {
+			t.Errorf("%s: coverable tags left unread", sched.Name())
+		}
+	}
+}
+
+func TestPublicAPISystemConstruction(t *testing.T) {
+	readers := []Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 8, InterrogationR: 4},
+		{Pos: geom.Pt(30, 0), InterferenceR: 8, InterrogationR: 4},
+	}
+	tags := []Tag{{Pos: geom.Pt(0, 1)}, {Pos: geom.Pt(30, 1)}}
+	sys, err := NewSystem(readers, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := sys.Weight([]int{0, 1}); w != 2 {
+		t.Errorf("weight = %d", w)
+	}
+}
+
+func TestPublicAPISurvey(t *testing.T) {
+	sys, err := PaperDeployment(5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, rep, err := SurveyGraph(sys, SurveyParams{ShadowSigma: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 {
+		t.Error("survey graph size")
+	}
+	if rep.Precision() <= 0 || rep.Recall() <= 0 {
+		t.Error("degenerate survey report")
+	}
+	// Location-free scheduling on the surveyed graph.
+	X, err := NewGrowth(g, 1.25).OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) == 0 {
+		t.Error("empty schedule on surveyed graph")
+	}
+}
+
+func TestPublicAPISimulate(t *testing.T) {
+	sys, err := PaperDeployment(7, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := InterferenceGraph(sys)
+	res, err := Simulate(sys, NewGrowth(g, 1.25), SimConfig{
+		Link: anticollision.VogtALOHA{}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete || res.TagsRead == 0 || res.TotalMicroSlots < res.TagsRead {
+		t.Errorf("sim result: %+v", res)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(FigureIDs()) != 4 {
+		t.Error("figure ids")
+	}
+	res, err := RunFigure("fig9", ExperimentConfig{
+		Trials: 1, Seed: 1, NumReaders: 15, NumTags: 200, Side: 60,
+		Sweep: []float64{10}, Algorithms: []string{"Alg2-Growth"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) != 1 {
+		t.Fatalf("figure shape: %+v", res)
+	}
+}
+
+func TestPublicAPIDeploymentIO(t *testing.T) {
+	sys, err := Generate(DeployConfig{
+		Seed: 3, NumReaders: 10, NumTags: 50, Side: 40,
+		LambdaR: 8, LambdaSmallR: 4, Layout: LayoutClustered,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := ToDeployment(sys).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDeployment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := d.ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.NumReaders() != 10 || sys2.NumTags() != 50 {
+		t.Error("round trip shape")
+	}
+}
+
+func TestPublicAPIExactSmall(t *testing.T) {
+	sys, err := Generate(DeployConfig{
+		Seed: 9, NumReaders: 10, NumTags: 100, Side: 50,
+		LambdaR: 10, LambdaSmallR: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, err := NewExact().OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.IsFeasible(X) {
+		t.Error("exact infeasible")
+	}
+}
+
+func TestPublicAPIMultiChannel(t *testing.T) {
+	sys, err := PaperDeployment(9, 14, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (MultiChannel{Channels: 4}).OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.IsChannelFeasible(plan.Readers, plan.Channels) {
+		t.Error("channel plan infeasible")
+	}
+	single, err := (MultiChannel{Channels: 1}).OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Weight(sys) < single.Weight(sys) {
+		t.Error("more channels reduced weight")
+	}
+}
+
+func TestPublicAPIVerify(t *testing.T) {
+	sys, err := PaperDeployment(11, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := InterferenceGraph(sys)
+	res, err := RunCoveringSchedule(sys.Clone(), NewGrowth(g, 1.25), MCSOptions{RecordSlots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifySchedule(sys, res, VerifyOptions{RequireFeasible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TagsServed != res.TotalRead {
+		t.Error("verification count mismatch")
+	}
+}
+
+func TestPublicAPIDrift(t *testing.T) {
+	sys, err := PaperDeployment(13, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDrift(sys.NumReaders(), 0, 0, 100, 100, 2, 7)
+	next, err := d.Step(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumReaders() != sys.NumReaders() {
+		t.Error("drift changed reader count")
+	}
+}
