@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# check is the full pre-merge gate: compile, static analysis, and the whole
+# test suite under the race detector (the fault-injection layers lean on
+# goroutine-per-reader execution, so -race is not optional here).
+check: build vet race

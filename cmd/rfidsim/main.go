@@ -32,7 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rfidsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility) or "ablations"`)
+		fig     = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility, abl-chaos) or "ablations"`)
 		trials  = fs.Int("trials", 10, "random deployments per sweep point")
 		seed    = fs.Uint64("seed", 2011, "base RNG seed")
 		readers = fs.Int("readers", 50, "number of readers")
@@ -67,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ids = []string{*fig}
 	case "ablations":
 		ids = experiments.AblationIDs()
+		ablation = true
+	case "chaos":
+		// Shorthand for the fault-injection grid.
+		ids = []string{"abl-chaos"}
 		ablation = true
 	default:
 		for _, id := range experiments.AblationIDs() {

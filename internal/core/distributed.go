@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rfidsched/internal/distnet"
+	"rfidsched/internal/fault"
 	"rfidsched/internal/graph"
 	"rfidsched/internal/model"
 	"rfidsched/internal/mwfs"
@@ -68,6 +69,22 @@ type Distributed struct {
 	// LossSeed seeds the loss process (reproducible failures).
 	LossSeed uint64
 
+	// Faults scripts richer failure injection (crashes, partitions,
+	// stragglers, duplication, reordering; see package fault) against the
+	// protocol network; its tick axis is the protocol round. A scenario
+	// with Seed 0 inherits LossSeed so the whole failure stream hangs off
+	// one knob. Combines with LossRate: the legacy rate is folded into the
+	// same plan as an always-on loss event.
+	Faults *fault.Scenario
+
+	// Strict makes OneShot verify the decided set against the interference
+	// graph and error on dependence instead of returning it. Under severe
+	// faults (e.g. a fully partitioned network) every node elects itself
+	// head and turns Red, which is exactly the kind of silent garbage the
+	// robustness contract forbids; Strict turns it into a checkable error
+	// that Retrying can respond to.
+	Strict bool
+
 	// LastStats records network statistics of the most recent OneShot call
 	// (rounds, messages). Diagnostic; not safe for concurrent use.
 	LastStats *distnet.Stats
@@ -128,9 +145,8 @@ func (d *Distributed) OneShot(sys *model.System) ([]int, error) {
 		}
 	}
 	net := distnet.NewNetwork(d.G)
-	if d.LossRate > 0 {
-		rng := randx.New(d.LossSeed)
-		net.WithLoss(d.LossRate, rng.Float64)
+	if err := d.attachFaults(net); err != nil {
+		return nil, err
 	}
 	stats, err := net.Run(nodes, maxRounds)
 	d.LastStats = stats
@@ -145,7 +161,34 @@ func (d *Distributed) OneShot(sys *model.System) ([]int, error) {
 		}
 	}
 	sort.Ints(X)
+	if d.Strict && !d.G.IsIndependentSet(X) {
+		return nil, fmt.Errorf("core: distributed protocol decided a dependent set of %d readers (faults split the coordinator election)", len(X))
+	}
 	return X, nil
+}
+
+// attachFaults merges the legacy LossRate knob and the Faults scenario into
+// one compiled plan on net. No faults configured leaves net untouched.
+func (d *Distributed) attachFaults(net *distnet.Network) error {
+	if d.Faults == nil || d.Faults.IsZero() {
+		if d.LossRate > 0 {
+			net.WithLoss(d.LossRate, randx.New(d.LossSeed).Float64)
+		}
+		return nil
+	}
+	sc := fault.Scenario{Seed: d.Faults.Seed, Events: append([]fault.Event(nil), d.Faults.Events...)}
+	if sc.Seed == 0 {
+		sc.Seed = d.LossSeed
+	}
+	if d.LossRate > 0 {
+		sc.Events = append(sc.Events, fault.Loss(d.LossRate, 0, fault.Forever))
+	}
+	plan, err := sc.Compile(d.G.N())
+	if err != nil {
+		return fmt.Errorf("core: fault scenario: %w", err)
+	}
+	net.WithFaults(plan)
+	return nil
 }
 
 const (

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"rfidsched/internal/fault"
 	"rfidsched/internal/model"
 )
 
@@ -34,13 +35,24 @@ type MCSOptions struct {
 
 	// RecordSlots retains a per-slot record in the result (memory ~ slots).
 	RecordSlots bool
+
+	// Faults attaches an execution-time fault scenario whose tick axis is
+	// the schedule slot: readers crashed or straggling at slot t fail to
+	// activate that slot. The driver runs in repair mode — a fault is
+	// observed only through the failed activation (tags are un-credited,
+	// the slot's record shows the loss), and from the next slot on the
+	// planner sees the reader as down and re-plans on the surviving
+	// subgraph. Tags coverable only by permanently crashed readers are
+	// abandoned honestly via LostTags/Degraded rather than looping forever.
+	Faults *fault.Scenario
 }
 
 // SlotRecord describes one time slot of a covering schedule.
 type SlotRecord struct {
-	Active   []int // activated readers
+	Active   []int // readers that actually activated (failed ones excluded)
 	TagsRead int   // unread tags served this slot
 	Fallback bool  // true if the stall guard replaced the scheduler's set
+	Failed   []int // planned readers that were crashed at execution time
 }
 
 // MCSResult is the outcome of a covering-schedule run.
@@ -48,9 +60,16 @@ type MCSResult struct {
 	Algorithm  string
 	Size       int          // number of slots used (the paper's metric)
 	TotalRead  int          // tags read over the whole schedule
-	Incomplete bool         // MaxSlots hit before every coverable tag was read
+	Incomplete bool         // MaxSlots hit before every reachable tag was read
 	Fallbacks  int          // slots forced by the stall guard
 	Slots      []SlotRecord // per-slot records if RecordSlots was set
+
+	// Fault telemetry (zero without MCSOptions.Faults). The honesty
+	// contract: a degraded run never over-counts coverage — it reports
+	// exactly what the surviving readers served and what was lost.
+	Degraded          bool // some activation failed or some tags were lost
+	FailedActivations int  // planned activations that crashed at execution
+	LostTags          int  // unread tags coverable only by dead readers
 }
 
 // RunMCS executes the greedy covering-schedule loop of Section III: at each
@@ -58,6 +77,13 @@ type MCSResult struct {
 // serve the tags it well-covers, and repeat until no coverable tag remains
 // unread. With an exact (or near-optimal) one-shot scheduler this is the
 // paper's log(n)-approximation for the NP-hard MCS problem (Theorem 1).
+//
+// With MCSOptions.Faults the driver executes against the scripted fault
+// timeline: planned readers that are down at execution fail (their tags
+// are not credited), the planner's view of the fleet is refreshed one slot
+// behind reality (a crash is detected by its failed activation), and the
+// run terminates once every tag reachable by a surviving reader is read,
+// reporting Degraded/FailedActivations/LostTags.
 //
 // The sys read-state is mutated; callers wanting to preserve it should pass
 // sys.Clone().
@@ -70,23 +96,49 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 	if stallLimit == 0 {
 		stallLimit = 2
 	}
+	var plan *fault.Plan
+	if opts.Faults != nil && !opts.Faults.IsZero() {
+		p, err := opts.Faults.Compile(sys.NumReaders())
+		if err != nil {
+			return nil, fmt.Errorf("core: fault scenario: %w", err)
+		}
+		plan = p
+	}
 
 	res := &MCSResult{Algorithm: sched.Name()}
 	stall := 0
-	for sys.UnreadCoverableCount() > 0 {
+	for reachableUnread(sys, plan, res.Size) > 0 {
 		if res.Size >= maxSlots {
 			res.Incomplete = true
 			break
 		}
+		slot := res.Size
+		if plan != nil {
+			// The planner's knowledge lags reality by one slot: a crash at
+			// slot t is discovered through its failed activation and only
+			// planned around from slot t+1.
+			applyDownMask(sys, plan, slot-1)
+		}
 		X, err := sched.OneShot(sys)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s one-shot failed at slot %d: %w", sched.Name(), res.Size, err)
+		}
+		var failed []int
+		if plan != nil {
+			X, failed = splitExecutable(sys, plan, X, slot)
+			res.FailedActivations += len(failed)
 		}
 		covered := sys.Covered(X, nil)
 		fallback := false
 		if len(covered) == 0 {
 			stall++
 			if stallLimit > 0 && stall > stallLimit {
+				if plan != nil {
+					// The conservative fallback is driver-internal: give it
+					// the true current fleet so it never wastes the slot on
+					// a radio known dark this very slot.
+					applyDownMask(sys, plan, slot)
+				}
 				X = greedyFallback(sys)
 				covered = sys.Covered(X, nil)
 				fallback = true
@@ -106,10 +158,86 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 				Active:   append([]int(nil), X...),
 				TagsRead: len(covered),
 				Fallback: fallback,
+				Failed:   failed,
 			})
 		}
 	}
+	if plan != nil {
+		res.LostTags = lostTags(sys, plan, res.Size)
+		res.Degraded = res.FailedActivations > 0 || res.LostTags > 0
+	}
 	return res, nil
+}
+
+// applyDownMask sets the system's down mask to the fleet state at the given
+// slot (negative slots mean "nothing observed yet": all up).
+func applyDownMask(sys *model.System, plan *fault.Plan, slot int) {
+	for r := 0; r < sys.NumReaders(); r++ {
+		down := slot >= 0 && (plan.Crashed(r, slot) || plan.Straggling(r, slot))
+		sys.SetReaderDown(r, down)
+	}
+}
+
+// splitExecutable separates the planned set X into readers that actually
+// activate at slot and those that fail. Readers the planner already knew
+// were down (mask set) are dropped silently — they were planner slop with
+// zero weight, not a newly observed fault.
+func splitExecutable(sys *model.System, plan *fault.Plan, X []int, slot int) (live, failed []int) {
+	for _, v := range X {
+		switch {
+		case !plan.Crashed(v, slot) && !plan.Straggling(v, slot):
+			live = append(live, v)
+		case !sys.ReaderDown(v):
+			failed = append(failed, v)
+		}
+	}
+	return live, failed
+}
+
+// reachableUnread counts unread tags that some not-permanently-crashed
+// reader covers: the honest termination condition under faults. A reader in
+// a crash-with-recovery window still counts — its tags are worth waiting
+// for — while a fail-stopped reader's exclusive tags are abandoned.
+func reachableUnread(sys *model.System, plan *fault.Plan, slot int) int {
+	if plan == nil {
+		return sys.UnreadCoverableCount()
+	}
+	n := 0
+	for t := 0; t < sys.NumTags(); t++ {
+		if sys.IsRead(t) {
+			continue
+		}
+		for _, r := range sys.ReadersOf(t) {
+			if !plan.PermanentlyDown(int(r), slot) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// lostTags counts unread tags that are coverable in geometry but whose
+// every covering reader is permanently dead — the coverage a degraded run
+// honestly gives up on.
+func lostTags(sys *model.System, plan *fault.Plan, slot int) int {
+	n := 0
+	for t := 0; t < sys.NumTags(); t++ {
+		if sys.IsRead(t) || len(sys.ReadersOf(t)) == 0 {
+			continue
+		}
+		lost := true
+		for _, r := range sys.ReadersOf(t) {
+			if !plan.PermanentlyDown(int(r), slot) {
+				lost = false
+				break
+			}
+		}
+		if lost {
+			n++
+		}
+	}
+	return n
 }
 
 // greedyFallback builds a feasible scheduling set by repeatedly adding the
@@ -117,7 +245,7 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 // one coverable unread tag the result is non-empty and reads at least one
 // tag, because a reader activated alone well-covers every unread tag in its
 // interrogation region, so the first iteration always finds a positive
-// marginal.
+// marginal. Down readers have zero marginal weight and are never picked.
 func greedyFallback(sys *model.System) []int {
 	return augmentFeasible(sys, nil)
 }

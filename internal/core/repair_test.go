@@ -1,0 +1,225 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rfidsched/internal/fault"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+)
+
+// allEdges lists every edge of g as sorted pairs, for whole-network
+// partition scenarios.
+func allEdges(g *graph.Graph) [][2]int {
+	var edges [][2]int
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				edges = append(edges, [2]int{u, int(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// TestRunMCSRepairsAfterCrashes is the headline robustness scenario: 20% of
+// the fleet fail-stops at slot 2 mid-schedule. The driver must finish by
+// re-planning on the survivors — every executed slot feasible, no crashed
+// reader activated after its death, and the degradation reported honestly.
+func TestRunMCSRepairsAfterCrashes(t *testing.T) {
+	sys := smallSystem(t, 71, 25, 200)
+	g := graph.FromSystem(sys)
+	const crashAt = 1 // mid-schedule: after the opening slot, before coverage completes
+	crashed := fault.SampleNodes(sys.NumReaders(), sys.NumReaders()/5, 7)
+	scenario := &fault.Scenario{Seed: 7, Events: fault.CrashNodes(crashed, crashAt)}
+
+	res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{
+		RecordSlots: true,
+		Faults:      scenario,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Fatalf("driver failed to repair: %+v", res)
+	}
+	if !res.Degraded {
+		t.Error("crashing 20% of readers mid-schedule must report Degraded")
+	}
+
+	isCrashed := make(map[int]bool, len(crashed))
+	for _, v := range crashed {
+		isCrashed[v] = true
+	}
+	failedSeen := 0
+	for slot, rec := range res.Slots {
+		if !sys.IsFeasible(rec.Active) {
+			t.Errorf("slot %d executed an infeasible set %v", slot, rec.Active)
+		}
+		for _, v := range rec.Active {
+			if slot >= crashAt && isCrashed[v] {
+				t.Errorf("slot %d activated reader %d, dead since slot %d", slot, v, crashAt)
+			}
+		}
+		failedSeen += len(rec.Failed)
+	}
+	if failedSeen != res.FailedActivations {
+		t.Errorf("slot records show %d failed activations, result says %d", failedSeen, res.FailedActivations)
+	}
+
+	// Honest accounting: what was read plus what was lost is exactly the
+	// coverable population.
+	if res.TotalRead+res.LostTags != sys.CoverableCount() {
+		t.Errorf("TotalRead %d + LostTags %d != coverable %d",
+			res.TotalRead, res.LostTags, sys.CoverableCount())
+	}
+	for tag := 0; tag < sys.NumTags(); tag++ {
+		if sys.IsRead(tag) || len(sys.ReadersOf(tag)) == 0 {
+			continue
+		}
+		for _, r := range sys.ReadersOf(tag) {
+			if !isCrashed[int(r)] {
+				t.Fatalf("tag %d is unread but reader %d survived", tag, r)
+			}
+		}
+	}
+}
+
+// TestRunMCSCrashRecoveryCompletesUndegradedCoverage verifies that a
+// transient outage (crash with reboot) costs slots but no tags: the driver
+// waits the outage out because the reader's exclusive tags are still
+// reachable.
+func TestRunMCSCrashRecoveryCompletesUndegradedCoverage(t *testing.T) {
+	sys := smallSystem(t, 73, 20, 150)
+	g := graph.FromSystem(sys)
+	scenario := &fault.Scenario{Events: []fault.Event{
+		fault.CrashRecover(0, 0, 6),
+		fault.CrashRecover(3, 1, 8),
+	}}
+	res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{Faults: scenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Fatalf("transient outages should not leave the run incomplete: %+v", res)
+	}
+	if res.LostTags != 0 {
+		t.Errorf("recoverable readers lost %d tags", res.LostTags)
+	}
+	if res.TotalRead != sys.CoverableCount() {
+		t.Errorf("read %d of %d coverable tags", res.TotalRead, sys.CoverableCount())
+	}
+}
+
+// TestDistributedFullPartitionSurfacesRetryExhausted is the second headline
+// scenario: a network partitioned on every edge makes each node elect itself
+// head, so the decided set is maximally dependent. Strict mode must catch
+// that, and Retrying must convert it into a bounded retry-exhausted error —
+// never a hang or a silently garbage schedule.
+func TestDistributedFullPartitionSurfacesRetryExhausted(t *testing.T) {
+	sys := smallSystem(t, 75, 16, 100)
+	g := graph.FromSystem(sys)
+	if g.M() == 0 {
+		t.Fatal("test deployment has no interference edges; partition scenario is vacuous")
+	}
+	d := NewDistributed(g, 1.25)
+	d.Strict = true
+	d.Faults = &fault.Scenario{Seed: 3, Events: []fault.Event{
+		fault.Partition(allEdges(g), 0, fault.Forever),
+	}}
+	retries := 0
+	sched := &Retrying{Inner: d, MaxAttempts: 2, OnRetry: func(int, error) { retries++ }}
+
+	_, err := RunMCS(sys, sched, MCSOptions{MaxSlots: 10})
+	if err == nil {
+		t.Fatal("fully partitioned network produced a schedule instead of an error")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("error does not report retry exhaustion: %v", err)
+	}
+	if retries != 1 {
+		t.Errorf("OnRetry ran %d times, want 1 (MaxAttempts-1)", retries)
+	}
+}
+
+// TestDistributedFaultScenarioDeterministic is the determinism regression:
+// two runs under an identical fault scenario (loss + transient crash +
+// duplication + reordering) must produce byte-identical schedules and
+// network statistics.
+func TestDistributedFaultScenarioDeterministic(t *testing.T) {
+	sys := smallSystem(t, 77, 16, 100)
+	g := graph.FromSystem(sys)
+	build := func() *Distributed {
+		d := NewDistributed(g, 1.25)
+		d.LossRate = 0.05
+		d.LossSeed = 99
+		d.Faults = &fault.Scenario{Events: []fault.Event{
+			fault.CrashRecover(1, 2, 9),
+			fault.Duplicate(0.2, 0, fault.Forever),
+			fault.Reorder(0, fault.Forever),
+		}}
+		return d
+	}
+	d1, d2 := build(), build()
+	X1, err := d1.OneShot(sys.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	X2, err := d2.OneShot(sys.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(X1, X2) {
+		t.Errorf("schedules differ across identical fault scenarios: %v vs %v", X1, X2)
+	}
+	if !reflect.DeepEqual(d1.LastStats, d2.LastStats) {
+		t.Errorf("network stats differ across identical fault scenarios:\n%+v\n%+v", d1.LastStats, d2.LastStats)
+	}
+	if d1.LastStats.DuplicatedMessages == 0 || d1.LastStats.MessagesLost == 0 {
+		t.Errorf("fault injection inactive: %+v", d1.LastStats)
+	}
+}
+
+// TestRunMCSFaultScenarioDeterministic extends the determinism regression to
+// the repair driver: identical crash scenarios yield deep-equal results,
+// per-slot records included.
+func TestRunMCSFaultScenarioDeterministic(t *testing.T) {
+	run := func() *MCSResult {
+		sys := smallSystem(t, 79, 20, 150)
+		g := graph.FromSystem(sys)
+		scenario := &fault.Scenario{Seed: 5, Events: fault.CrashNodes(
+			fault.SampleNodes(sys.NumReaders(), 4, 5), 1)}
+		res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{RecordSlots: true, Faults: scenario})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("repair runs differ across identical scenarios:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// TestStallLimitNegativeDisablesFallback is the satellite contract for
+// StallLimit < 0: a scheduler that never makes progress must terminate via
+// MaxSlots with Incomplete=true and zero fallbacks, not spin forever.
+func TestStallLimitNegativeDisablesFallback(t *testing.T) {
+	sys := smallSystem(t, 81, 10, 60)
+	idle := model.Func{SchedName: "idle", F: func(*model.System) ([]int, error) { return nil, nil }}
+	res, err := RunMCS(sys, idle, MCSOptions{MaxSlots: 50, StallLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incomplete {
+		t.Error("idle scheduler with disabled fallback must end Incomplete")
+	}
+	if res.Size != 50 {
+		t.Errorf("Size = %d, want 50 (MaxSlots)", res.Size)
+	}
+	if res.Fallbacks != 0 || res.TotalRead != 0 {
+		t.Errorf("fallback fired despite StallLimit<0: %+v", res)
+	}
+}

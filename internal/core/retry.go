@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+)
+
+// Retrying decorates a OneShotScheduler with bounded retries: transient
+// faults (a timed-out distributed protocol, a Strict feasibility failure
+// under partition) often clear on a re-run, and the covering-schedule driver
+// should not abort a whole experiment for one bad slot. When every attempt
+// fails, the last error is wrapped with the attempt count — a retry-exhausted
+// error, never a hang — which is how a permanently hostile network (e.g. a
+// full partition) surfaces to the caller.
+type Retrying struct {
+	Inner model.OneShotScheduler
+
+	// MaxAttempts bounds the total tries per OneShot call (0 = default 3).
+	MaxAttempts int
+
+	// Seed drives the backoff jitter; the same seed reproduces the same
+	// delay sequence.
+	Seed uint64
+
+	// BackoffBase is the pre-jitter delay before attempt 2; each further
+	// attempt doubles it. 0 (the default) retries immediately, which suits
+	// simulations where wall-clock waits buy nothing.
+	BackoffBase time.Duration
+
+	// Sleep replaces time.Sleep in tests. Only called for positive delays.
+	Sleep func(time.Duration)
+
+	// OnRetry, if set, runs before each re-attempt (attempt counts from 1).
+	// Experiments use it to reseed the fault stream between tries, modeling
+	// an operator re-running the protocol at a later, luckier moment.
+	OnRetry func(attempt int, err error)
+
+	// LastAttempts reports how many attempts the most recent OneShot used.
+	// Diagnostic; not safe for concurrent use.
+	LastAttempts int
+}
+
+// Name implements model.OneShotScheduler, passing through the inner name so
+// results stay attributed to the real algorithm.
+func (r *Retrying) Name() string { return r.Inner.Name() }
+
+// OneShot implements model.OneShotScheduler with retry-on-error.
+func (r *Retrying) OneShot(sys *model.System) ([]int, error) {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := randx.New(r.Seed)
+
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if r.OnRetry != nil {
+				r.OnRetry(i, lastErr)
+			}
+			if r.BackoffBase > 0 {
+				// Exponential backoff with jitter in [0.5, 1.0)× to keep
+				// retrying replicas from re-colliding in lockstep.
+				d := time.Duration(float64(r.BackoffBase<<uint(i-1)) * (0.5 + rng.Float64()/2))
+				sleep(d)
+			}
+		}
+		X, err := r.Inner.OneShot(sys)
+		if err == nil {
+			r.LastAttempts = i + 1
+			return X, nil
+		}
+		lastErr = err
+	}
+	r.LastAttempts = attempts
+	return nil, fmt.Errorf("core: %s failed after %d attempts: %w", r.Inner.Name(), attempts, lastErr)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidsched/internal/model"
+)
+
+// flaky fails its first failures calls, then returns set.
+type flaky struct {
+	failures int
+	set      []int
+	calls    int
+}
+
+func (f *flaky) Name() string { return "flaky" }
+
+func (f *flaky) OneShot(*model.System) ([]int, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, errors.New("transient")
+	}
+	return f.set, nil
+}
+
+func TestRetryingRecoversFromTransientErrors(t *testing.T) {
+	sys := smallSystem(t, 83, 5, 20)
+	inner := &flaky{failures: 2, set: []int{1, 3}}
+	r := &Retrying{Inner: inner, MaxAttempts: 3}
+	if r.Name() != "flaky" {
+		t.Errorf("Name() = %q, want pass-through", r.Name())
+	}
+	X, err := r.OneShot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(X, []int{1, 3}) || r.LastAttempts != 3 {
+		t.Errorf("got %v after %d attempts, want [1 3] after 3", X, r.LastAttempts)
+	}
+}
+
+func TestRetryingExhaustionWrapsLastError(t *testing.T) {
+	sys := smallSystem(t, 83, 5, 20)
+	sentinel := errors.New("network on fire")
+	always := model.Func{SchedName: "doomed", F: func(*model.System) ([]int, error) { return nil, sentinel }}
+	calls := 0
+	r := &Retrying{Inner: always, MaxAttempts: 4, OnRetry: func(attempt int, err error) {
+		calls++
+		if attempt != calls {
+			t.Errorf("OnRetry attempt %d on call %d", attempt, calls)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("OnRetry saw %v, want the sentinel", err)
+		}
+	}}
+	_, err := r.OneShot(sys)
+	if err == nil {
+		t.Fatal("want retry-exhausted error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("exhaustion error does not wrap the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 4 attempts") {
+		t.Errorf("error does not state the attempt budget: %v", err)
+	}
+	if calls != 3 || r.LastAttempts != 4 {
+		t.Errorf("OnRetry ran %d times / %d attempts, want 3 / 4", calls, r.LastAttempts)
+	}
+}
+
+func TestRetryingBackoffSeededAndBounded(t *testing.T) {
+	sys := smallSystem(t, 83, 5, 20)
+	fail := model.Func{SchedName: "doomed", F: func(*model.System) ([]int, error) { return nil, errors.New("x") }}
+	delays := func(seed uint64) []time.Duration {
+		var ds []time.Duration
+		r := &Retrying{
+			Inner: fail, MaxAttempts: 4, Seed: seed,
+			BackoffBase: 100 * time.Millisecond,
+			Sleep:       func(d time.Duration) { ds = append(ds, d) },
+		}
+		_, _ = r.OneShot(sys)
+		return ds
+	}
+	d1, d2 := delays(9), delays(9)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("same seed, different backoff: %v vs %v", d1, d2)
+	}
+	if len(d1) != 3 {
+		t.Fatalf("%d sleeps for 4 attempts, want 3", len(d1))
+	}
+	for i, d := range d1 {
+		base := 100 * time.Millisecond << uint(i)
+		if d < base/2 || d >= base {
+			t.Errorf("delay %d = %v outside jitter window [%v, %v)", i, d, base/2, base)
+		}
+	}
+}

@@ -6,8 +6,14 @@
 //
 // The synchronous model matches the paper's setting (slotted time is
 // already assumed for tag reading) and makes executions deterministic:
-// inboxes are sorted by sender before delivery, so a seeded run always
+// inboxes are sorted by sender at delivery time, so a seeded run always
 // produces the same schedule regardless of goroutine interleaving.
+//
+// Failure injection is scripted through package fault (WithFaults): reader
+// crashes stop a node from stepping and sending, partitions cut edge
+// traffic, stragglers skip rounds, and probabilistic loss, duplication and
+// reordering perturb delivery — all reproducibly from a scenario seed. The
+// legacy WithLoss knob remains as a thin shim over a loss-only plan.
 package distnet
 
 import (
@@ -15,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"rfidsched/internal/fault"
 	"rfidsched/internal/graph"
 )
 
@@ -36,39 +43,68 @@ type Node interface {
 type Stats struct {
 	Rounds        int
 	MessagesSent  int
-	MessagesLost  int // dropped by loss injection (subset of MessagesSent)
+	MessagesLost  int // dropped by Bernoulli loss injection (subset of MessagesSent)
 	MaxInboxSize  int
 	ParkedAtRound []int // round at which each node declared done (-1 = never)
+
+	// Fault telemetry (all zero without WithFaults).
+	CrashedNodes       int // nodes removed by permanent fail-stop crashes
+	PartitionedRounds  int // rounds during which at least one edge was cut
+	PartitionDropped   int // messages dropped on cut edges
+	DuplicatedMessages int // extra copies delivered by duplication faults
+	StragglerSkips     int // (node, round) Steps skipped by straggle faults
+	UndeliveredDown    int // messages addressed to parked or crashed nodes
 }
 
 // Network executes nodes over an interference-graph topology.
 type Network struct {
 	g *graph.Graph
 
-	// lossRate drops each message independently with this probability
-	// (failure injection); lossDraw supplies the randomness.
-	lossRate float64
-	lossDraw func() float64
+	// plan scripts failure injection; nil runs fault-free.
+	plan *fault.Plan
 }
 
 // NewNetwork builds a network with the given topology.
 func NewNetwork(g *graph.Graph) *Network { return &Network{g: g} }
+
+// WithFaults attaches a compiled fault plan (see package fault). The plan's
+// tick axis is the round number. Returns the network for chaining.
+func (n *Network) WithFaults(plan *fault.Plan) *Network {
+	n.plan = plan
+	return n
+}
 
 // WithLoss enables message-loss injection: every message is independently
 // dropped with probability rate, drawn from draw (a seeded uniform [0,1)
 // source keeps runs reproducible). Dropped messages still count in
 // Stats.MessagesSent — they were transmitted, just not delivered — and are
 // tallied in Stats.MessagesLost. Returns the network for chaining.
+//
+// WithLoss is a shim over WithFaults for the common single-knob case; new
+// code wanting richer failure models should build a fault.Scenario.
 func (n *Network) WithLoss(rate float64, draw func() float64) *Network {
-	n.lossRate = rate
-	n.lossDraw = draw
-	return n
+	if rate <= 0 || draw == nil {
+		return n
+	}
+	plan := fault.MustCompile(fault.Scenario{
+		Events: []fault.Event{fault.Loss(rate, 0, fault.Forever)},
+	}, n.g.N())
+	plan.SetDraw(draw)
+	return n.WithFaults(plan)
 }
 
-// Run drives the nodes until all are done or maxRounds elapses. It returns
-// an error if a node addresses a non-neighbor (a protocol bug: radios
-// cannot reach beyond the interference range) or if maxRounds is exhausted
-// with undone nodes.
+// Run drives the nodes until all are done (or permanently crashed) or
+// maxRounds elapses. It returns an error if a node addresses a non-neighbor
+// (a protocol bug: radios cannot reach beyond the interference range) or if
+// maxRounds is exhausted with undone nodes.
+//
+// Under a fault plan: permanently crashed nodes are removed from the run
+// (they can never park, so waiting for them would always time out); nodes
+// in a crash-with-recovery window lose their pending inbox and skip Steps
+// until the reboot; straggling nodes skip Steps but keep accumulating
+// messages; messages over cut edges, to dark radios, or sacrificed to
+// Bernoulli loss are dropped with per-cause telemetry. Parked nodes never
+// receive new messages — their inboxes stay empty (see UndeliveredDown).
 func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 	if len(nodes) != n.g.N() {
 		return nil, fmt.Errorf("distnet: %d nodes for %d-vertex topology", len(nodes), n.g.N())
@@ -77,7 +113,9 @@ func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 	for i := range stats.ParkedAtRound {
 		stats.ParkedAtRound[i] = -1
 	}
-	done := make([]bool, len(nodes))
+	plan := n.plan
+	done := make([]bool, len(nodes))   // parked by protocol decision
+	failed := make([]bool, len(nodes)) // removed by permanent crash
 	inboxes := make([][]Message, len(nodes))
 	remaining := len(nodes)
 
@@ -93,19 +131,49 @@ func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 		}
 		stats.Rounds = round + 1
 
+		// Fault bookkeeping for this round (single-threaded, deterministic).
+		if plan != nil {
+			for id := range nodes {
+				if !done[id] && !failed[id] && plan.PermanentlyDown(id, round) {
+					failed[id] = true
+					inboxes[id] = nil
+					stats.CrashedNodes++
+					remaining--
+				}
+			}
+			if remaining == 0 {
+				break
+			}
+			if plan.AnyCut(round) {
+				stats.PartitionedRounds++
+			}
+		}
+		crashedNow := func(id int) bool { return plan != nil && plan.Crashed(id, round) }
+
 		results := make([]result, 0, remaining)
+		var stragglers []int
 		var mu sync.Mutex
 		var wg sync.WaitGroup
 		for id := range nodes {
-			if done[id] {
+			if done[id] || failed[id] {
+				continue
+			}
+			if crashedNow(id) {
+				// Transient outage: the node is dark and its radio buffers
+				// are lost; it resumes stepping after the scripted reboot.
+				inboxes[id] = nil
+				continue
+			}
+			if plan != nil && plan.Straggling(id, round) {
+				// Alive but paused: the Step is skipped, the inbox kept.
+				stats.StragglerSkips++
+				stragglers = append(stragglers, id)
 				continue
 			}
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				inbox := inboxes[id]
-				sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
-				out, d := nodes[id].Step(round, inbox)
+				out, d := nodes[id].Step(round, inboxes[id])
 				mu.Lock()
 				results = append(results, result{id: id, outbox: out, done: d})
 				mu.Unlock()
@@ -115,10 +183,22 @@ func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 		sort.Slice(results, func(a, b int) bool { return results[a].id < results[b].id })
 
 		next := make([][]Message, len(nodes))
+		for _, id := range stragglers {
+			next[id] = inboxes[id] // unread messages carry over
+		}
+		// Park first, deliver second: a message sent to a node that parked
+		// this same round must not enqueue, regardless of id order.
 		for _, res := range results {
 			if l := len(inboxes[res.id]); l > stats.MaxInboxSize {
 				stats.MaxInboxSize = l
 			}
+			if res.done {
+				done[res.id] = true
+				stats.ParkedAtRound[res.id] = round
+				remaining--
+			}
+		}
+		for _, res := range results {
 			for _, m := range res.outbox {
 				if m.From != res.id {
 					return stats, fmt.Errorf("distnet: node %d forged sender %d", res.id, m.From)
@@ -127,21 +207,42 @@ func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 					return stats, fmt.Errorf("distnet: node %d sent beyond radio range to %d", m.From, m.To)
 				}
 				stats.MessagesSent++
-				if n.lossRate > 0 && n.lossDraw != nil && n.lossDraw() < n.lossRate {
+				switch {
+				case done[m.To] || failed[m.To] || crashedNow(m.To):
+					// Parked or dark recipients never enqueue: delivering
+					// would only grow an inbox nobody reads.
+					stats.UndeliveredDown++
+				case plan != nil && plan.Cut(m.From, m.To, round):
+					stats.PartitionDropped++
+				case plan != nil && plan.Drop(round):
 					stats.MessagesLost++
-					continue
+				default:
+					next[m.To] = append(next[m.To], m)
+					if plan != nil && plan.Duplicated(round) {
+						stats.DuplicatedMessages++
+						next[m.To] = append(next[m.To], m)
+					}
 				}
-				next[m.To] = append(next[m.To], m)
-			}
-			if res.done {
-				done[res.id] = true
-				stats.ParkedAtRound[res.id] = round
-				remaining--
 			}
 		}
-		for id := range inboxes {
-			inboxes[id] = next[id]
+		// Deterministic delivery order (sorted by sender), then scripted
+		// reordering if a reorder fault is active.
+		for id := range next {
+			box := next[id]
+			if len(box) < 2 {
+				continue
+			}
+			sort.SliceStable(box, func(a, b int) bool { return box[a].From < box[b].From })
+			if plan != nil && plan.Reordered(round) {
+				perm := plan.Perm(len(box))
+				shuffled := make([]Message, len(box))
+				for i, j := range perm {
+					shuffled[i] = box[j]
+				}
+				next[id] = shuffled
+			}
 		}
+		inboxes = next
 	}
 	return stats, nil
 }

@@ -26,12 +26,13 @@ import (
 //	abl-channels dense-reading-mode channel count vs one-shot weight
 //	abl-mobility reader speed vs frozen-schedule weight retention
 //	abl-airtime  total link-layer air time per scheduler (EGA-style metric)
+//	abl-chaos    crash fraction x loss x partition grid (fault injection)
 //
 // Every ablation returns a FigureResult, so all renderers apply.
 
 // AblationIDs lists the available ablations in order.
 func AblationIDs() []string {
-	return []string{"abl-rho", "abl-survey", "abl-channels", "abl-mobility", "abl-airtime"}
+	return []string{"abl-rho", "abl-survey", "abl-channels", "abl-mobility", "abl-airtime", "abl-chaos"}
 }
 
 // RunAblation executes one ablation under cfg (Trials, Seed, deployment
@@ -49,6 +50,8 @@ func RunAblation(id string, cfg Config) (*FigureResult, error) {
 		return ablMobility(cfg)
 	case "abl-airtime":
 		return ablAirtime(cfg)
+	case "abl-chaos":
+		return ablChaos(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown ablation %q (have %v)", id, AblationIDs())
 	}

@@ -11,7 +11,7 @@ func ablTiny() Config {
 
 func TestAblationIDs(t *testing.T) {
 	ids := AblationIDs()
-	if len(ids) != 5 {
+	if len(ids) != 6 {
 		t.Fatalf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -31,6 +31,8 @@ func sweepFor(id string) []float64 {
 		return []float64{1}
 	case "abl-airtime":
 		return []float64{4}
+	case "abl-chaos":
+		return []float64{0.2}
 	default:
 		return []float64{2}
 	}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/fault"
+	"rfidsched/internal/graph"
+)
+
+// ablChaos is the chaos sweep: the distributed protocol (Algorithm 3 behind
+// a Retrying wrapper) drives a full covering schedule while faults are
+// injected at both layers — message loss and a healing network partition
+// against the protocol rounds, fail-stop reader crashes against the
+// schedule slots. The x axis sweeps the crashed fraction of the fleet; the
+// four slots series pair loss {0, 15%} with partition {off, on} on the same
+// deployments, and the aggregate series report how often runs failed
+// outright (retry budget exhausted) or completed degraded.
+//
+// The honesty contract under test: every cell of the grid ends in a
+// completed schedule, a Degraded result, or a clean error — never a hang or
+// silent garbage.
+func ablChaos(cfg Config) (*FigureResult, error) {
+	sweep := cfg.Sweep
+	if sweep == nil {
+		sweep = []float64{0, 0.1, 0.2, 0.3}
+	}
+	type combo struct {
+		label     string
+		loss      float64
+		partition bool
+	}
+	combos := []combo{
+		{"slots[loss=0,part=off]", 0, false},
+		{"slots[loss=.15,part=off]", 0.15, false},
+		{"slots[loss=0,part=on]", 0, true},
+		{"slots[loss=.15,part=on]", 0.15, true},
+	}
+	return ablationSweep(cfg, sweep,
+		"Ablation: chaos grid — crash fraction x loss x partition (Alg3 + retry + repair)",
+		"crashed fraction of fleet", "schedule slots / % of runs",
+		func(seed uint64, frac float64) (map[string]float64, error) {
+			dcfg, err := cfg.deployment(seed, 12, 5)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := deploy.Generate(dcfg)
+			if err != nil {
+				return nil, err
+			}
+			g := graph.FromSystem(sys)
+			n := sys.NumReaders()
+			var crashEvents []fault.Event
+			if k := int(frac*float64(n) + 0.5); k > 0 {
+				crashEvents = fault.CrashNodes(fault.SampleNodes(n, k, seed), 1)
+			}
+			// Partition scenario: cut every other interference edge for the
+			// protocol's first 40 rounds, then heal. Flooding redundancy
+			// must route around it or the retry layer re-runs the election.
+			var cut [][2]int
+			for u := 0; u < n; u++ {
+				for _, v := range g.Neighbors(u) {
+					if int(v) > u && (u+int(v))%2 == 0 {
+						cut = append(cut, [2]int{u, int(v)})
+					}
+				}
+			}
+
+			vals := map[string]float64{}
+			failed, degraded := 0.0, 0.0
+			for _, cb := range combos {
+				d := core.NewDistributed(g, cfg.Rho)
+				d.LossRate = cb.loss
+				d.LossSeed = seed
+				d.Strict = true
+				if cb.partition && len(cut) > 0 {
+					d.Faults = &fault.Scenario{Seed: seed, Events: []fault.Event{
+						fault.Partition(cut, 0, 40),
+					}}
+				}
+				sched := &core.Retrying{
+					Inner: d, MaxAttempts: 3, Seed: seed,
+					// A retry models re-running the election later: the
+					// network's randomness (loss, duplication) re-rolls.
+					OnRetry: func(attempt int, _ error) {
+						d.LossSeed = seed + uint64(attempt)*1000003
+						if d.Faults != nil {
+							d.Faults.Seed = d.LossSeed
+						}
+					},
+				}
+				var faults *fault.Scenario
+				if len(crashEvents) > 0 {
+					faults = &fault.Scenario{Seed: seed, Events: crashEvents}
+				}
+				res, err := core.RunMCS(sys.Clone(), sched, core.MCSOptions{
+					MaxSlots: 500,
+					Faults:   faults,
+				})
+				if err != nil {
+					// Retry-exhausted protocol failures are data, not run
+					// aborts: the grid's whole point is charting them.
+					failed += 100.0 / float64(len(combos))
+					continue
+				}
+				if res.Incomplete {
+					return nil, fmt.Errorf("experiments: chaos run hit MaxSlots without declaring loss (%s)", cb.label)
+				}
+				if res.Degraded {
+					degraded += 100.0 / float64(len(combos))
+				}
+				vals[cb.label] = float64(res.Size)
+			}
+			vals["failed%"] = failed
+			vals["degraded%"] = degraded
+			return vals, nil
+		})
+}

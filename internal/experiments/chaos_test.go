@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblChaosGrid(t *testing.T) {
+	cfg := tiny()
+	cfg.NumReaders = 14
+	cfg.NumTags = 150
+	cfg.Side = 60
+	cfg.Sweep = []float64{0, 0.25}
+	res, err := RunAblation("abl-chaos", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("chaos grid produced no series")
+	}
+	byLabel := map[string]Series{}
+	for _, s := range res.Series {
+		byLabel[s.Algorithm] = s
+	}
+	for _, want := range []string{"failed%", "degraded%"} {
+		if _, ok := byLabel[want]; !ok {
+			t.Errorf("missing aggregate series %q (have %v)", want, labelsOf(res))
+		}
+	}
+	// With a quarter of the fleet crashing, some run must report
+	// degradation; with nobody crashing and no faults at the slot layer,
+	// none may.
+	deg := byLabel["degraded%"]
+	if len(deg.Points) != 2 {
+		t.Fatalf("degraded%% has %d points, want 2", len(deg.Points))
+	}
+	if deg.Points[0].X == 0 && deg.Points[0].Mean != 0 {
+		t.Errorf("zero crash fraction reported %.1f%% degraded runs", deg.Points[0].Mean)
+	}
+	if deg.Points[1].Mean == 0 {
+		t.Errorf("25%% crash fraction reported no degraded runs")
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "chaos") {
+		t.Error("rendered table missing title")
+	}
+}
+
+func labelsOf(res *FigureResult) []string {
+	var out []string
+	for _, s := range res.Series {
+		out = append(out, s.Algorithm)
+	}
+	return out
+}
+
+func TestAblChaosListedAndDeterministic(t *testing.T) {
+	found := false
+	for _, id := range AblationIDs() {
+		if id == "abl-chaos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("abl-chaos not registered")
+	}
+
+	cfg := tiny()
+	cfg.Trials = 1
+	cfg.NumReaders = 12
+	cfg.NumTags = 100
+	cfg.Side = 50
+	cfg.Sweep = []float64{0.2}
+	run := func() string {
+		res, err := RunAblation("abl-chaos", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if r1, r2 := run(), run(); r1 != r2 {
+		t.Errorf("chaos ablation not reproducible:\n%s\nvs\n%s", r1, r2)
+	}
+}

@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCompileValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		scn  Scenario
+	}{
+		{"node out of range", Scenario{Events: []Event{Crash(5, 0)}}},
+		{"negative node", Scenario{Events: []Event{Crash(-1, 0)}}},
+		{"empty interval", Scenario{Events: []Event{CrashRecover(0, 3, 3)}}},
+		{"inverted interval", Scenario{Events: []Event{CrashRecover(0, 5, 2)}}},
+		{"negative at", Scenario{Events: []Event{CrashRecover(0, -1, 2)}}},
+		{"partition self-loop", Scenario{Events: []Event{Partition([][2]int{{1, 1}}, 0, 5)}}},
+		{"partition out of range", Scenario{Events: []Event{Partition([][2]int{{0, 9}}, 0, 5)}}},
+		{"straggle out of range", Scenario{Events: []Event{Straggle(4, 0, 2)}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.scn.Compile(4); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := (Scenario{}).Compile(-1); err == nil {
+		t.Error("negative node count accepted")
+	}
+}
+
+func TestCrashIntervals(t *testing.T) {
+	p := MustCompile(Scenario{Events: []Event{
+		Crash(0, 5),
+		CrashRecover(1, 2, 4),
+	}}, 3)
+
+	if p.Crashed(0, 4) {
+		t.Error("node 0 down before At")
+	}
+	for _, tick := range []int{5, 6, 1000} {
+		if !p.Crashed(0, tick) {
+			t.Errorf("node 0 up at %d after permanent crash", tick)
+		}
+		if !p.PermanentlyDown(0, tick) {
+			t.Errorf("node 0 not permanently down at %d", tick)
+		}
+	}
+	if p.PermanentlyDown(0, 4) {
+		t.Error("node 0 permanently down before the crash")
+	}
+
+	if p.Crashed(1, 1) || p.Crashed(1, 4) {
+		t.Error("node 1 down outside [2,4)")
+	}
+	if !p.Crashed(1, 2) || !p.Crashed(1, 3) {
+		t.Error("node 1 up inside [2,4)")
+	}
+	if p.PermanentlyDown(1, 3) {
+		t.Error("recovering crash reported permanent")
+	}
+
+	if p.Crashed(2, 0) || p.Straggling(2, 0) {
+		t.Error("untouched node faulted")
+	}
+}
+
+func TestStraggleAndPartitionQueries(t *testing.T) {
+	p := MustCompile(Scenario{Events: []Event{
+		Straggle(2, 3, 4), // rounds 3..6
+		Partition([][2]int{{0, 1}, {1, 2}}, 10, 20),
+	}}, 4)
+
+	for tick, want := range map[int]bool{2: false, 3: true, 6: true, 7: false} {
+		if got := p.Straggling(2, tick); got != want {
+			t.Errorf("Straggling(2,%d) = %v, want %v", tick, got, want)
+		}
+	}
+	if !p.Cut(0, 1, 10) || !p.Cut(1, 0, 19) {
+		t.Error("cut edge not cut (both orientations should match)")
+	}
+	if p.Cut(0, 1, 9) || p.Cut(0, 1, 20) {
+		t.Error("edge cut outside the interval")
+	}
+	if p.Cut(0, 2, 15) {
+		t.Error("uncut edge reported cut")
+	}
+	if !p.AnyCut(15) || p.AnyCut(25) {
+		t.Error("AnyCut interval wrong")
+	}
+}
+
+func TestDropDeterministicAndRateable(t *testing.T) {
+	scn := Scenario{Seed: 42, Events: []Event{Loss(0.3, 0, Forever)}}
+	run := func() []bool {
+		p := MustCompile(scn, 1)
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = p.Drop(5)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same scenario produced different drop sequences")
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if frac := float64(drops) / float64(len(a)); frac < 0.2 || frac > 0.4 {
+		t.Errorf("drop fraction %v implausible for rate 0.3", frac)
+	}
+
+	// Outside the interval no draw happens and nothing drops.
+	p := MustCompile(Scenario{Seed: 42, Events: []Event{Loss(1, 5, 10)}}, 1)
+	if p.Drop(4) || p.Drop(10) {
+		t.Error("loss active outside [5,10)")
+	}
+	if !p.Drop(5) {
+		t.Error("rate-1 loss did not drop")
+	}
+}
+
+func TestRateClamping(t *testing.T) {
+	if Loss(1.7, 0, 1).Rate != 1 || Loss(-0.2, 0, 1).Rate != 0 {
+		t.Error("loss rate not clamped to [0,1]")
+	}
+	if Duplicate(2, 0, 1).Rate != 1 {
+		t.Error("duplicate rate not clamped")
+	}
+}
+
+func TestSampleNodes(t *testing.T) {
+	a := SampleNodes(50, 10, 7)
+	b := SampleNodes(50, 10, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SampleNodes not deterministic")
+	}
+	if len(a) != 10 {
+		t.Fatalf("len = %d, want 10", len(a))
+	}
+	seen := map[int]bool{}
+	for _, v := range a {
+		if v < 0 || v >= 50 {
+			t.Fatalf("node %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("node %d sampled twice", v)
+		}
+		seen[v] = true
+	}
+	if got := SampleNodes(5, 10, 1); len(got) != 5 {
+		t.Errorf("k>n not clamped: %v", got)
+	}
+	if SampleNodes(5, 0, 1) != nil || SampleNodes(0, 3, 1) != nil {
+		t.Error("degenerate sample not empty")
+	}
+}
+
+func TestCrashNodesHelper(t *testing.T) {
+	evs := CrashNodes([]int{3, 1}, 7)
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Kind != KindCrash || ev.At != 7 || ev.Until != Forever {
+			t.Errorf("bad event %+v", ev)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCrash: "crash", KindStraggle: "straggle", KindPartition: "partition",
+		KindLoss: "loss", KindDuplicate: "duplicate", KindReorder: "reorder",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind %d = %q", k, k.String())
+		}
+	}
+}
+
+func TestPermAndReorder(t *testing.T) {
+	p := MustCompile(Scenario{Seed: 9, Events: []Event{Reorder(0, 4)}}, 2)
+	if !p.Reordered(0) || p.Reordered(4) {
+		t.Error("reorder interval wrong")
+	}
+	perm := p.Perm(6)
+	if len(perm) != 6 {
+		t.Fatalf("perm len %d", len(perm))
+	}
+	seen := map[int]bool{}
+	for _, v := range perm {
+		seen[v] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("not a permutation: %v", perm)
+	}
+}

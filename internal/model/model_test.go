@@ -345,3 +345,80 @@ func TestSchedulerFunc(t *testing.T) {
 		t.Errorf("Func.OneShot = %v, %v", X, err)
 	}
 }
+
+func TestReaderDownMask(t *testing.T) {
+	s := figure2System(t)
+
+	// Baseline: everything up.
+	if s.DownReaders() != 0 || s.ReaderDown(1) {
+		t.Fatal("fresh system has down readers")
+	}
+	if n := s.UnreadCoverableCount(); n != 5 {
+		t.Fatalf("coverable = %d, want 5", n)
+	}
+
+	// Fail B (reader 1): it stops reading, interfering and counting.
+	s.SetReaderDown(1, true)
+	if !s.ReaderDown(1) || s.DownReaders() != 1 {
+		t.Fatal("mask not set")
+	}
+	if w := s.SingletonWeight(1); w != 0 {
+		t.Errorf("down reader singleton weight = %d, want 0", w)
+	}
+	// With B silent, {A,B,C} behaves exactly like {A,C}: the overlap tags
+	// 2 and 3 become singly covered.
+	if w := s.Weight([]int{0, 1, 2}); w != 4 {
+		t.Errorf("w({A,B,C}) with B down = %d, want 4", w)
+	}
+	col := s.Collisions([]int{0, 1, 2})
+	if col.WellCovered != 4 || col.RTcReaders != 0 {
+		t.Errorf("collisions with B down: %+v", col)
+	}
+	// Tag5 is covered only by B, so it drops out of the coverable count.
+	if n := s.UnreadCoverableCount(); n != 4 {
+		t.Errorf("coverable with B down = %d, want 4", n)
+	}
+
+	// The mask survives Clone and double-set is idempotent.
+	c := s.Clone()
+	if !c.ReaderDown(1) || c.DownReaders() != 1 {
+		t.Error("clone lost the down mask")
+	}
+	s.SetReaderDown(1, true)
+	if s.DownReaders() != 1 {
+		t.Error("idempotent set miscounted")
+	}
+
+	// Recovery restores the original weights.
+	s.SetReaderDown(1, false)
+	if s.DownReaders() != 0 {
+		t.Error("mask not cleared")
+	}
+	if w := s.Weight([]int{0, 1, 2}); w != 3 {
+		t.Errorf("w({A,B,C}) after recovery = %d, want 3", w)
+	}
+	if n := s.UnreadCoverableCount(); n != 5 {
+		t.Errorf("coverable after recovery = %d, want 5", n)
+	}
+}
+
+func TestDownReaderCausesNoInterference(t *testing.T) {
+	// D and E interfere (distance 5 < R=8). With both active nothing is
+	// well-covered; with E down, D reads its tags unmolested.
+	readers := []Reader{
+		{Pos: geom.Pt(0, 0), InterferenceR: 8, InterrogationR: 6}, // D
+		{Pos: geom.Pt(5, 0), InterferenceR: 8, InterrogationR: 6}, // E
+	}
+	tags := []Tag{
+		{Pos: geom.Pt(-4, 0)}, // D only
+		{Pos: geom.Pt(0, 0)},  // D and E
+	}
+	s := mustSystem(t, readers, tags)
+	if w := s.Weight([]int{0, 1}); w != 0 {
+		t.Fatalf("w({D,E}) = %d, want 0 (mutual RTc)", w)
+	}
+	s.SetReaderDown(1, true)
+	if w := s.Weight([]int{0, 1}); w != 2 {
+		t.Errorf("w({D,E}) with E down = %d, want 2 (no interference from dead radio)", w)
+	}
+}

@@ -26,6 +26,14 @@ type System struct {
 	read        []bool
 	unreadCount int
 
+	// down marks readers that have failed (crashed hardware, switched off):
+	// a down reader neither reads tags nor interferes, and tags only it
+	// covers stop counting as coverable. nil means every reader is up. The
+	// mask is driven by the fault-injection layers (core.RunMCS repair
+	// mode, slotsim) and may change slot to slot.
+	down      []bool
+	downCount int
+
 	// scratch buffers for Weight; see weight.go.
 	coverCount []int32
 	coverOwner []int32
@@ -168,14 +176,55 @@ func (s *System) ResetReads() {
 	s.unreadCount = len(s.tags)
 }
 
+// SetReaderDown marks reader i as failed (down=true) or restores it. Down
+// readers do not transmit: they serve no tags, cause no interference, have
+// zero singleton weight, and drop out of coverability counts. The mask is
+// how the fault-aware drivers re-plan on the surviving subgraph.
+func (s *System) SetReaderDown(i int, down bool) {
+	if down && s.down == nil {
+		s.down = make([]bool, len(s.readers))
+	}
+	if s.down == nil || s.down[i] == down {
+		return
+	}
+	s.down[i] = down
+	if down {
+		s.downCount++
+	} else {
+		s.downCount--
+	}
+}
+
+// ReaderDown reports whether reader i is currently marked failed.
+func (s *System) ReaderDown(i int) bool { return s.down != nil && s.down[i] }
+
+// DownReaders returns how many readers are currently marked failed.
+func (s *System) DownReaders() int { return s.downCount }
+
+// isDown is the hot-path mask check (nil mask = all up).
+func (s *System) isDown(i int) bool { return s.down != nil && s.down[i] }
+
 // UnreadCoverableCount returns the number of unread tags that at least one
-// reader can interrogate. Tags outside every interrogation region can never
-// be read; a covering schedule terminates when this reaches zero.
+// live reader can interrogate. Tags outside every interrogation region (or
+// covered only by down readers) can never be read; a covering schedule
+// terminates when this reaches zero.
 func (s *System) UnreadCoverableCount() int {
 	n := 0
 	for t := range s.tags {
-		if !s.read[t] && len(s.readersOf[t]) > 0 {
-			n++
+		if s.read[t] {
+			continue
+		}
+		if s.downCount == 0 {
+			if len(s.readersOf[t]) > 0 {
+				n++
+			}
+			continue
+		}
+		for _, r := range s.readersOf[t] {
+			if !s.down[r] {
+				n++
+				break
+			}
 		}
 	}
 	return n
@@ -204,6 +253,8 @@ func (s *System) Clone() *System {
 		readersOf:   s.readersOf,
 		read:        append([]bool(nil), s.read...),
 		unreadCount: s.unreadCount,
+		down:        append([]bool(nil), s.down...),
+		downCount:   s.downCount,
 		coverCount:  make([]int32, len(s.tags)),
 		coverOwner:  make([]int32, len(s.tags)),
 		touched:     make([]int32, 0, len(s.tags)),

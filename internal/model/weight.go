@@ -27,7 +27,7 @@ func (s *System) weightAndCovered(X []int, dst []int32, collect bool) (int, []in
 
 	s.touched = s.touched[:0]
 	for _, v := range X {
-		if v < 0 || v >= len(s.readers) {
+		if v < 0 || v >= len(s.readers) || s.isDown(v) {
 			continue
 		}
 		for _, t := range s.tagsOf[v] {
@@ -57,20 +57,21 @@ func (s *System) weightAndCovered(X []int, dst []int32, collect bool) (int, []in
 
 // cleanMask returns a map-like boolean slice over reader indices marking the
 // readers in X that do NOT suffer RTc: reader v is clean iff no other
-// activated reader u has v inside u's interference disk.
+// activated reader u has v inside u's interference disk. Down readers do
+// not transmit, so they are neither clean nor a source of interference.
 func (s *System) cleanMask(X []int) []bool {
 	clean := make([]bool, len(s.readers))
 	for _, v := range X {
-		if v >= 0 && v < len(s.readers) {
+		if v >= 0 && v < len(s.readers) && !s.isDown(v) {
 			clean[v] = true
 		}
 	}
 	for _, u := range X {
-		if u < 0 || u >= len(s.readers) {
+		if u < 0 || u >= len(s.readers) || s.isDown(u) {
 			continue
 		}
 		for _, v := range X {
-			if u == v || v < 0 || v >= len(s.readers) {
+			if u == v || v < 0 || v >= len(s.readers) || s.isDown(v) {
 				continue
 			}
 			if s.readers[u].Interferes(s.readers[v]) {
@@ -104,14 +105,14 @@ func (s *System) Collisions(X []int) CollisionStats {
 	st := CollisionStats{Activated: len(X)}
 	clean := s.cleanMask(X)
 	for _, v := range X {
-		if v >= 0 && v < len(s.readers) && !clean[v] {
+		if v >= 0 && v < len(s.readers) && !s.isDown(v) && !clean[v] {
 			st.RTcReaders++
 		}
 	}
 
 	s.touched = s.touched[:0]
 	for _, v := range X {
-		if v < 0 || v >= len(s.readers) {
+		if v < 0 || v >= len(s.readers) || s.isDown(v) {
 			continue
 		}
 		for _, t := range s.tagsOf[v] {
@@ -136,8 +137,12 @@ func (s *System) Collisions(X []int) CollisionStats {
 }
 
 // SingletonWeight returns w({v}); Algorithm 2 seeds its growth from the
-// reader maximizing this.
+// reader maximizing this. A down reader weighs zero, which is how the
+// weight-greedy schedulers naturally avoid planning failed hardware.
 func (s *System) SingletonWeight(v int) int {
+	if s.isDown(v) {
+		return 0
+	}
 	w := 0
 	for _, t := range s.tagsOf[v] {
 		if !s.read[t] {

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"rfidsched/internal/anticollision"
+	"rfidsched/internal/fault"
 	"rfidsched/internal/geom"
 	"rfidsched/internal/model"
 	"rfidsched/internal/randx"
@@ -55,6 +56,15 @@ type Config struct {
 	// MaxArrivals caps total injected tags so runs terminate (default
 	// 10x initial population when ArrivalRate > 0).
 	MaxArrivals int
+
+	// Faults scripts reader failures against the run; its tick axis is the
+	// macro slot. The simulator mirrors the repair semantics of the MCS
+	// driver: readers crashed or straggling at slot t fail to activate
+	// (their tags go unread and the failure is recorded), the scheduler's
+	// view of the fleet lags one slot behind reality, and tags coverable
+	// only by permanently dead readers are given up honestly rather than
+	// chased forever.
+	Faults *fault.Scenario
 }
 
 // SlotStats records one macro slot.
@@ -66,6 +76,7 @@ type SlotStats struct {
 	RTcReaders int
 	RRcTags    int
 	Arrivals   int
+	Failed     []int // planned readers that were down at execution time
 }
 
 // Result is the outcome of a simulation.
@@ -77,6 +88,12 @@ type Result struct {
 	TagsInjected    int
 	Incomplete      bool
 	Timeline        []SlotStats
+
+	// Fault telemetry (zero without Config.Faults); same honesty contract
+	// as core.MCSResult — a degraded run reports exactly what survived.
+	Degraded          bool
+	FailedActivations int
+	LostTags          int
 
 	// Final is the system state at the end of the run. With tag arrivals
 	// the simulator rebuilds the system, so the caller's original pointer
@@ -94,6 +111,14 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 	}
 	rng := randx.New(cfg.Seed)
 	res := &Result{Algorithm: sched.Name()}
+	var plan *fault.Plan
+	if cfg.Faults != nil && !cfg.Faults.IsZero() {
+		p, err := cfg.Faults.Compile(sys.NumReaders())
+		if err != nil {
+			return nil, fmt.Errorf("slotsim: fault scenario: %w", err)
+		}
+		plan = p
+	}
 
 	arrivalsLeft := 0
 	if cfg.ArrivalRate > 0 {
@@ -107,7 +132,7 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 		region = sys.Bounds()
 	}
 
-	for sys.UnreadCoverableCount() > 0 || arrivalsLeft > 0 {
+	for reachableUnread(sys, plan, res.MacroSlots) > 0 || arrivalsLeft > 0 {
 		if res.MacroSlots >= maxSlots {
 			res.Incomplete = true
 			break
@@ -129,7 +154,8 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 				res.TagsInjected += arrived
 			}
 		}
-		if sys.UnreadCoverableCount() == 0 {
+		slot := res.MacroSlots
+		if reachableUnread(sys, plan, slot) == 0 {
 			if arrivalsLeft == 0 {
 				break
 			}
@@ -139,9 +165,20 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 			continue
 		}
 
+		if plan != nil {
+			// As in core.RunMCS, the scheduler learns of a failure only
+			// through the failed activation: plan with last slot's fleet.
+			applyDownMask(sys, plan, slot-1)
+		}
 		X, err := sched.OneShot(sys)
 		if err != nil {
 			return nil, fmt.Errorf("slotsim: %s failed at slot %d: %w", sched.Name(), res.MacroSlots, err)
+		}
+		var failedX []int
+		if plan != nil {
+			X, failedX = splitExecutable(sys, plan, X, slot)
+			res.FailedActivations += len(failedX)
+			applyDownMask(sys, plan, slot) // the guard below must see the true fleet
 		}
 		covered := sys.Covered(X, nil)
 		if len(covered) == 0 && sys.UnreadCoverableCount() > 0 {
@@ -185,11 +222,78 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 				RTcReaders: col.RTcReaders,
 				RRcTags:    col.RRcTags,
 				Arrivals:   arrived,
+				Failed:     failedX,
 			})
 		}
 	}
+	if plan != nil {
+		res.LostTags = lostTags(sys, plan, res.MacroSlots)
+		res.Degraded = res.FailedActivations > 0 || res.LostTags > 0
+	}
 	res.Final = sys
 	return res, nil
+}
+
+// applyDownMask, splitExecutable, reachableUnread and lostTags mirror the
+// repair semantics of core.RunMCS on the simulator's macro-slot axis (local
+// copies keep slotsim independent of the scheduler package).
+
+func applyDownMask(sys *model.System, plan *fault.Plan, slot int) {
+	for r := 0; r < sys.NumReaders(); r++ {
+		down := slot >= 0 && (plan.Crashed(r, slot) || plan.Straggling(r, slot))
+		sys.SetReaderDown(r, down)
+	}
+}
+
+func splitExecutable(sys *model.System, plan *fault.Plan, X []int, slot int) (live, failed []int) {
+	for _, v := range X {
+		switch {
+		case !plan.Crashed(v, slot) && !plan.Straggling(v, slot):
+			live = append(live, v)
+		case !sys.ReaderDown(v):
+			failed = append(failed, v)
+		}
+	}
+	return live, failed
+}
+
+func reachableUnread(sys *model.System, plan *fault.Plan, slot int) int {
+	if plan == nil {
+		return sys.UnreadCoverableCount()
+	}
+	n := 0
+	for t := 0; t < sys.NumTags(); t++ {
+		if sys.IsRead(t) {
+			continue
+		}
+		for _, r := range sys.ReadersOf(t) {
+			if !plan.PermanentlyDown(int(r), slot) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func lostTags(sys *model.System, plan *fault.Plan, slot int) int {
+	n := 0
+	for t := 0; t < sys.NumTags(); t++ {
+		if sys.IsRead(t) || len(sys.ReadersOf(t)) == 0 {
+			continue
+		}
+		lost := true
+		for _, r := range sys.ReadersOf(t) {
+			if !plan.PermanentlyDown(int(r), slot) {
+				lost = false
+				break
+			}
+		}
+		if lost {
+			n++
+		}
+	}
+	return n
 }
 
 // perReaderCounts returns, for each clean active reader, how many of the

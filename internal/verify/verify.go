@@ -10,7 +10,8 @@
 //   - the tags recorded as read in each slot are exactly the unread tags
 //     well-covered by that slot's activation (Def. 1/3);
 //   - no tag is served twice;
-//   - at the end, every coverable tag has been served (Def. 4/5).
+//   - at the end, every coverable tag has been served (Def. 4/5), unless
+//     the result honestly reported fault degradation (Degraded/LostTags).
 package verify
 
 import (
@@ -85,7 +86,10 @@ func Schedule(sys *model.System, result *core.MCSResult, opts Options) (Report, 
 		return rep, fmt.Errorf("verify: result claims %d total reads, replay served %d",
 			result.TotalRead, rep.TagsServed)
 	}
-	if !result.Incomplete && sim.UnreadCoverableCount() != 0 {
+	// A Degraded result has already declared (via LostTags) that some
+	// coverable tags died with their only readers; completeness is only
+	// demanded of runs that claim it.
+	if !result.Incomplete && !result.Degraded && sim.UnreadCoverableCount() != 0 {
 		return rep, fmt.Errorf("verify: schedule marked complete but %d coverable tags remain unread",
 			sim.UnreadCoverableCount())
 	}

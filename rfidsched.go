@@ -41,6 +41,7 @@ import (
 	"rfidsched/internal/core"
 	"rfidsched/internal/deploy"
 	"rfidsched/internal/experiments"
+	"rfidsched/internal/fault"
 	"rfidsched/internal/geom"
 	"rfidsched/internal/graph"
 	"rfidsched/internal/mobility"
@@ -220,6 +221,44 @@ func NewDrift(numReaders int, minX, minY, maxX, maxY, speed float64, seed uint64
 func VerifySchedule(sys *System, result *MCSResult, opts VerifyOptions) (VerifyReport, error) {
 	return verify.Schedule(sys, result, opts)
 }
+
+// Fault injection (see internal/fault for the full scenario DSL).
+type (
+	// FaultScenario is a seeded, reproducible script of fault events,
+	// attachable to RunCoveringSchedule (MCSOptions.Faults, tick = schedule
+	// slot), Simulate (SimConfig.Faults, tick = macro slot) and Distributed
+	// (Distributed.Faults, tick = protocol round).
+	FaultScenario = fault.Scenario
+	// FaultEvent is one scripted fault; build with CrashReader and friends.
+	FaultEvent = fault.Event
+	// Retrying decorates a Scheduler with bounded seeded-backoff retries,
+	// converting persistent protocol failures into retry-exhausted errors.
+	Retrying = core.Retrying
+)
+
+// FaultForever marks a fault interval that never ends.
+const FaultForever = fault.Forever
+
+// CrashReader fail-stops a reader at the given tick, permanently.
+func CrashReader(reader, at int) FaultEvent { return fault.Crash(reader, at) }
+
+// CrashReaderRecover takes a reader down for ticks [at, until).
+func CrashReaderRecover(reader, at, until int) FaultEvent {
+	return fault.CrashRecover(reader, at, until)
+}
+
+// StraggleReader pauses a reader for k ticks starting at the given tick.
+func StraggleReader(reader, at, k int) FaultEvent { return fault.Straggle(reader, at, k) }
+
+// PartitionNetwork cuts the given edges for ticks [at, until); only the
+// distributed protocol's radio network observes partitions.
+func PartitionNetwork(edges [][2]int, at, until int) FaultEvent {
+	return fault.Partition(edges, at, until)
+}
+
+// MessageLoss drops each network message independently with the given rate
+// during ticks [at, until).
+func MessageLoss(rate float64, at, until int) FaultEvent { return fault.Loss(rate, at, until) }
 
 // ToDeployment converts a System to its serializable form.
 func ToDeployment(sys *System) *Deployment { return deploy.ToDeployment(sys) }

@@ -208,3 +208,55 @@ func TestPublicAPIDrift(t *testing.T) {
 		t.Error("drift changed reader count")
 	}
 }
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	sys, err := PaperDeployment(5, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := InterferenceGraph(sys)
+
+	// Crash a fifth of the fleet mid-schedule; the driver must repair and
+	// the independent verifier must accept the degraded result.
+	scenario := &FaultScenario{Seed: 5}
+	for _, r := range []int{0, 3, 7, 12, 19, 24, 30, 33, 41, 47} {
+		scenario.Events = append(scenario.Events, CrashReader(r, 1))
+	}
+	s := sys.Clone()
+	res, err := RunCoveringSchedule(s, NewGrowth(g, 1.25), MCSOptions{
+		RecordSlots: true,
+		Faults:      scenario,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Fatalf("repair failed: %+v", res)
+	}
+	if !res.Degraded {
+		t.Error("crashing 10 of 50 readers should degrade the run")
+	}
+	if _, err := VerifySchedule(sys, res, VerifyOptions{RequireFeasible: true}); err != nil {
+		t.Errorf("verifier rejected an honest degraded schedule: %v", err)
+	}
+
+	// The retry decorator composes with any public scheduler.
+	retry := &Retrying{Inner: NewGrowth(g, 1.25), MaxAttempts: 2}
+	if _, err := RunCoveringSchedule(sys.Clone(), retry, MCSOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if retry.Name() != "Alg2-Growth" {
+		t.Errorf("retry wrapper must keep the inner name, got %q", retry.Name())
+	}
+
+	// The slot simulator accepts the same scenario type.
+	sim, err := Simulate(sys.Clone(), NewGrowth(g, 1.25), SimConfig{
+		Faults: &FaultScenario{Events: []FaultEvent{StraggleReader(2, 0, 3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.LostTags != 0 {
+		t.Errorf("a straggler must not lose tags, lost %d", sim.LostTags)
+	}
+}
