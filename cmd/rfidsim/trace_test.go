@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rfidsched/internal/obs"
+)
+
+// TestRunTraceWritesValidJSONL runs a figure with -trace and feeds the file
+// straight back through the summarizer: every line must parse as an event
+// and the runs must carry the figure/x/trial/algorithm attribution.
+func TestRunTraceWritesValidJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errBuf bytes.Buffer
+	code := run(tinyArgs("-fig", "6", "-algs", "Alg2-Growth,Alg3-Distributed", "-trace", path), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := obs.ReadSummary(f)
+	if err != nil {
+		t.Fatalf("trace is not valid JSONL: %v", err)
+	}
+	if len(sum.Events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	runs := sum.RunIDs()
+	if len(runs) == 0 {
+		t.Fatal("no run attribution in trace")
+	}
+	for _, id := range runs {
+		if !strings.HasPrefix(id, "fig6/") {
+			t.Errorf("run id %q not stamped with figure prefix", id)
+		}
+	}
+	// The distributed algorithm must have traced its elections too.
+	if !strings.Contains(strings.Join(runs, " "), "Alg3-Distributed") {
+		t.Error("no Alg3 runs recorded")
+	}
+}
+
+// TestRunProfilesWritten checks -cpuprofile/-memprofile produce non-empty
+// pprof files.
+func TestRunProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pb.gz"), filepath.Join(dir, "mem.pb.gz")
+	var out, errBuf bytes.Buffer
+	code := run(tinyArgs("-fig", "9", "-algs", "GHC", "-cpuprofile", cpu, "-memprofile", mem), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestTraceReportGolden pins the summarizer's CLI output for a hand-built
+// degraded single-run trace (see testdata/degraded.jsonl).
+func TestTraceReportGolden(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-fig", "trace-report", "-trace", "testdata/degraded.jsonl"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	golden, err := os.ReadFile("testdata/degraded.report.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("report drifted from golden.\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestTraceReportToFile routes the report through -out.
+func TestTraceReportToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-fig", "trace-report", "-trace", "testdata/degraded.jsonl", "-out", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Error("wrote to stdout despite -out")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "trace report:") {
+		t.Errorf("unexpected report content:\n%s", b)
+	}
+}
+
+// TestTraceReportFlagErrors covers the two user mistakes: forgetting -trace
+// and naming a file that does not exist.
+func TestTraceReportFlagErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig", "trace-report"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d without -trace", code)
+	}
+	if !strings.Contains(errBuf.String(), "-trace") {
+		t.Error("no diagnostic about the missing flag")
+	}
+	errBuf.Reset()
+	if code := run([]string{"-fig", "trace-report", "-trace", "testdata/no-such.jsonl"}, &out, &errBuf); code != 1 {
+		t.Errorf("exit %d for missing trace file", code)
+	}
+}

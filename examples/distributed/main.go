@@ -8,15 +8,18 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"rfidsched"
+	"rfidsched/internal/obs"
 )
 
 func main() {
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	sys, err := rfidsched.PaperDeployment(404, 12, 5)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "generating deployment", err)
 	}
 	g := rfidsched.InterferenceGraph(sys)
 	fmt.Printf("network: %d reader nodes, %d radio links, max degree %d\n\n",
@@ -26,7 +29,7 @@ func main() {
 	alg := rfidsched.NewDistributed(g, 1.25)
 	X, err := alg.OneShot(sys)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "distributed one-shot", err)
 	}
 	fmt.Printf("one-shot result: %d readers activated, weight %d\n", len(X), sys.Weight(X))
 	fmt.Printf("protocol cost:   %d synchronous rounds, %d messages (c = %d)\n\n",
@@ -42,7 +45,7 @@ func main() {
 		one := sys.Clone()
 		X, err := a.OneShot(one)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "distributed one-shot", err)
 		}
 		w := one.Weight(X)
 		rounds, msgs := a.LastStats.Rounds, a.LastStats.MessagesSent
@@ -50,7 +53,7 @@ func main() {
 		full := sys.Clone()
 		res, err := rfidsched.RunCoveringSchedule(full, a, rfidsched.MCSOptions{})
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "covering schedule", err)
 		}
 		fmt.Printf("%-6d %8d %10d %10d %8d\n", c, w, rounds, msgs, res.Size)
 	}

@@ -8,7 +8,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
 
 	"rfidsched"
@@ -16,12 +17,14 @@ import (
 	"rfidsched/internal/graph"
 	"rfidsched/internal/mobility"
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 )
 
 func main() {
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	sys, err := rfidsched.PaperDeployment(808, 12, 5)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "generating deployment", err)
 	}
 	region := geom.R2(0, 0, 100, 100)
 	g := rfidsched.InterferenceGraph(sys)
@@ -32,7 +35,7 @@ func main() {
 	drift := mobility.NewDrift(sys.NumReaders(), region, 3, 99)
 	res, err := mobility.MeasureStaleness(sys.Clone(), rfidsched.NewGrowth(g, 1.25), drift, 24)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "measuring staleness", err)
 	}
 	w0 := res.Weights[0]
 	for k := 0; k < len(res.Weights); k += 4 {
@@ -56,7 +59,7 @@ func main() {
 			return rfidsched.NewGrowth(graph.FromSystem(cur), 1.25), nil
 		}, d, every, 5000)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "adaptive rescheduling", err)
 		}
 		status := ""
 		if run.Incomplete {

@@ -5,18 +5,21 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"rfidsched"
+	"rfidsched/internal/obs"
 )
 
 func main() {
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	// The paper's Section VI setting: 50 readers and 1200 tags uniformly
 	// random in a 100x100 region; interference radii ~ Poisson(12),
 	// interrogation radii ~ Poisson(5), R_i >= r_i enforced.
 	sys, err := rfidsched.PaperDeployment(2011, 12, 5)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "generating deployment", err)
 	}
 	fmt.Printf("deployment: %d readers, %d tags (%d coverable by some reader)\n\n",
 		sys.NumReaders(), sys.NumTags(), sys.CoverableCount())
@@ -40,7 +43,7 @@ func main() {
 		oneShot := sys.Clone()
 		X, err := sched.OneShot(oneShot)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "one-shot scheduling", err)
 		}
 		w := oneShot.Weight(X)
 
@@ -48,7 +51,7 @@ func main() {
 		run := sys.Clone()
 		res, err := rfidsched.RunCoveringSchedule(run, sched, rfidsched.MCSOptions{})
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "covering schedule", err)
 		}
 		fmt.Printf("%-18s %8d %10d %12d\n", sched.Name(), res.Size, res.TotalRead, w)
 	}

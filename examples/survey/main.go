@@ -10,15 +10,18 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"rfidsched"
+	"rfidsched/internal/obs"
 )
 
 func main() {
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	sys, err := rfidsched.PaperDeployment(515, 12, 5)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "generating deployment", err)
 	}
 	trueGraph := rfidsched.InterferenceGraph(sys)
 	fmt.Printf("ground truth: %d readers, %d interference edges\n\n", trueGraph.N(), trueGraph.M())
@@ -40,14 +43,14 @@ func main() {
 			Seed:        42,
 		})
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "running RF survey", err)
 		}
 
 		one := sys.Clone()
 		sched := rfidsched.NewGrowth(est, 1.25)
 		X, err := sched.OneShot(one)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "one-shot scheduling", err)
 		}
 		// The schedule was computed on the estimated graph; judge it
 		// against physical reality.
@@ -57,7 +60,7 @@ func main() {
 		full := sys.Clone()
 		res, err := rfidsched.RunCoveringSchedule(full, sched, rfidsched.MCSOptions{})
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "covering schedule", err)
 		}
 
 		fmt.Printf("%-10.0f %-8.0f %10d %8.2f %8.2f %10d %10v %9d\n",

@@ -8,13 +8,16 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"rfidsched"
 	"rfidsched/internal/anticollision"
+	"rfidsched/internal/obs"
 )
 
 func main() {
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	sys, err := rfidsched.Generate(rfidsched.DeployConfig{
 		Seed:         77,
 		NumReaders:   60,
@@ -26,7 +29,7 @@ func main() {
 		NumAisles:    6,
 	})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "generating warehouse deployment", err)
 	}
 	g := rfidsched.InterferenceGraph(sys)
 	fmt.Printf("warehouse: %d readers on 6 aisles, %d tags (%d coverable), %d interference edges\n\n",
@@ -54,7 +57,7 @@ func main() {
 			Seed: 99,
 		})
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "link-layer simulation", err)
 		}
 		fmt.Printf("%-22s %12d %12d %14d %12.2f\n",
 			name, res.MacroSlots, res.TagsRead, res.TotalMicroSlots,
@@ -70,7 +73,7 @@ func main() {
 		MaxArrivals: 600,
 	})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "churn simulation", err)
 	}
 	fmt.Printf("  %d macro slots, %d tags injected, %d read, final population %d\n",
 		res.MacroSlots, res.TagsInjected, res.TagsRead, res.Final.NumTags())

@@ -10,6 +10,7 @@ import (
 	"rfidsched/internal/graph"
 	"rfidsched/internal/model"
 	"rfidsched/internal/mwfs"
+	"rfidsched/internal/obs"
 	"rfidsched/internal/randx"
 )
 
@@ -88,6 +89,17 @@ type Distributed struct {
 	// LastStats records network statistics of the most recent OneShot call
 	// (rounds, messages). Diagnostic; not safe for concurrent use.
 	LastStats *distnet.Stats
+
+	// Tracer receives protocol-level trace events (see package obs): one
+	// election_completed per OneShot call, plus per-message drop events
+	// from the radio network under faults. nil disables tracing; like
+	// LastStats, the call counter makes a traced scheduler not safe for
+	// concurrent OneShot calls.
+	Tracer obs.Tracer
+
+	// calls counts OneShot invocations, indexing election_completed
+	// events so a trace orders the elections of one covering schedule.
+	calls int
 }
 
 // NewDistributed builds Algorithm 3 with growth threshold rho on graph g.
@@ -148,6 +160,11 @@ func (d *Distributed) OneShot(sys *model.System) ([]int, error) {
 	if err := d.attachFaults(net); err != nil {
 		return nil, err
 	}
+	if d.Tracer != nil {
+		net.WithTracer(d.Tracer)
+	}
+	call := d.calls
+	d.calls++
 	stats, err := net.Run(nodes, maxRounds)
 	d.LastStats = stats
 	if err != nil {
@@ -161,6 +178,11 @@ func (d *Distributed) OneShot(sys *model.System) ([]int, error) {
 		}
 	}
 	sort.Ints(X)
+	if d.Tracer != nil {
+		// Emitted before the Strict feasibility check: the election did
+		// complete, even when it decided a dependent set the check rejects.
+		d.Tracer.Emit(obs.EvElectionCompleted(call, stats.Rounds, stats.MessagesSent, X))
+	}
 	if d.Strict && !d.G.IsIndependentSet(X) {
 		return nil, fmt.Errorf("core: distributed protocol decided a dependent set of %d readers (faults split the coordinator election)", len(X))
 	}

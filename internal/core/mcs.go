@@ -11,6 +11,7 @@ import (
 
 	"rfidsched/internal/fault"
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 )
 
 // MCSOptions tunes the covering-schedule driver.
@@ -45,6 +46,15 @@ type MCSOptions struct {
 	// subgraph. Tags coverable only by permanently crashed readers are
 	// abandoned honestly via LostTags/Degraded rather than looping forever.
 	Faults *fault.Scenario
+
+	// Tracer receives slot-level trace events (see package obs): the
+	// planned set, execution-time activation failures with their cause,
+	// stall fallbacks, abandoned tags and the run total. nil disables
+	// tracing at zero cost — every emission site is guarded, so the hot
+	// loop neither builds events nor makes interface calls. Tracing is
+	// pure observation: the same seed yields an identical MCSResult with
+	// a tracer attached or not.
+	Tracer obs.Tracer
 }
 
 // SlotRecord describes one time slot of a covering schedule.
@@ -106,6 +116,7 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 	}
 
 	res := &MCSResult{Algorithm: sched.Name()}
+	tr := opts.Tracer
 	stall := 0
 	for reachableUnread(sys, plan, res.Size) > 0 {
 		if res.Size >= maxSlots {
@@ -123,10 +134,18 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 		if err != nil {
 			return nil, fmt.Errorf("core: %s one-shot failed at slot %d: %w", sched.Name(), res.Size, err)
 		}
+		if tr != nil {
+			tr.Emit(obs.EvSlotPlanned(slot, res.Algorithm, X))
+		}
 		var failed []int
 		if plan != nil {
 			X, failed = splitExecutable(sys, plan, X, slot)
 			res.FailedActivations += len(failed)
+			if tr != nil {
+				for _, v := range failed {
+					tr.Emit(obs.EvActivationFailed(slot, v, failCause(plan, v, slot)))
+				}
+			}
 		}
 		covered := sys.Covered(X, nil)
 		fallback := false
@@ -144,6 +163,9 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 				fallback = true
 				res.Fallbacks++
 				stall = 0
+				if tr != nil {
+					tr.Emit(obs.EvStallFallback(slot, X))
+				}
 			}
 		} else {
 			stall = 0
@@ -153,6 +175,9 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 		}
 		res.Size++
 		res.TotalRead += len(covered)
+		if tr != nil {
+			tr.Emit(obs.EvSlotExecuted(slot, X, len(covered)))
+		}
 		if opts.RecordSlots {
 			res.Slots = append(res.Slots, SlotRecord{
 				Active:   append([]int(nil), X...),
@@ -163,10 +188,40 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 		}
 	}
 	if plan != nil {
-		res.LostTags = lostTags(sys, plan, res.Size)
+		lost := lostTagIDs(sys, plan, res.Size)
+		res.LostTags = len(lost)
 		res.Degraded = res.FailedActivations > 0 || res.LostTags > 0
+		if tr != nil {
+			for _, t := range lost {
+				tr.Emit(obs.EvTagAbandoned(res.Size, t))
+			}
+		}
+	}
+	if tr != nil {
+		tr.Emit(obs.EvRunCompleted(res.Size, res.TotalRead, res.Algorithm, runStatus(res.Degraded, res.Incomplete)))
 	}
 	return res, nil
+}
+
+// failCause classifies why a planned activation failed at slot; a reader
+// both crashed and straggling is reported as crashed.
+func failCause(plan *fault.Plan, reader, slot int) string {
+	if plan.Crashed(reader, slot) {
+		return "crash"
+	}
+	return "straggle"
+}
+
+// runStatus is the run_completed trace label shared with slotsim.
+func runStatus(degraded, incomplete bool) string {
+	switch {
+	case incomplete:
+		return "incomplete"
+	case degraded:
+		return "degraded"
+	default:
+		return "ok"
+	}
 }
 
 // applyDownMask sets the system's down mask to the fleet state at the given
@@ -217,27 +272,27 @@ func reachableUnread(sys *model.System, plan *fault.Plan, slot int) int {
 	return n
 }
 
-// lostTags counts unread tags that are coverable in geometry but whose
+// lostTagIDs lists unread tags that are coverable in geometry but whose
 // every covering reader is permanently dead — the coverage a degraded run
-// honestly gives up on.
-func lostTags(sys *model.System, plan *fault.Plan, slot int) int {
-	n := 0
+// honestly gives up on. Ascending tag order (deterministic for tracing).
+func lostTagIDs(sys *model.System, plan *fault.Plan, slot int) []int {
+	var lost []int
 	for t := 0; t < sys.NumTags(); t++ {
 		if sys.IsRead(t) || len(sys.ReadersOf(t)) == 0 {
 			continue
 		}
-		lost := true
+		dead := true
 		for _, r := range sys.ReadersOf(t) {
 			if !plan.PermanentlyDown(int(r), slot) {
-				lost = false
+				dead = false
 				break
 			}
 		}
-		if lost {
-			n++
+		if dead {
+			lost = append(lost, t)
 		}
 	}
-	return n
+	return lost
 }
 
 // greedyFallback builds a feasible scheduling set by repeatedly adding the

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/fault"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/obs"
+)
+
+// chaosScenario crashes a fifth of the fleet at slot 1 — enough faults to
+// exercise every telemetry path (failed activations, lost tags, repair).
+func chaosScenario(n int) *fault.Scenario {
+	return &fault.Scenario{
+		Seed:   7,
+		Events: fault.CrashNodes(fault.SampleNodes(n, n/5, 7), 1),
+	}
+}
+
+// TestTraceMatchesMCSResult is the observability honesty contract: the
+// event stream alone reconstructs the run's telemetry — slot count, tags
+// read, failed activations, lost tags and fallbacks all match the result
+// struct exactly.
+func TestTraceMatchesMCSResult(t *testing.T) {
+	sys := smallSystem(t, 71, 25, 200)
+	g := graph.FromSystem(sys)
+	var c obs.Collector
+	res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{
+		RecordSlots: true,
+		Faults:      chaosScenario(25),
+		Tracer:      &c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("scenario not degraded; trace test needs fault telemetry")
+	}
+
+	if got := c.Count(obs.SlotExecuted); got != res.Size {
+		t.Errorf("slot_executed events %d != Size %d", got, res.Size)
+	}
+	if got := c.Count(obs.ActivationFailed); got != res.FailedActivations {
+		t.Errorf("activation_failed events %d != FailedActivations %d", got, res.FailedActivations)
+	}
+	if got := c.Count(obs.TagAbandoned); got != res.LostTags {
+		t.Errorf("tag_abandoned events %d != LostTags %d", got, res.LostTags)
+	}
+	if got := c.Count(obs.StallFallback); got != res.Fallbacks {
+		t.Errorf("stall_fallback events %d != Fallbacks %d", got, res.Fallbacks)
+	}
+	if got := c.Count(obs.RunCompleted); got != 1 {
+		t.Errorf("run_completed events %d != 1", got)
+	}
+
+	// Per-slot agreement with the recorded slots: same active sets, same
+	// tag counts, same failures, in order.
+	var executed, failed int
+	tags := 0
+	for _, e := range c.Events() {
+		switch e.Type {
+		case obs.SlotExecuted:
+			rec := res.Slots[executed]
+			if e.T != executed || len(e.Readers) != len(rec.Active) || e.N != rec.TagsRead {
+				t.Fatalf("slot_executed %d = %+v, want slot record %+v", executed, e, rec)
+			}
+			tags += e.N
+			executed++
+		case obs.ActivationFailed:
+			if e.Cause != "crash" {
+				t.Errorf("fail-stop scenario produced cause %q", e.Cause)
+			}
+			failed++
+		case obs.RunCompleted:
+			if e.T != res.Size || e.N != res.TotalRead || e.Cause != "degraded" {
+				t.Errorf("run_completed %+v disagrees with result %+v", e, res)
+			}
+		}
+	}
+	if tags != res.TotalRead {
+		t.Errorf("traced tag total %d != TotalRead %d", tags, res.TotalRead)
+	}
+	_ = failed
+}
+
+// TestTracingPreservesDeterminism is the determinism contract of DESIGN.md
+// §9: for the same seed, the result is byte-identical with tracing off,
+// with an in-memory collector, and with a JSONL sink.
+func TestTracingPreservesDeterminism(t *testing.T) {
+	run := func(tr obs.Tracer) *MCSResult {
+		sys := smallSystem(t, 71, 25, 200)
+		g := graph.FromSystem(sys)
+		res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{
+			RecordSlots: true,
+			Faults:      chaosScenario(25),
+			Tracer:      tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	baseline := run(nil)
+	if !reflect.DeepEqual(baseline, run(&obs.Collector{})) {
+		t.Error("collector tracing changed the result")
+	}
+	if !reflect.DeepEqual(baseline, run(obs.NewJSONL(io.Discard))) {
+		t.Error("JSONL tracing changed the result")
+	}
+}
+
+// TestDistributedDeterminismWithTracing repeats the contract for the
+// protocol engine under message loss, where a perturbed RNG stream would
+// show up immediately.
+func TestDistributedDeterminismWithTracing(t *testing.T) {
+	run := func(tr obs.Tracer) ([]int, int) {
+		sys := smallSystem(t, 31, 16, 120)
+		g := graph.FromSystem(sys)
+		d := NewDistributed(g, 1.25)
+		d.LossRate = 0.2
+		d.LossSeed = 5
+		d.Tracer = tr
+		X, err := d.OneShot(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return X, d.LastStats.MessagesLost
+	}
+	x0, lost0 := run(nil)
+	var c obs.Collector
+	x1, lost1 := run(&c)
+	if !reflect.DeepEqual(x0, x1) || lost0 != lost1 {
+		t.Errorf("tracing changed the protocol outcome: %v/%d vs %v/%d", x0, lost0, x1, lost1)
+	}
+	if got := c.Count(obs.ElectionCompleted); got != 1 {
+		t.Errorf("election_completed events = %d, want 1", got)
+	}
+	// Every Bernoulli loss must be traced with its cause.
+	drops := 0
+	for _, e := range c.Events() {
+		if e.Type == obs.MessageDropped && e.Cause == "loss" {
+			drops++
+		}
+	}
+	if drops != lost1 {
+		t.Errorf("traced loss drops %d != Stats.MessagesLost %d", drops, lost1)
+	}
+}
+
+// TestDistributedElectionTraceAcrossSchedule checks the call counter: a
+// full covering schedule emits one election per scheduler invocation, in
+// order.
+func TestDistributedElectionTraceAcrossSchedule(t *testing.T) {
+	sys := smallSystem(t, 13, 14, 100)
+	g := graph.FromSystem(sys)
+	d := NewDistributed(g, 1.25)
+	var c obs.Collector
+	d.Tracer = &c
+	res, err := RunMCS(sys, d, MCSOptions{Tracer: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elections := 0
+	for _, e := range c.Events() {
+		if e.Type == obs.ElectionCompleted {
+			if e.T != elections {
+				t.Errorf("election %d has call index %d", elections, e.T)
+			}
+			elections++
+		}
+	}
+	if elections == 0 || elections < res.Size {
+		t.Errorf("%d elections for %d slots", elections, res.Size)
+	}
+}
+
+// BenchmarkRunMCSTracerOff / On quantify the observability overhead the
+// ISSUE budget allows: nil must be indistinguishable from the untraced
+// seed path (guarded call sites build no events), and a JSONL sink to
+// io.Discard bounds the worst-case serialization cost.
+func benchmarkRunMCS(b *testing.B, tr obs.Tracer) {
+	sysProto, err := deploy.Generate(deploy.Config{
+		Seed: 71, NumReaders: 25, NumTags: 200, Side: 60,
+		LambdaR: 10, LambdaSmallR: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.FromSystem(sysProto)
+	b.ReportAllocs()
+	b.ResetTimer()
+	slots := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := sysProto.Clone()
+		b.StartTimer()
+		res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{Tracer: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots += res.Size
+	}
+	if slots > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(slots), "ns/slot")
+	}
+}
+
+func BenchmarkRunMCSTracerNil(b *testing.B) { benchmarkRunMCS(b, nil) }
+func BenchmarkRunMCSTracerJSONL(b *testing.B) {
+	benchmarkRunMCS(b, obs.NewJSONL(io.Discard))
+}

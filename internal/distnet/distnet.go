@@ -23,6 +23,7 @@ import (
 
 	"rfidsched/internal/fault"
 	"rfidsched/internal/graph"
+	"rfidsched/internal/obs"
 )
 
 // Message is a payload in flight between adjacent nodes.
@@ -62,6 +63,11 @@ type Network struct {
 
 	// plan scripts failure injection; nil runs fault-free.
 	plan *fault.Plan
+
+	// tracer receives msg_dropped events; nil traces nothing. Emission
+	// happens in the single-threaded delivery phase, so event order is
+	// deterministic for a fixed seed.
+	tracer obs.Tracer
 }
 
 // NewNetwork builds a network with the given topology.
@@ -71,6 +77,15 @@ func NewNetwork(g *graph.Graph) *Network { return &Network{g: g} }
 // tick axis is the round number. Returns the network for chaining.
 func (n *Network) WithFaults(plan *fault.Plan) *Network {
 	n.plan = plan
+	return n
+}
+
+// WithTracer attaches a trace sink for per-message drop events (cause
+// "down", "partition" or "loss" — the same taxonomy as the Stats counters
+// UndeliveredDown / PartitionDropped / MessagesLost). Returns the network
+// for chaining.
+func (n *Network) WithTracer(tr obs.Tracer) *Network {
+	n.tracer = tr
 	return n
 }
 
@@ -212,10 +227,19 @@ func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 					// Parked or dark recipients never enqueue: delivering
 					// would only grow an inbox nobody reads.
 					stats.UndeliveredDown++
+					if n.tracer != nil {
+						n.tracer.Emit(obs.EvMessageDropped(round, m.From, m.To, "down"))
+					}
 				case plan != nil && plan.Cut(m.From, m.To, round):
 					stats.PartitionDropped++
+					if n.tracer != nil {
+						n.tracer.Emit(obs.EvMessageDropped(round, m.From, m.To, "partition"))
+					}
 				case plan != nil && plan.Drop(round):
 					stats.MessagesLost++
+					if n.tracer != nil {
+						n.tracer.Emit(obs.EvMessageDropped(round, m.From, m.To, "loss"))
+					}
 				default:
 					next[m.To] = append(next[m.To], m)
 					if plan != nil && plan.Duplicated(round) {

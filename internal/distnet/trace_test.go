@@ -1,0 +1,86 @@
+package distnet
+
+import (
+	"testing"
+
+	"rfidsched/internal/fault"
+	"rfidsched/internal/obs"
+)
+
+// TestTracedDropsMatchStats drives every drop path — Bernoulli loss, a cut
+// edge, and delivery to a parked node — and checks the per-message trace
+// agrees with the aggregate Stats counters, cause by cause.
+func TestTracedDropsMatchStats(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	n0 := newChatter(0, 1, 12)
+	n1 := newChatter(1, 2, 12)
+	n2 := newChatter(2, 3, 2) // parks early: later 1→2 traffic drops as "down"
+	n3 := newChatter(3, -1, 12)
+	plan := fault.MustCompile(fault.Scenario{Seed: 11, Events: []fault.Event{
+		fault.Loss(0.4, 0, fault.Forever),
+		fault.Partition([][2]int{{0, 1}}, 4, 8),
+	}}, 4)
+
+	var c obs.Collector
+	stats, err := NewNetwork(g).WithFaults(plan).WithTracer(&c).Run([]Node{n0, n1, n2, n3}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byCause := map[string]int{}
+	for _, e := range c.Events() {
+		if e.Type != obs.MessageDropped {
+			t.Fatalf("unexpected event type %q from distnet", e.Type)
+		}
+		if e.From < 0 || e.To < 0 || !g.HasEdge(e.From, e.To) {
+			t.Errorf("drop event names a non-edge: %+v", e)
+		}
+		byCause[e.Cause]++
+	}
+	if byCause["loss"] != stats.MessagesLost {
+		t.Errorf("traced loss %d != Stats.MessagesLost %d", byCause["loss"], stats.MessagesLost)
+	}
+	if byCause["partition"] != stats.PartitionDropped {
+		t.Errorf("traced partition %d != Stats.PartitionDropped %d", byCause["partition"], stats.PartitionDropped)
+	}
+	if byCause["down"] != stats.UndeliveredDown {
+		t.Errorf("traced down %d != Stats.UndeliveredDown %d", byCause["down"], stats.UndeliveredDown)
+	}
+	if total := byCause["loss"] + byCause["partition"] + byCause["down"]; total == 0 {
+		t.Fatal("scenario produced no drops; test exercised nothing")
+	}
+}
+
+// TestTracerNilEmitsNothingAndChangesNothing re-runs the same faulty
+// scenario with and without a tracer and compares the Stats — observation
+// must not perturb the network.
+func TestTracerNilEmitsNothingAndChangesNothing(t *testing.T) {
+	run := func(tr obs.Tracer) *Stats {
+		g := mustGraph(t, 3, [][2]int{{0, 1}, {1, 2}})
+		n0 := newChatter(0, 1, 10)
+		n1 := newChatter(1, 2, 10)
+		n2 := newChatter(2, -1, 10)
+		plan := fault.MustCompile(fault.Scenario{Seed: 3, Events: []fault.Event{
+			fault.Loss(0.3, 0, fault.Forever),
+		}}, 3)
+		net := NewNetwork(g).WithFaults(plan)
+		if tr != nil {
+			net.WithTracer(tr)
+		}
+		stats, err := net.Run([]Node{n0, n1, n2}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	plain := run(nil)
+	var c obs.Collector
+	traced := run(&c)
+	if plain.MessagesSent != traced.MessagesSent || plain.MessagesLost != traced.MessagesLost ||
+		plain.Rounds != traced.Rounds {
+		t.Errorf("tracer changed network behavior: %+v vs %+v", plain, traced)
+	}
+	if c.Count(obs.MessageDropped) != traced.MessagesLost {
+		t.Errorf("traced %d drops, stats %d", c.Count(obs.MessageDropped), traced.MessagesLost)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rfidsched/internal/geom"
 	"rfidsched/internal/graph"
 	"rfidsched/internal/mobility"
+	"rfidsched/internal/obs"
 	"rfidsched/internal/slotsim"
 	"rfidsched/internal/stats"
 	"rfidsched/internal/survey"
@@ -268,9 +269,17 @@ func ablAirtime(cfg Config) (*FigureResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			var tr obs.Tracer
+			if cfg.Tracer != nil {
+				tr = obs.WithRun(cfg.Tracer, fmt.Sprintf("abl-airtime/%s/seed=%d", names[i], seed))
+				if d, ok := sched.(*core.Distributed); ok {
+					d.Tracer = tr
+				}
+			}
 			res, err := slotsim.Run(sys, sched, slotsim.Config{
-				Link: anticollision.VogtALOHA{},
-				Seed: seed,
+				Link:   anticollision.VogtALOHA{},
+				Seed:   seed,
+				Tracer: tr,
 			})
 			if err != nil {
 				return nil, err

@@ -7,6 +7,7 @@ import (
 	"rfidsched/internal/deploy"
 	"rfidsched/internal/fault"
 	"rfidsched/internal/graph"
+	"rfidsched/internal/obs"
 )
 
 // ablChaos is the chaos sweep: the distributed protocol (Algorithm 3 behind
@@ -70,10 +71,16 @@ func ablChaos(cfg Config) (*FigureResult, error) {
 			vals := map[string]float64{}
 			failed, degraded := 0.0, 0.0
 			for _, cb := range combos {
+				var tr obs.Tracer
+				if cfg.Tracer != nil {
+					tr = obs.WithRun(cfg.Tracer,
+						fmt.Sprintf("abl-chaos/frac=%v/seed=%d/%s", frac, seed, cb.label))
+				}
 				d := core.NewDistributed(g, cfg.Rho)
 				d.LossRate = cb.loss
 				d.LossSeed = seed
 				d.Strict = true
+				d.Tracer = tr
 				if cb.partition && len(cut) > 0 {
 					d.Faults = &fault.Scenario{Seed: seed, Events: []fault.Event{
 						fault.Partition(cut, 0, 40),
@@ -97,6 +104,7 @@ func ablChaos(cfg Config) (*FigureResult, error) {
 				res, err := core.RunMCS(sys.Clone(), sched, core.MCSOptions{
 					MaxSlots: 500,
 					Faults:   faults,
+					Tracer:   tr,
 				})
 				if err != nil {
 					// Retry-exhausted protocol failures are data, not run

@@ -28,6 +28,7 @@ import (
 	"rfidsched/internal/deploy"
 	"rfidsched/internal/graph"
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 	"rfidsched/internal/stats"
 )
 
@@ -54,6 +55,13 @@ type Config struct {
 
 	// Sweep overrides the swept values (nil = the figure's default).
 	Sweep []float64
+
+	// Tracer, when non-nil, receives slot-level trace events from every
+	// run the experiment performs. Trials run in parallel, so the sink
+	// must be concurrency-safe (obs.JSONL and obs.Collector are); each
+	// run's events are stamped with a "figure/x/trial/algorithm" run id
+	// via obs.WithRun so a single trace file stays attributable.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -275,11 +283,18 @@ func runTrial(def figureDef, cfg Config, x float64, trial int, fixedR, fixedr fl
 		if err != nil {
 			return nil, err
 		}
+		var tr obs.Tracer
+		if cfg.Tracer != nil {
+			tr = obs.WithRun(cfg.Tracer, fmt.Sprintf("%s/x=%v/trial%d/%s", def.id, x, trial, alg))
+			if d, ok := sched.(*core.Distributed); ok {
+				d.Tracer = tr
+			}
+		}
 		sys := base.Clone()
 		var v float64
 		switch def.metric {
 		case "mcs":
-			res, err := core.RunMCS(sys, sched, core.MCSOptions{})
+			res, err := core.RunMCS(sys, sched, core.MCSOptions{Tracer: tr})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger is the shared slog setup for the repository's binaries and
+// examples: a text handler without timestamps, so output is structured and
+// greppable yet byte-for-byte reproducible across runs (the examples double
+// as documentation; nondeterministic prefixes would defeat diffing them).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{} // drop the timestamp
+			}
+			return a
+		},
+	}))
+}
+
+// osExit is swapped out by tests of Fatal.
+var osExit = os.Exit
+
+// Fatal logs msg with the error at Error level and exits with status 1 —
+// the slog replacement for the examples' former bare log.Fatal.
+func Fatal(l *slog.Logger, msg string, err error) {
+	l.Error(msg, "err", err)
+	osExit(1)
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerDropsTimestampsAndIsGreppable(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	l.Info("schedule done", "slots", 42, "alg", "Alg2-Growth")
+	line := buf.String()
+	if strings.Contains(line, "time=") {
+		t.Errorf("timestamp not dropped: %s", line)
+	}
+	for _, want := range []string{"level=INFO", `msg="schedule done"`, "slots=42", "alg=Alg2-Growth"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("missing %q in %s", want, line)
+		}
+	}
+	// Determinism: two identical records render identically.
+	var buf2 bytes.Buffer
+	NewLogger(&buf2, slog.LevelInfo).Info("schedule done", "slots", 42, "alg", "Alg2-Growth")
+	if buf2.String() != line {
+		t.Error("logger output not reproducible")
+	}
+}
+
+func TestNewLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelWarn)
+	l.Info("quiet")
+	if buf.Len() != 0 {
+		t.Error("info leaked through warn level")
+	}
+	l.Warn("loud")
+	if buf.Len() == 0 {
+		t.Error("warn suppressed")
+	}
+}
+
+func TestFatalLogsAndExits(t *testing.T) {
+	exited := -1
+	old := osExit
+	osExit = func(code int) { exited = code }
+	defer func() { osExit = old }()
+	var buf bytes.Buffer
+	Fatal(NewLogger(&buf, slog.LevelInfo), "boom", errors.New("kaput"))
+	if exited != 1 {
+		t.Errorf("exit code %d", exited)
+	}
+	if !strings.Contains(buf.String(), "err=kaput") || !strings.Contains(buf.String(), "level=ERROR") {
+		t.Errorf("fatal line wrong: %s", buf.String())
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventConstructorsDisambiguateZero(t *testing.T) {
+	// Reader/tag id 0 must be distinguishable from "not applicable": the
+	// constructors pin inapplicable numeric fields to -1.
+	e := EvActivationFailed(3, 0, "crash")
+	if e.Reader != 0 || e.Tag != -1 || e.From != -1 || e.To != -1 {
+		t.Errorf("sentinels wrong: %+v", e)
+	}
+	e = EvMessageDropped(7, 0, 2, "loss")
+	if e.From != 0 || e.To != 2 || e.Reader != -1 {
+		t.Errorf("sentinels wrong: %+v", e)
+	}
+	e = EvTagAbandoned(10, 0)
+	if e.Tag != 0 || e.Reader != -1 || e.Cause != "readers-dead" {
+		t.Errorf("sentinels wrong: %+v", e)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := EvSlotPlanned(4, "Alg2-Growth", []int{0, 3, 9})
+	in.Run = "trial0"
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != SlotPlanned || out.T != 4 || out.Run != "trial0" ||
+		out.Alg != "Alg2-Growth" || len(out.Readers) != 3 || out.Readers[2] != 9 {
+		t.Errorf("round trip mangled event: %+v", out)
+	}
+}
+
+func TestEventConstructorsCopyReaderSlices(t *testing.T) {
+	x := []int{1, 2, 3}
+	e := EvSlotExecuted(0, x, 5)
+	x[0] = 99
+	if e.Readers[0] != 1 {
+		t.Error("EvSlotExecuted aliased the caller's slice")
+	}
+}
+
+func TestJSONLWritesOneValidLinePerEvent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	tr.Emit(EvSlotPlanned(0, "GHC", []int{1}))
+	tr.Emit(EvSlotExecuted(0, []int{1}, 12))
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	for i, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Errorf("line %d invalid JSON: %v", i, err)
+		}
+	}
+}
+
+func TestJSONLConcurrentEmitKeepsLinesWhole(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(EvSlotExecuted(i, []int{g}, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != goroutines*each {
+		t.Fatalf("%d lines, want %d", len(lines), goroutines*each)
+	}
+	for _, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("interleaved line: %q", ln)
+		}
+	}
+}
+
+func TestWithRunStampsAndNests(t *testing.T) {
+	var c Collector
+	outer := WithRun(WithRun(&c, "outer"), "inner")
+	outer.Emit(EvRunCompleted(5, 100, "GHC", "ok"))
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events", len(evs))
+	}
+	// Emission passes through the "inner" decorator first (Run="inner"),
+	// then "outer" prefixes its own segment: "outer/inner".
+	if evs[0].Run != "outer/inner" {
+		t.Errorf("Run = %q, want outer/inner", evs[0].Run)
+	}
+}
+
+func TestWithRunNilInnerStaysNil(t *testing.T) {
+	if tr := WithRun(nil, "x"); tr != nil {
+		t.Error("WithRun(nil) must stay nil so call-site guards keep working")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Error("Tee of no live tracers must be nil")
+	}
+	var a, b Collector
+	if got := Tee(nil, &a); got != &a {
+		t.Error("single live tracer should be returned unwrapped")
+	}
+	tr := Tee(&a, nil, &b)
+	tr.Emit(EvStallFallback(1, []int{2}))
+	if a.Count(StallFallback) != 1 || b.Count(StallFallback) != 1 {
+		t.Error("Tee did not fan out")
+	}
+}
+
+func TestCollectorCount(t *testing.T) {
+	var c Collector
+	c.Emit(EvSlotPlanned(0, "x", nil))
+	c.Emit(EvSlotExecuted(0, nil, 1))
+	c.Emit(EvSlotExecuted(1, nil, 2))
+	if c.Count(SlotExecuted) != 2 || c.Count(SlotPlanned) != 1 || c.Count(TagAbandoned) != 0 {
+		t.Error("Count wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires runtime/pprof into a binary: it starts a CPU profile
+// at cpuPath (if non-empty) and returns a stop function that ends the CPU
+// profile and writes a heap profile to memPath (if non-empty). Either path
+// may be empty; with both empty the returned stop is a no-op, so callers
+// can wire the flags unconditionally:
+//
+//	stop, err := obs.StartProfiles(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// The stop function is idempotent and returns the first error encountered.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			if err := writeHeapProfile(memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeHeapProfile snapshots the heap to path after a GC, so the profile
+// reflects live objects rather than garbage awaiting collection.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}

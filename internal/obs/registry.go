@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rfidsched/internal/stats"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready;
+// all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float metric. The zero value is ready; all
+// methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates a sample distribution, backed by stats.Acc (Welford
+// moments + extrema; merging shards is exact via Acc.Merge). The zero value
+// is ready; all methods are safe for concurrent use.
+type Histogram struct {
+	mu  sync.Mutex
+	acc stats.Acc
+}
+
+// Observe folds one sample in.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	h.acc.Add(x)
+	h.mu.Unlock()
+}
+
+// merge folds another histogram's samples in.
+func (h *Histogram) merge(other *Histogram) {
+	other.mu.Lock()
+	shard := other.acc
+	other.mu.Unlock()
+	h.mu.Lock()
+	h.acc.Merge(&shard)
+	h.mu.Unlock()
+}
+
+// Snapshot summarizes the distribution seen so far.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		N: h.acc.N(), Mean: h.acc.Mean(), Std: h.acc.Std(),
+		Min: h.acc.Min(), Max: h.acc.Max(),
+	}
+}
+
+// HistSnapshot is a point-in-time histogram summary.
+type HistSnapshot struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Registry is a namespace of named metrics. Metrics are created on first
+// use (get-or-create, like expvar) so instrumented code never has to
+// pre-register. Safe for concurrent use; for contended hot loops, give each
+// goroutine its own shard Registry and Merge them afterwards.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Merge folds a shard registry into r: counters add, histograms merge their
+// accumulators exactly (Chan et al., via stats.Acc.Merge), gauges take the
+// shard's value when r has none of that name (last-write-wins semantics do
+// not aggregate across shards).
+func (r *Registry) Merge(shard *Registry) {
+	shard.mu.Lock()
+	counters := make(map[string]int64, len(shard.counters))
+	for name, c := range shard.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(shard.gauges))
+	for name, g := range shard.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(shard.histograms))
+	for name, h := range shard.histograms {
+		hists[name] = h
+	}
+	shard.mu.Unlock()
+
+	for name, v := range counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range gauges {
+		r.mu.Lock()
+		_, exists := r.gauges[name]
+		r.mu.Unlock()
+		if !exists {
+			r.Gauge(name).Set(v)
+		}
+	}
+	for name, h := range hists {
+		r.Histogram(name).merge(h)
+	}
+}
+
+// Snapshot is a point-in-time copy of every metric, for programmatic
+// scraping. Map iteration is randomized in Go; Names* give sorted keys for
+// deterministic rendering.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistSnapshot
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistSnapshot, len(hists)),
+	}
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	return snap
+}
+
+// CounterNames returns the snapshot's counter names, sorted.
+func (s Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames returns the snapshot's gauge names, sorted.
+func (s Snapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistogramNames returns the snapshot's histogram names, sorted.
+func (s Snapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// metricsTracer aggregates the event stream into a Registry: one counter
+// per event type (plus per-cause breakdowns for failures and drops) and
+// histograms of the per-slot and per-election distributions.
+type metricsTracer struct {
+	reg *Registry
+}
+
+// NewMetricsTracer returns a Tracer that folds events into reg. Metric
+// names: "events.<type>" counters, "events.<type>.<cause>" cause
+// breakdowns, "slot.tags_read", "slot.active_readers",
+// "election.rounds" and "election.messages" histograms.
+func NewMetricsTracer(reg *Registry) Tracer {
+	return &metricsTracer{reg: reg}
+}
+
+// Emit implements Tracer.
+func (m *metricsTracer) Emit(e Event) {
+	m.reg.Counter("events." + string(e.Type)).Inc()
+	switch e.Type {
+	case ActivationFailed, MessageDropped, TagAbandoned, RunCompleted:
+		if e.Cause != "" {
+			m.reg.Counter("events." + string(e.Type) + "." + e.Cause).Inc()
+		}
+	}
+	switch e.Type {
+	case SlotExecuted:
+		m.reg.Histogram("slot.tags_read").Observe(float64(e.N))
+		m.reg.Histogram("slot.active_readers").Observe(float64(len(e.Readers)))
+	case ElectionCompleted:
+		m.reg.Histogram("election.rounds").Observe(float64(e.N))
+		m.reg.Histogram("election.messages").Observe(float64(e.M))
+	}
+}

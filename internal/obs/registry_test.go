@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rfidsched/internal/randx"
+	"rfidsched/internal/stats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Add(4)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Errorf("counter = %d", got)
+	}
+	r.Gauge("g").Set(2.5)
+	if got := r.Gauge("g").Value(); got != 2.5 {
+		t.Errorf("gauge = %v", got)
+	}
+	// Get-or-create must hand back the same instance.
+	if r.Counter("a") != r.Counter("a") || r.Histogram("h") != r.Histogram("h") {
+		t.Error("get-or-create returned distinct instances")
+	}
+}
+
+func TestHistogramMatchesAccReference(t *testing.T) {
+	r := NewRegistry()
+	var ref stats.Acc
+	rng := randx.New(7)
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		r.Histogram("h").Observe(x)
+		ref.Add(x)
+	}
+	got := r.Histogram("h").Snapshot()
+	if got.N != ref.N() || got.Mean != ref.Mean() || got.Min != ref.Min() || got.Max != ref.Max() {
+		t.Errorf("snapshot %+v != reference acc", got)
+	}
+	if math.Abs(got.Std-ref.Std()) > 1e-12 {
+		t.Errorf("std %v != %v", got.Std, ref.Std())
+	}
+}
+
+// TestRegistryMergeShards is the satellite contract: per-goroutine registry
+// shards combine into exactly what a single accumulator would have seen —
+// counters by addition, histograms through stats.Acc.Merge.
+func TestRegistryMergeShards(t *testing.T) {
+	const shards, perShard = 8, 257
+	var ref stats.Acc
+	var refCount int64
+	main := NewRegistry()
+	var shardRegs []*Registry
+	rng := randx.New(42)
+	for s := 0; s < shards; s++ {
+		sr := NewRegistry()
+		for i := 0; i < perShard; i++ {
+			x := rng.Float64()*50 - 10
+			sr.Histogram("slot.tags_read").Observe(x)
+			ref.Add(x)
+			sr.Counter("events").Inc()
+			refCount++
+		}
+		sr.Gauge("last_x").Set(float64(s))
+		shardRegs = append(shardRegs, sr)
+	}
+	for _, sr := range shardRegs {
+		main.Merge(sr)
+	}
+	snap := main.Snapshot()
+	if snap.Counters["events"] != refCount {
+		t.Errorf("merged counter %d != %d", snap.Counters["events"], refCount)
+	}
+	h := snap.Histograms["slot.tags_read"]
+	if h.N != ref.N() {
+		t.Fatalf("merged N %d != %d", h.N, ref.N())
+	}
+	if math.Abs(h.Mean-ref.Mean()) > 1e-9 || math.Abs(h.Std-ref.Std()) > 1e-9 {
+		t.Errorf("merged moments (%v, %v) != reference (%v, %v)", h.Mean, h.Std, ref.Mean(), ref.Std())
+	}
+	if h.Min != ref.Min() || h.Max != ref.Max() {
+		t.Errorf("merged extrema (%v, %v) != reference (%v, %v)", h.Min, h.Max, ref.Min(), ref.Max())
+	}
+	if _, ok := snap.Gauges["last_x"]; !ok {
+		t.Error("gauge lost in merge")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(1)
+				r.Gauge("g").Set(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 1600 || snap.Histograms["h"].N != 1600 {
+		t.Errorf("lost updates: %+v", snap)
+	}
+}
+
+func TestSnapshotSortedNames(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n).Inc()
+		r.Gauge(n).Set(1)
+		r.Histogram(n).Observe(1)
+	}
+	snap := r.Snapshot()
+	want := []string{"alpha", "mid", "zeta"}
+	for i, n := range snap.CounterNames() {
+		if n != want[i] {
+			t.Fatalf("CounterNames unsorted: %v", snap.CounterNames())
+		}
+	}
+	if len(snap.GaugeNames()) != 3 || len(snap.HistogramNames()) != 3 {
+		t.Error("missing names")
+	}
+}
+
+func TestMetricsTracerAggregates(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewMetricsTracer(reg)
+	tr.Emit(EvSlotPlanned(0, "Alg2-Growth", []int{1, 2}))
+	tr.Emit(EvSlotExecuted(0, []int{1, 2}, 30))
+	tr.Emit(EvSlotExecuted(1, []int{1}, 10))
+	tr.Emit(EvActivationFailed(1, 2, "crash"))
+	tr.Emit(EvActivationFailed(2, 2, "straggle"))
+	tr.Emit(EvMessageDropped(4, 0, 1, "partition"))
+	tr.Emit(EvElectionCompleted(0, 12, 340, []int{5}))
+	tr.Emit(EvRunCompleted(2, 40, "Alg2-Growth", "degraded"))
+
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		"events.slot_planned":               1,
+		"events.slot_executed":              2,
+		"events.activation_failed":          2,
+		"events.activation_failed.crash":    1,
+		"events.activation_failed.straggle": 1,
+		"events.msg_dropped":                1,
+		"events.msg_dropped.partition":      1,
+		"events.election_completed":         1,
+		"events.run_completed":              1,
+		"events.run_completed.degraded":     1,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if h := snap.Histograms["slot.tags_read"]; h.N != 2 || h.Mean != 20 {
+		t.Errorf("slot.tags_read = %+v", h)
+	}
+	if h := snap.Histograms["election.rounds"]; h.N != 1 || h.Mean != 12 {
+		t.Errorf("election.rounds = %+v", h)
+	}
+	if h := snap.Histograms["election.messages"]; h.Mean != 340 {
+		t.Errorf("election.messages = %+v", h)
+	}
+}

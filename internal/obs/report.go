@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rfidsched/internal/stats"
+)
+
+// maxSlotDetail caps how many per-slot rows a summary retains; beyond it
+// the per-slot table is truncated (the aggregates are still exact).
+const maxSlotDetail = 512
+
+// RunSummary aggregates one run's events (keyed by the Run field; a trace
+// written without WithRun has a single run keyed "").
+type RunSummary struct {
+	Run               string
+	Alg               string
+	Slots             int // slot_executed events
+	TagsRead          int // sum of their tag counts
+	FailedActivations int
+	Fallbacks         int
+	LostTags          int
+	Elections         int
+	Rounds            int // protocol rounds across all elections
+	Messages          int // protocol messages across all elections
+	Drops             int // msg_dropped events
+	Status            string
+	// ReportedSlots/ReportedTags echo the engine's own run_completed
+	// totals (-1 when the trace has none), so a report cross-checks the
+	// event-derived numbers against the result struct.
+	ReportedSlots int
+	ReportedTags  int
+}
+
+// SlotDetail is one reconstructed slot of a single-run trace.
+type SlotDetail struct {
+	Slot     int
+	Planned  int // readers the scheduler proposed
+	Active   int // readers that actually activated
+	TagsRead int
+	Failed   int // activations lost to faults
+	Fallback bool
+}
+
+// TraceSummary is the digested form of a JSONL trace.
+type TraceSummary struct {
+	Events          map[EventType]int
+	FailuresByCause map[string]int // activation_failed by cause
+	DropsByCause    map[string]int // msg_dropped by cause
+	Runs            map[string]*RunSummary
+	TagsPerSlot     HistSnapshot
+	RoundsPerElect  HistSnapshot
+
+	// Slots is the per-slot reconstruction, kept only while the trace
+	// stays single-run and within maxSlotDetail slots.
+	Slots          []SlotDetail
+	SlotsTruncated bool
+
+	lines int
+}
+
+// Lines returns how many trace lines were read.
+func (s *TraceSummary) Lines() int { return s.lines }
+
+// ReadSummary digests a JSONL trace from r. Unknown event types are counted
+// but otherwise ignored, so traces from newer writers still summarize.
+func ReadSummary(r io.Reader) (*TraceSummary, error) {
+	s := &TraceSummary{
+		Events:          map[EventType]int{},
+		FailuresByCause: map[string]int{},
+		DropsByCause:    map[string]int{},
+		Runs:            map[string]*RunSummary{},
+	}
+	var tagsPerSlot, roundsPerElect stats.Acc
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", s.lines+1, err)
+		}
+		s.lines++
+		s.Events[e.Type]++
+		run := s.run(e.Run)
+		switch e.Type {
+		case SlotPlanned:
+			if e.Alg != "" {
+				run.Alg = e.Alg
+			}
+			s.slot(e.T).Planned = len(e.Readers)
+		case SlotExecuted:
+			run.Slots++
+			run.TagsRead += e.N
+			tagsPerSlot.Add(float64(e.N))
+			d := s.slot(e.T)
+			d.Active = len(e.Readers)
+			d.TagsRead = e.N
+		case ActivationFailed:
+			run.FailedActivations++
+			s.FailuresByCause[e.Cause]++
+			s.slot(e.T).Failed++
+		case StallFallback:
+			run.Fallbacks++
+			s.slot(e.T).Fallback = true
+		case TagAbandoned:
+			run.LostTags++
+		case MessageDropped:
+			run.Drops++
+			s.DropsByCause[e.Cause]++
+		case ElectionCompleted:
+			run.Elections++
+			run.Rounds += e.N
+			run.Messages += e.M
+			roundsPerElect.Add(float64(e.N))
+		case RunCompleted:
+			run.Status = e.Cause
+			run.ReportedSlots = e.T
+			run.ReportedTags = e.N
+			if e.Alg != "" {
+				run.Alg = e.Alg
+			}
+		}
+	}
+	s.TagsPerSlot = HistSnapshot{
+		N: tagsPerSlot.N(), Mean: tagsPerSlot.Mean(), Std: tagsPerSlot.Std(),
+		Min: tagsPerSlot.Min(), Max: tagsPerSlot.Max(),
+	}
+	s.RoundsPerElect = HistSnapshot{
+		N: roundsPerElect.N(), Mean: roundsPerElect.Mean(), Std: roundsPerElect.Std(),
+		Min: roundsPerElect.Min(), Max: roundsPerElect.Max(),
+	}
+	if len(s.Runs) > 1 {
+		// Interleaved runs share slot numbers; the reconstruction is only
+		// meaningful for a single run.
+		s.Slots, s.SlotsTruncated = nil, true
+	}
+	return s, nil
+}
+
+func (s *TraceSummary) run(id string) *RunSummary {
+	r := s.Runs[id]
+	if r == nil {
+		r = &RunSummary{Run: id, ReportedSlots: -1, ReportedTags: -1}
+		s.Runs[id] = r
+	}
+	return r
+}
+
+// slot returns the detail row for a slot, growing the table as needed (and
+// abandoning detail once the cap is passed — aggregates stay exact).
+func (s *TraceSummary) slot(i int) *SlotDetail {
+	if i < 0 || i >= maxSlotDetail {
+		s.SlotsTruncated = true
+		return &SlotDetail{} // discarded scratch row
+	}
+	for len(s.Slots) <= i {
+		s.Slots = append(s.Slots, SlotDetail{Slot: len(s.Slots)})
+	}
+	return &s.Slots[i]
+}
+
+// RunIDs returns the run identifiers, sorted.
+func (s *TraceSummary) RunIDs() []string {
+	ids := make([]string, 0, len(s.Runs))
+	for id := range s.Runs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Write renders the summary as the per-cause and per-run (and, for
+// single-run traces, per-slot) ASCII tables `rfidsim -fig trace-report`
+// prints. Output is deterministic: every map is rendered in sorted order.
+func (s *TraceSummary) Write(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("trace report: %d events, %d runs\n\n", s.lines, len(s.Runs)); err != nil {
+		return err
+	}
+
+	if err := p("events by type\n"); err != nil {
+		return err
+	}
+	types := make([]string, 0, len(s.Events))
+	for t := range s.Events {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		if err := p("  %-22s %8d\n", t, s.Events[EventType(t)]); err != nil {
+			return err
+		}
+	}
+
+	if len(s.FailuresByCause) > 0 {
+		if err := p("\nfailed activations by cause\n"); err != nil {
+			return err
+		}
+		for _, c := range sortedKeys(s.FailuresByCause) {
+			if err := p("  %-22s %8d\n", c, s.FailuresByCause[c]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.DropsByCause) > 0 {
+		if err := p("\nmessages dropped by cause\n"); err != nil {
+			return err
+		}
+		for _, c := range sortedKeys(s.DropsByCause) {
+			if err := p("  %-22s %8d\n", c, s.DropsByCause[c]); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := p("\nper-run summary\n"); err != nil {
+		return err
+	}
+	if err := p("  %-40s %-18s %6s %6s %6s %6s %5s %6s %6s %8s %6s %-10s\n",
+		"run", "alg", "slots", "tags", "failed", "lost", "fall", "elect", "rounds", "msgs", "drops", "status"); err != nil {
+		return err
+	}
+	for _, id := range s.RunIDs() {
+		r := s.Runs[id]
+		name := r.Run
+		if name == "" {
+			name = "(default)"
+		}
+		status := r.Status
+		if status == "" {
+			status = "-"
+		}
+		if err := p("  %-40s %-18s %6d %6d %6d %6d %5d %6d %6d %8d %6d %-10s\n",
+			name, r.Alg, r.Slots, r.TagsRead, r.FailedActivations, r.LostTags,
+			r.Fallbacks, r.Elections, r.Rounds, r.Messages, r.Drops, status); err != nil {
+			return err
+		}
+	}
+
+	if s.TagsPerSlot.N > 0 {
+		if err := p("\ntags read per slot: n=%d mean=%.2f std=%.2f min=%g max=%g\n",
+			s.TagsPerSlot.N, s.TagsPerSlot.Mean, s.TagsPerSlot.Std,
+			s.TagsPerSlot.Min, s.TagsPerSlot.Max); err != nil {
+			return err
+		}
+	}
+	if s.RoundsPerElect.N > 0 {
+		if err := p("protocol rounds per election: n=%d mean=%.2f std=%.2f min=%g max=%g\n",
+			s.RoundsPerElect.N, s.RoundsPerElect.Mean, s.RoundsPerElect.Std,
+			s.RoundsPerElect.Min, s.RoundsPerElect.Max); err != nil {
+			return err
+		}
+	}
+
+	if len(s.Runs) == 1 && len(s.Slots) > 0 {
+		if err := p("\nper-slot detail\n  %-6s %8s %8s %6s %8s %s\n",
+			"slot", "planned", "active", "tags", "failed", "note"); err != nil {
+			return err
+		}
+		for _, d := range s.Slots {
+			note := ""
+			if d.Fallback {
+				note = "fallback"
+			}
+			if err := p("  %-6d %8d %8d %6d %8d %s\n",
+				d.Slot, d.Planned, d.Active, d.TagsRead, d.Failed, note); err != nil {
+				return err
+			}
+		}
+		if s.SlotsTruncated {
+			if err := p("  ... (detail truncated at %d slots)\n", maxSlotDetail); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// syntheticTrace writes a two-slot single-run trace through JSONL and
+// returns the buffer.
+func syntheticTrace(t *testing.T, run string) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	var tr Tracer = NewJSONL(&buf)
+	if run != "" {
+		tr = WithRun(tr, run)
+	}
+	tr.Emit(EvSlotPlanned(0, "Alg3-Distributed", []int{0, 2, 5}))
+	tr.Emit(EvActivationFailed(0, 5, "crash"))
+	tr.Emit(EvSlotExecuted(0, []int{0, 2}, 40))
+	tr.Emit(EvSlotPlanned(1, "Alg3-Distributed", []int{1}))
+	tr.Emit(EvStallFallback(1, []int{3}))
+	tr.Emit(EvSlotExecuted(1, []int{3}, 7))
+	tr.Emit(EvMessageDropped(4, 0, 1, "loss"))
+	tr.Emit(EvMessageDropped(9, 2, 3, "partition"))
+	tr.Emit(EvElectionCompleted(0, 12, 200, []int{0, 2, 5}))
+	tr.Emit(EvTagAbandoned(2, 77))
+	tr.Emit(EvRunCompleted(2, 47, "Alg3-Distributed", "degraded"))
+	return &buf
+}
+
+func TestReadSummarySingleRun(t *testing.T) {
+	s, err := ReadSummary(syntheticTrace(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lines() != 11 {
+		t.Errorf("lines = %d", s.Lines())
+	}
+	if len(s.Runs) != 1 {
+		t.Fatalf("runs = %d", len(s.Runs))
+	}
+	r := s.Runs[""]
+	if r.Slots != 2 || r.TagsRead != 47 || r.FailedActivations != 1 ||
+		r.Fallbacks != 1 || r.LostTags != 1 || r.Elections != 1 ||
+		r.Rounds != 12 || r.Messages != 200 || r.Drops != 2 {
+		t.Errorf("run summary wrong: %+v", r)
+	}
+	if r.Status != "degraded" || r.ReportedSlots != 2 || r.ReportedTags != 47 {
+		t.Errorf("run_completed echo wrong: %+v", r)
+	}
+	if s.FailuresByCause["crash"] != 1 {
+		t.Error("failure cause lost")
+	}
+	if s.DropsByCause["loss"] != 1 || s.DropsByCause["partition"] != 1 {
+		t.Error("drop causes lost")
+	}
+	if len(s.Slots) != 2 {
+		t.Fatalf("slot detail rows = %d", len(s.Slots))
+	}
+	if d := s.Slots[0]; d.Planned != 3 || d.Active != 2 || d.TagsRead != 40 || d.Failed != 1 || d.Fallback {
+		t.Errorf("slot 0 detail wrong: %+v", d)
+	}
+	if d := s.Slots[1]; d.Planned != 1 || d.Active != 1 || d.TagsRead != 7 || !d.Fallback {
+		t.Errorf("slot 1 detail wrong: %+v", d)
+	}
+	if s.TagsPerSlot.N != 2 || s.TagsPerSlot.Mean != 23.5 {
+		t.Errorf("tags/slot hist wrong: %+v", s.TagsPerSlot)
+	}
+}
+
+func TestReadSummaryMultiRunDropsSlotDetail(t *testing.T) {
+	a := syntheticTrace(t, "runA")
+	b := syntheticTrace(t, "runB")
+	a.Write(b.Bytes())
+	s, err := ReadSummary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Runs) != 2 {
+		t.Fatalf("runs = %d", len(s.Runs))
+	}
+	if s.Slots != nil {
+		t.Error("slot detail must be dropped for interleaved runs")
+	}
+	if ids := s.RunIDs(); ids[0] != "runA" || ids[1] != "runB" {
+		t.Errorf("run ids %v", ids)
+	}
+	for _, id := range s.RunIDs() {
+		if r := s.Runs[id]; r.Slots != 2 || r.TagsRead != 47 {
+			t.Errorf("%s summary wrong: %+v", id, r)
+		}
+	}
+}
+
+func TestReadSummaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadSummary(strings.NewReader("{\"type\":\"slot_executed\"}\nnot json\n")); err == nil {
+		t.Error("no error for malformed trace line")
+	}
+}
+
+func TestWriteReportIsDeterministicAndComplete(t *testing.T) {
+	var first string
+	for i := 0; i < 3; i++ {
+		s, err := ReadSummary(syntheticTrace(t, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := s.Write(&out); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = out.String()
+			for _, want := range []string{
+				"events by type", "failed activations by cause",
+				"messages dropped by cause", "per-run summary",
+				"per-slot detail", "fallback", "degraded",
+			} {
+				if !strings.Contains(first, want) {
+					t.Errorf("report missing %q:\n%s", want, first)
+				}
+			}
+		} else if out.String() != first {
+			t.Fatal("report output not deterministic")
+		}
+	}
+}
+
+func TestSlotDetailCap(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	for i := 0; i < maxSlotDetail+10; i++ {
+		tr.Emit(EvSlotExecuted(i, []int{0}, 1))
+	}
+	s, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.SlotsTruncated {
+		t.Error("truncation not flagged")
+	}
+	if len(s.Slots) != maxSlotDetail {
+		t.Errorf("detail rows = %d", len(s.Slots))
+	}
+	if r := s.Runs[""]; r.Slots != maxSlotDetail+10 {
+		t.Errorf("aggregates must stay exact past the cap: %+v", r)
+	}
+}

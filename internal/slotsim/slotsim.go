@@ -25,6 +25,7 @@ import (
 	"rfidsched/internal/fault"
 	"rfidsched/internal/geom"
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 	"rfidsched/internal/randx"
 )
 
@@ -65,6 +66,13 @@ type Config struct {
 	// only by permanently dead readers are given up honestly rather than
 	// chased forever.
 	Faults *fault.Scenario
+
+	// Tracer receives macro-slot trace events (see package obs), the
+	// same taxonomy as core.RunMCS so one summarizer serves both
+	// engines. nil disables tracing at zero cost (guarded call sites),
+	// and tracing never perturbs the link-layer RNG: same seed, same
+	// Result, tracer or not.
+	Tracer obs.Tracer
 }
 
 // SlotStats records one macro slot.
@@ -111,6 +119,7 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 	}
 	rng := randx.New(cfg.Seed)
 	res := &Result{Algorithm: sched.Name()}
+	tr := cfg.Tracer
 	var plan *fault.Plan
 	if cfg.Faults != nil && !cfg.Faults.IsZero() {
 		p, err := cfg.Faults.Compile(sys.NumReaders())
@@ -174,10 +183,18 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 		if err != nil {
 			return nil, fmt.Errorf("slotsim: %s failed at slot %d: %w", sched.Name(), res.MacroSlots, err)
 		}
+		if tr != nil {
+			tr.Emit(obs.EvSlotPlanned(slot, res.Algorithm, X))
+		}
 		var failedX []int
 		if plan != nil {
 			X, failedX = splitExecutable(sys, plan, X, slot)
 			res.FailedActivations += len(failedX)
+			if tr != nil {
+				for _, v := range failedX {
+					tr.Emit(obs.EvActivationFailed(slot, v, failCause(plan, v, slot)))
+				}
+			}
 			applyDownMask(sys, plan, slot) // the guard below must see the true fleet
 		}
 		covered := sys.Covered(X, nil)
@@ -188,6 +205,9 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 			// a patient MCS driver can afford to).
 			X = []int{bestSingleton(sys)}
 			covered = sys.Covered(X, nil)
+			if tr != nil {
+				tr.Emit(obs.EvStallFallback(slot, X))
+			}
 		}
 		col := sys.Collisions(X)
 
@@ -213,6 +233,9 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 		res.MacroSlots++
 		res.TotalMicroSlots += micro
 		res.TagsRead += len(covered)
+		if tr != nil {
+			tr.Emit(obs.EvSlotExecuted(slot, X, len(covered)))
+		}
 		if cfg.RecordTimeline {
 			res.Timeline = append(res.Timeline, SlotStats{
 				Slot:       res.MacroSlots - 1,
@@ -227,14 +250,38 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 		}
 	}
 	if plan != nil {
-		res.LostTags = lostTags(sys, plan, res.MacroSlots)
+		lost := lostTagIDs(sys, plan, res.MacroSlots)
+		res.LostTags = len(lost)
 		res.Degraded = res.FailedActivations > 0 || res.LostTags > 0
+		if tr != nil {
+			for _, t := range lost {
+				tr.Emit(obs.EvTagAbandoned(res.MacroSlots, t))
+			}
+		}
+	}
+	if tr != nil {
+		status := "ok"
+		switch {
+		case res.Incomplete:
+			status = "incomplete"
+		case res.Degraded:
+			status = "degraded"
+		}
+		tr.Emit(obs.EvRunCompleted(res.MacroSlots, res.TagsRead, res.Algorithm, status))
 	}
 	res.Final = sys
 	return res, nil
 }
 
-// applyDownMask, splitExecutable, reachableUnread and lostTags mirror the
+// failCause classifies a failed activation; crash wins over straggle.
+func failCause(plan *fault.Plan, reader, slot int) string {
+	if plan.Crashed(reader, slot) {
+		return "crash"
+	}
+	return "straggle"
+}
+
+// applyDownMask, splitExecutable, reachableUnread and lostTagIDs mirror the
 // repair semantics of core.RunMCS on the simulator's macro-slot axis (local
 // copies keep slotsim independent of the scheduler package).
 
@@ -276,24 +323,24 @@ func reachableUnread(sys *model.System, plan *fault.Plan, slot int) int {
 	return n
 }
 
-func lostTags(sys *model.System, plan *fault.Plan, slot int) int {
-	n := 0
+func lostTagIDs(sys *model.System, plan *fault.Plan, slot int) []int {
+	var lost []int
 	for t := 0; t < sys.NumTags(); t++ {
 		if sys.IsRead(t) || len(sys.ReadersOf(t)) == 0 {
 			continue
 		}
-		lost := true
+		dead := true
 		for _, r := range sys.ReadersOf(t) {
 			if !plan.PermanentlyDown(int(r), slot) {
-				lost = false
+				dead = false
 				break
 			}
 		}
-		if lost {
-			n++
+		if dead {
+			lost = append(lost, t)
 		}
 	}
-	return n
+	return lost
 }
 
 // perReaderCounts returns, for each clean active reader, how many of the
