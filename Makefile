@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench obsbench check
+.PHONY: build test vet race bench obsbench wbench wbench-check check
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-bench: obsbench
+bench: obsbench wbench
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # obsbench archives the observability overhead numbers (ns/slot with the
@@ -22,6 +22,19 @@ bench: obsbench
 # as a diff in BENCH_obs.json.
 obsbench:
 	$(GO) run ./cmd/obsbench -o BENCH_obs.json
+
+# wbench re-archives the incremental weight-engine speedups (brute vs
+# WeightEval ratios) into the committed baseline. Run it when the engine or
+# the benchmark itself changes, and commit the refreshed BENCH_weight.json.
+wbench:
+	$(GO) run ./cmd/wbench -o BENCH_weight.json
+
+# wbench-check is the CI benchmark-regression gate: re-measure the speedup
+# ratios and fail if any tracked metric falls more than 15% below the
+# committed (already margin-shaved) baseline gates. The fresh report lands
+# in BENCH_weight_fresh.json for artifact upload on failure.
+wbench-check:
+	$(GO) run ./cmd/wbench -check -baseline BENCH_weight.json -tolerance 0.15 -o BENCH_weight_fresh.json
 
 # check is the full pre-merge gate: compile, static analysis, and the whole
 # test suite under the race detector (the fault-injection layers lean on

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runWbench drives the CLI entry point and returns its exit code plus
+// captured output, so the tests exercise exactly what CI runs.
+func runWbench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// tinyScaleArgs keeps the benchmark fast enough for the unit-test suite;
+// ratio quality does not matter here, only the report/gate plumbing.
+func tinyScaleArgs(extra ...string) []string {
+	args := []string{"-scales", "10x150", "-iters", "2"}
+	return append(args, extra...)
+}
+
+func TestReportAndSelfCheckPass(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+
+	code, _, stderr := runWbench(t, tinyScaleArgs("-o", base)...)
+	if code != 0 {
+		t.Fatalf("report run failed (%d): %s", code, stderr)
+	}
+
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Scales) != 1 || rep.Scales[0].Readers != 10 || rep.Scales[0].Tags != 150 {
+		t.Fatalf("unexpected scales in report: %+v", rep.Scales)
+	}
+	if len(rep.Gates) != 3 {
+		t.Fatalf("want 3 gated metrics for a single scale, got %v", rep.Gates)
+	}
+
+	// A fresh measurement checked against itself must pass. The tolerance is
+	// deliberately loose: at this tiny scale the ratios are noise-dominated,
+	// and this test is about the gate plumbing, not about performance.
+	fresh := filepath.Join(dir, "fresh.json")
+	code, stdout, stderr := runWbench(t, tinyScaleArgs(
+		"-check", "-baseline", base, "-tolerance", "0.95", "-o", fresh)...)
+	if code != 0 {
+		t.Fatalf("self-check failed (%d):\n%s%s", code, stdout, stderr)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("check run did not write fresh report: %v", err)
+	}
+}
+
+// TestCheckFailsOnInjectedSlowdown is the CI contract: if the committed
+// baseline claims speedups the fresh run cannot reproduce — equivalently,
+// if the incremental engine regresses against an honest baseline — the
+// gate must exit non-zero.
+func TestCheckFailsOnInjectedSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if code, _, stderr := runWbench(t, tinyScaleArgs("-o", base)...); code != 0 {
+		t.Fatalf("report run failed (%d): %s", code, stderr)
+	}
+
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	for key := range rep.Gates {
+		rep.Gates[key] *= 1000 // simulate a 1000x regression vs baseline
+	}
+	doctored := filepath.Join(dir, "doctored.json")
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("encode doctored baseline: %v", err)
+	}
+	if err := os.WriteFile(doctored, out, 0o644); err != nil {
+		t.Fatalf("write doctored baseline: %v", err)
+	}
+
+	code, stdout, stderr := runWbench(t, tinyScaleArgs(
+		"-check", "-baseline", doctored, "-tolerance", "0.15",
+		"-o", filepath.Join(dir, "fresh.json"))...)
+	if code != 1 {
+		t.Fatalf("want exit 1 on injected slowdown, got %d:\n%s%s", code, stdout, stderr)
+	}
+}
+
+// TestCheckFailsOnMissingMetric: a baseline tracking a metric the fresh run
+// no longer produces (e.g. a silently dropped scale) must fail, not pass
+// vacuously.
+func TestCheckFailsOnMissingMetric(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if code, _, stderr := runWbench(t, tinyScaleArgs("-o", base)...); code != 0 {
+		t.Fatalf("report run failed (%d): %s", code, stderr)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	rep.Gates["solve_speedup@999x999"] = 1.0
+	doctored := filepath.Join(dir, "doctored.json")
+	out, _ := json.Marshal(rep)
+	if err := os.WriteFile(doctored, out, 0o644); err != nil {
+		t.Fatalf("write doctored baseline: %v", err)
+	}
+
+	code, _, _ := runWbench(t, tinyScaleArgs(
+		"-check", "-baseline", doctored, "-tolerance", "0.95",
+		"-o", filepath.Join(dir, "fresh.json"))...)
+	if code != 1 {
+		t.Fatalf("want exit 1 on missing tracked metric, got %d", code)
+	}
+}
+
+func TestCheckFailsOnMissingBaselineFile(t *testing.T) {
+	code, _, stderr := runWbench(t, tinyScaleArgs(
+		"-check", "-baseline", filepath.Join(t.TempDir(), "nope.json"))...)
+	if code != 1 {
+		t.Fatalf("want exit 1 on missing baseline, got %d (%s)", code, stderr)
+	}
+}
+
+func TestParseScales(t *testing.T) {
+	got, err := parseScales(" 20x400, 60x1200 ,120x2400")
+	if err != nil {
+		t.Fatalf("parseScales: %v", err)
+	}
+	want := [][2]int{{20, 400}, {60, 1200}, {120, 2400}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "20", "0x10", "10x-2", "axb"} {
+		if _, err := parseScales(bad); err == nil {
+			t.Fatalf("parseScales(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"testing"
+
+	"rfidsched/internal/geom"
+	"rfidsched/internal/model"
+	"rfidsched/internal/randx"
+)
+
+// The lazy gain queue must reproduce the brute-force GHC schedule exactly —
+// same readers, same order — on arbitrary instances, because its 2-hop
+// invalidation keeps every cached gain exact (see the GHC doc comment).
+
+func lazySystem(t *testing.T, seed uint64, n, m int) *model.System {
+	t.Helper()
+	rng := randx.New(seed)
+	readers := make([]model.Reader, n)
+	for i := range readers {
+		R := 2 + rng.Float64()*11
+		readers[i] = model.Reader{
+			Pos:            geom.Pt(rng.Float64()*70, rng.Float64()*70),
+			InterferenceR:  R,
+			InterrogationR: 0.3*R + rng.Float64()*0.7*R,
+		}
+	}
+	tags := make([]model.Tag, m)
+	for i := range tags {
+		tags[i] = model.Tag{Pos: geom.Pt(rng.Float64()*70, rng.Float64()*70)}
+	}
+	sys, err := model.NewSystem(readers, tags)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestGHCLazyEqualsBrute(t *testing.T) {
+	for trial := 0; trial < 150; trial++ {
+		seed := uint64(8800 + trial)
+		rng := randx.New(seed ^ 0xfeed)
+		sys := lazySystem(t, seed, 6+rng.Intn(14), 40+rng.Intn(100))
+		for tg := 0; tg < sys.NumTags(); tg++ {
+			if rng.Bool(0.2) {
+				sys.MarkRead(tg)
+			}
+		}
+		for v := 0; v < sys.NumReaders(); v++ {
+			if rng.Bool(0.1) {
+				sys.SetReaderDown(v, true)
+			}
+		}
+
+		lazy, err := GHC{}.OneShot(sys)
+		if err != nil {
+			t.Fatalf("trial %d: lazy: %v", trial, err)
+		}
+		brute, err := GHC{Brute: true}.OneShot(sys)
+		if err != nil {
+			t.Fatalf("trial %d: brute: %v", trial, err)
+		}
+		if len(lazy) != len(brute) {
+			t.Fatalf("trial %d: lazy %v != brute %v", trial, lazy, brute)
+		}
+		for i := range lazy {
+			if lazy[i] != brute[i] {
+				t.Fatalf("trial %d: lazy %v != brute %v (diverge at step %d)", trial, lazy, brute, i)
+			}
+		}
+	}
+}

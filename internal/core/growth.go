@@ -110,21 +110,29 @@ func (gr *Growth) OneShot(sys *model.System) ([]int, error) {
 }
 
 // pruneByWeight greedily removes readers from X while doing so strictly
-// increases w(X).
+// increases w(X). The set lives in a WeightEval so each leave-one-out probe
+// is an O(Δ) pop/push instead of a full O(|X|·deg) recompute.
 func pruneByWeight(sys *model.System, X []int) []int {
 	cur := append([]int(nil), X...)
-	curW := sys.Weight(cur)
+	eval := model.NewWeightEval(sys)
+	defer eval.Close()
+	for _, v := range cur {
+		eval.Add(v)
+	}
+	curW := eval.Weight()
 	for {
 		bestIdx, bestW := -1, curW
-		for i := range cur {
-			trial := append(append([]int(nil), cur[:i]...), cur[i+1:]...)
-			if w := sys.Weight(trial); w > bestW {
+		for i, v := range cur {
+			eval.Remove(v)
+			if w := eval.Weight(); w > bestW {
 				bestIdx, bestW = i, w
 			}
+			eval.Add(v)
 		}
 		if bestIdx < 0 {
 			return cur
 		}
+		eval.Remove(cur[bestIdx])
 		cur = append(cur[:bestIdx], cur[bestIdx+1:]...)
 		curW = bestW
 	}

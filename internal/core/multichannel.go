@@ -45,14 +45,15 @@ func (m MultiChannel) OneShot(sys *model.System) (Assignment, error) {
 	}
 	n := sys.NumReaders()
 	order := make([]int, n)
+	single := make([]int, n)
 	for i := range order {
 		order[i] = i
+		single[i] = sys.SingletonWeight(i) // O(1) counter read, scored once
 	}
 	// Heaviest singleton first; ties by index.
 	insertionSortBy(order, func(a, b int) bool {
-		wa, wb := sys.SingletonWeight(a), sys.SingletonWeight(b)
-		if wa != wb {
-			return wa > wb
+		if single[a] != single[b] {
+			return single[a] > single[b]
 		}
 		return a < b
 	})
@@ -61,7 +62,7 @@ func (m MultiChannel) OneShot(sys *model.System) (Assignment, error) {
 	perChannel := make([][]int, c)
 	curW := 0
 	for _, v := range order {
-		if sys.SingletonWeight(v) == 0 {
+		if single[v] == 0 {
 			break // nothing below can add weight either
 		}
 		bestCh, bestW := -1, curW

@@ -115,14 +115,21 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 }
 
 // augmentFeasible greedily extends X with readers that keep the set
-// feasible and strictly increase its weight, largest marginal first.
+// feasible and strictly increase its weight, largest marginal first. The
+// working set is held in a WeightEval so each candidate probe costs O(Δ)
+// (MarginalGain) rather than a full weight recompute — this is both the
+// PTAS augmentation pass and the covering-schedule stall fallback, so it
+// sits on the hot path of every driver.
 func augmentFeasible(sys *model.System, X []int) []int {
 	in := make([]bool, sys.NumReaders())
+	eval := model.NewWeightEval(sys)
+	defer eval.Close()
 	for _, v := range X {
 		in[v] = true
+		eval.Add(v)
 	}
 	cur := append([]int(nil), X...)
-	curW := sys.Weight(cur)
+	curW := eval.Weight()
 	for {
 		bestV, bestW := -1, curW
 		for v := 0; v < sys.NumReaders(); v++ {
@@ -139,17 +146,16 @@ func augmentFeasible(sys *model.System, X []int) []int {
 			if !feasible {
 				continue
 			}
-			cur = append(cur, v)
-			if w := sys.Weight(cur); w > bestW {
+			if w := curW + eval.MarginalGain(v); w > bestW {
 				bestV, bestW = v, w
 			}
-			cur = cur[:len(cur)-1]
 		}
 		if bestV < 0 {
 			return cur
 		}
 		cur = append(cur, bestV)
 		in[bestV] = true
+		eval.Add(bestV)
 		curW = bestW
 	}
 }

@@ -34,10 +34,22 @@ type System struct {
 	down      []bool
 	downCount int
 
+	// unreadOf[v] counts the unread tags inside reader v's interrogation
+	// region, maintained on MarkRead/ResetReads so SingletonWeight is O(1).
+	unreadOf []int32
+
 	// scratch buffers for Weight; see weight.go.
 	coverCount []int32
 	coverOwner []int32
 	touched    []int32
+
+	// adj caches interference/coverage adjacency shared by all clones (the
+	// geometry is immutable); see weighteval.go.
+	adj *adjCache
+
+	// evals are the attached incremental evaluators, notified on read-state
+	// and down-mask transitions; see weighteval.go. Not carried by Clone.
+	evals []*WeightEval
 }
 
 // NewSystem builds a system from readers and tags, precomputing coverage
@@ -67,9 +79,11 @@ func NewSystem(readers []Reader, tags []Tag) (*System, error) {
 		readersOf:   make([][]int32, len(ts)),
 		read:        make([]bool, len(ts)),
 		unreadCount: len(ts),
+		unreadOf:    make([]int32, len(rs)),
 		coverCount:  make([]int32, len(ts)),
 		coverOwner:  make([]int32, len(ts)),
 		touched:     make([]int32, 0, len(ts)),
+		adj:         &adjCache{},
 	}
 
 	if len(ts) > 0 {
@@ -86,6 +100,9 @@ func NewSystem(readers []Reader, tags []Tag) (*System, error) {
 			for _, t := range covered {
 				s.readersOf[t] = append(s.readersOf[t], int32(i))
 			}
+		}
+		for i := range rs {
+			s.unreadOf[i] = int32(len(s.tagsOf[i]))
 		}
 	}
 	return s, nil
@@ -165,6 +182,12 @@ func (s *System) MarkRead(t int) {
 	if !s.read[t] {
 		s.read[t] = true
 		s.unreadCount--
+		for _, r := range s.readersOf[t] {
+			s.unreadOf[r]--
+		}
+		for _, e := range s.evals {
+			e.onTagRead(t)
+		}
 	}
 }
 
@@ -174,6 +197,12 @@ func (s *System) ResetReads() {
 		s.read[i] = false
 	}
 	s.unreadCount = len(s.tags)
+	for i := range s.unreadOf {
+		s.unreadOf[i] = int32(len(s.tagsOf[i]))
+	}
+	for _, e := range s.evals {
+		e.onResetReads()
+	}
 }
 
 // SetReaderDown marks reader i as failed (down=true) or restores it. Down
@@ -192,6 +221,25 @@ func (s *System) SetReaderDown(i int, down bool) {
 		s.downCount++
 	} else {
 		s.downCount--
+	}
+	for _, e := range s.evals {
+		e.onReaderDown(i, down)
+	}
+}
+
+// attach registers an incremental evaluator for state-change notifications.
+func (s *System) attach(e *WeightEval) { s.evals = append(s.evals, e) }
+
+// detach unregisters an evaluator (swap-remove; order is irrelevant).
+func (s *System) detach(e *WeightEval) {
+	for i, x := range s.evals {
+		if x == e {
+			last := len(s.evals) - 1
+			s.evals[i] = s.evals[last]
+			s.evals[last] = nil
+			s.evals = s.evals[:last]
+			return
+		}
 	}
 }
 
@@ -242,9 +290,10 @@ func (s *System) CoverableCount() int {
 	return n
 }
 
-// Clone returns a deep copy sharing the immutable geometry but owning its
-// own read-state and scratch buffers, so clones can run on separate
-// goroutines.
+// Clone returns a deep copy sharing the immutable geometry (including the
+// lazily-built adjacency cache) but owning its own read-state and scratch
+// buffers, so clones can run on separate goroutines. Attached WeightEvals
+// are not carried over: an evaluator observes exactly one System.
 func (s *System) Clone() *System {
 	c := &System{
 		readers:     s.readers,
@@ -255,9 +304,11 @@ func (s *System) Clone() *System {
 		unreadCount: s.unreadCount,
 		down:        append([]bool(nil), s.down...),
 		downCount:   s.downCount,
+		unreadOf:    append([]int32(nil), s.unreadOf...),
 		coverCount:  make([]int32, len(s.tags)),
 		coverOwner:  make([]int32, len(s.tags)),
 		touched:     make([]int32, 0, len(s.tags)),
+		adj:         s.adj,
 	}
 	return c
 }

@@ -85,8 +85,18 @@ func (s *System) cleanMask(X []int) []bool {
 // MarginalWeight returns w(X ∪ {v}) - w(X), the quantity Greedy
 // Hill-Climbing maximizes at each step. It may be negative: activating v can
 // destroy previously well-covered tags through RRc overlap or RTc.
+//
+// Greedy loops probing many candidates against the same X should cache
+// base = Weight(X) once and call MarginalWeightFrom, or better, hold the
+// set in a WeightEval and use its O(Δ) MarginalGain.
 func (s *System) MarginalWeight(X []int, v int) int {
-	base := s.Weight(X)
+	return s.MarginalWeightFrom(s.Weight(X), X, v)
+}
+
+// MarginalWeightFrom returns w(X ∪ {v}) - base where base is the caller's
+// cached Weight(X), saving the redundant full recompute of the base weight
+// that MarginalWeight pays on every candidate probe.
+func (s *System) MarginalWeightFrom(base int, X []int, v int) int {
 	ext := append(append(make([]int, 0, len(X)+1), X...), v)
 	return s.Weight(ext) - base
 }
@@ -139,15 +149,10 @@ func (s *System) Collisions(X []int) CollisionStats {
 // SingletonWeight returns w({v}); Algorithm 2 seeds its growth from the
 // reader maximizing this. A down reader weighs zero, which is how the
 // weight-greedy schedulers naturally avoid planning failed hardware.
+// O(1): the per-reader unread counter is maintained by MarkRead.
 func (s *System) SingletonWeight(v int) int {
 	if s.isDown(v) {
 		return 0
 	}
-	w := 0
-	for _, t := range s.tagsOf[v] {
-		if !s.read[t] {
-			w++
-		}
-	}
-	return w
+	return int(s.unreadOf[v])
 }

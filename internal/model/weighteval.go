@@ -1,0 +1,431 @@
+package model
+
+// This file implements WeightEval, the incremental weight evaluator. The
+// brute-force Weight of weight.go recomputes coverage for the whole
+// activation set on every call — O(|X|·deg) per evaluation — which every
+// scheduler pays inside enumeration loops. WeightEval instead maintains the
+// quantities Weight is defined over as counters that are patched when one
+// reader enters or leaves the set:
+//
+//   - coverCount[t]: active live readers whose interrogation region holds t
+//   - coverSum[t]:   sum of those reader indices, so when coverCount[t]==1
+//     the owning reader is just coverSum[t] (no owner array to maintain)
+//   - single[v]:     unread tags t with coverCount[t]==1 owned by v
+//   - rtc[v]:        active live readers u != v whose interference disk
+//     contains v (v is clean iff rtc[v]==0)
+//   - weight:        Σ single[v] over active live readers with rtc[v]==0,
+//     which is exactly w(X) of Definition 3
+//
+// Add(v)/Remove(v) therefore cost O(|tagsOf(v)| + |interference nbrs of v|)
+// and Weight() is O(1). MarginalGain(v) is an Add/Remove pair, O(Δ).
+//
+// Read-state and fault churn are folded in through observer hooks: the
+// evaluator registers with its System at construction, and MarkRead,
+// ResetReads and SetReaderDown notify every attached evaluator so the
+// counters track the live system without polling. Close() detaches.
+//
+// The evaluator is differentially tested against weightAndCovered and the
+// determinism contract of DESIGN.md §9 holds: for any activation set it
+// reports bit-identical weights to the brute force, so schedulers that
+// switch to it produce byte-identical schedules.
+
+import (
+	"sort"
+	"sync"
+)
+
+// adjCache holds lazily-built, immutable adjacency structure shared by every
+// clone of a System (the geometry never changes after construction, so the
+// cache is built once under sync.Once and read concurrently afterwards).
+type adjCache struct {
+	interOnce sync.Once
+	interOut  [][]int32 // interOut[u]: v != u with reader u's interference disk containing v
+	interIn   [][]int32 // interIn[v]:  u != v whose interference disk contains v
+
+	covOnce sync.Once
+	covAdj  [][]int32 // covAdj[u]: v != u sharing at least one covered tag with u
+
+	nbrOnce sync.Once
+	nbr     [][]int32 // union of interOut ∪ interIn ∪ covAdj, sorted
+}
+
+// interAdj returns the directed interference adjacency (built on first use).
+func (s *System) interAdj() (out, in [][]int32) {
+	c := s.adj
+	c.interOnce.Do(func() {
+		n := len(s.readers)
+		c.interOut = make([][]int32, n)
+		c.interIn = make([][]int32, n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && s.readers[u].Interferes(s.readers[v]) {
+					c.interOut[u] = append(c.interOut[u], int32(v))
+					c.interIn[v] = append(c.interIn[v], int32(u))
+				}
+			}
+		}
+	})
+	return c.interOut, c.interIn
+}
+
+// coverageAdj returns, per reader, the readers sharing at least one covered
+// tag (built on first use).
+func (s *System) coverageAdj() [][]int32 {
+	c := s.adj
+	c.covOnce.Do(func() {
+		n := len(s.readers)
+		c.covAdj = make([][]int32, n)
+		stamp := make([]int, n)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for u := 0; u < n; u++ {
+			for _, t := range s.tagsOf[u] {
+				for _, v := range s.readersOf[t] {
+					if int(v) != u && stamp[v] != u {
+						stamp[v] = u
+						c.covAdj[u] = append(c.covAdj[u], v)
+					}
+				}
+			}
+			sort.Slice(c.covAdj[u], func(a, b int) bool { return c.covAdj[u][a] < c.covAdj[u][b] })
+		}
+	})
+	return c.covAdj
+}
+
+// CouplingNeighbors returns the readers whose membership in an activation
+// set can change reader v's marginal weight (and vice versa): interference
+// in either direction, or a shared covered tag. The marginal weight of v
+// depends only on system state within this 1-hop coupling ball, so adding a
+// reader u can change w(X ∪ {v}) − w(X) only when u is within two coupling
+// hops of v — the invariant the lazy gain queue in package baseline builds
+// its invalidation sets from. The returned slice is shared and sorted;
+// callers must not mutate it.
+func (s *System) CouplingNeighbors(v int) []int32 {
+	c := s.adj
+	c.nbrOnce.Do(func() {
+		out, in := s.interAdj()
+		cov := s.coverageAdj()
+		n := len(s.readers)
+		c.nbr = make([][]int32, n)
+		seen := make([]int, n)
+		for i := range seen {
+			seen[i] = -1
+		}
+		for u := 0; u < n; u++ {
+			for _, lst := range [][]int32{out[u], in[u], cov[u]} {
+				for _, w := range lst {
+					if seen[w] != u {
+						seen[w] = u
+						c.nbr[u] = append(c.nbr[u], w)
+					}
+				}
+			}
+			sort.Slice(c.nbr[u], func(a, b int) bool { return c.nbr[u][a] < c.nbr[u][b] })
+		}
+	})
+	return c.nbr[v]
+}
+
+// WeightEval incrementally evaluates w(X) for a dynamically maintained
+// activation set X over a System. Construct with NewWeightEval, mutate the
+// set with Add/Remove (or Snapshot/Restore for backtracking search), and
+// read Weight()/MarginalGain(v) in O(1)/O(Δ). The evaluator observes the
+// System's MarkRead/ResetReads/SetReaderDown transitions automatically; call
+// Close when done so the System stops notifying it.
+//
+// Like the System itself, a WeightEval is not safe for concurrent use.
+type WeightEval struct {
+	sys *System
+
+	active     []bool
+	activePos  []int32 // index into activeList, -1 when inactive
+	activeList []int
+
+	coverCount []int32
+	coverSum   []int32
+	single     []int32
+	rtc        []int32
+	weight     int
+
+	interOut [][]int32
+	interIn  [][]int32
+
+	snaps   [][]int
+	scratch []bool
+
+	closed bool
+}
+
+// NewWeightEval builds an evaluator with an empty activation set and
+// attaches it to sys. The interference adjacency is cached on the System, so
+// constructing many short-lived evaluators (as the branch-and-bound solver
+// does) costs O(readers + tags) each, not O(readers²).
+func NewWeightEval(sys *System) *WeightEval {
+	out, in := sys.interAdj()
+	e := &WeightEval{
+		sys:        sys,
+		active:     make([]bool, len(sys.readers)),
+		activePos:  make([]int32, len(sys.readers)),
+		coverCount: make([]int32, len(sys.tags)),
+		coverSum:   make([]int32, len(sys.tags)),
+		single:     make([]int32, len(sys.readers)),
+		rtc:        make([]int32, len(sys.readers)),
+		interOut:   out,
+		interIn:    in,
+	}
+	for i := range e.activePos {
+		e.activePos[i] = -1
+	}
+	sys.attach(e)
+	return e
+}
+
+// Close detaches the evaluator from its System. Using a closed evaluator's
+// counters afterwards is safe only while the System's read/down state does
+// not change.
+func (e *WeightEval) Close() {
+	if !e.closed {
+		e.closed = true
+		e.sys.detach(e)
+	}
+}
+
+// Weight returns w(X) for the current activation set in O(1).
+func (e *WeightEval) Weight() int { return e.weight }
+
+// Len returns |X|.
+func (e *WeightEval) Len() int { return len(e.activeList) }
+
+// Active reports whether reader v is in the current set.
+func (e *WeightEval) Active(v int) bool {
+	return v >= 0 && v < len(e.active) && e.active[v]
+}
+
+// AppendActive appends the current activation set to dst in ascending order.
+func (e *WeightEval) AppendActive(dst []int) []int {
+	start := len(dst)
+	dst = append(dst, e.activeList...)
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// Add inserts reader v into the activation set. Out-of-range and already
+// active readers are no-ops returning false. A down reader joins the set but
+// contributes nothing until it recovers, mirroring the brute-force Weight.
+func (e *WeightEval) Add(v int) bool {
+	if v < 0 || v >= len(e.active) || e.active[v] {
+		return false
+	}
+	e.active[v] = true
+	e.activePos[v] = int32(len(e.activeList))
+	e.activeList = append(e.activeList, v)
+	if !e.sys.isDown(v) {
+		e.addEffective(v)
+	}
+	return true
+}
+
+// Remove deletes reader v from the activation set; false if it wasn't in it.
+func (e *WeightEval) Remove(v int) bool {
+	if v < 0 || v >= len(e.active) || !e.active[v] {
+		return false
+	}
+	if !e.sys.isDown(v) {
+		e.removeEffective(v)
+	}
+	e.active[v] = false
+	pos := e.activePos[v]
+	last := len(e.activeList) - 1
+	moved := e.activeList[last]
+	e.activeList[pos] = moved
+	e.activePos[moved] = pos
+	e.activeList = e.activeList[:last]
+	e.activePos[v] = -1
+	return true
+}
+
+// MarginalGain returns w(X ∪ {v}) − w(X) in O(Δ) without changing the set.
+// An already-active (or invalid) v gains nothing.
+func (e *WeightEval) MarginalGain(v int) int {
+	before := e.weight
+	if !e.Add(v) {
+		return 0
+	}
+	g := e.weight - before
+	e.Remove(v)
+	return g
+}
+
+// Snapshot pushes a copy of the current activation set onto the restore
+// stack and returns the new stack depth. Only set membership is captured:
+// read flags and the down mask belong to the System and flow through the
+// observer hooks regardless of snapshots.
+func (e *WeightEval) Snapshot() int {
+	e.snaps = append(e.snaps, append([]int(nil), e.activeList...))
+	return len(e.snaps)
+}
+
+// Restore pops the most recent snapshot and patches the activation set back
+// to it by diffing (removals first, then additions), so the cost is
+// proportional to the drift since Snapshot, not to |X|. Returns false if the
+// stack is empty.
+func (e *WeightEval) Restore() bool {
+	if len(e.snaps) == 0 {
+		return false
+	}
+	want := e.snaps[len(e.snaps)-1]
+	e.snaps = e.snaps[:len(e.snaps)-1]
+	if e.scratch == nil {
+		e.scratch = make([]bool, len(e.active))
+	}
+	for _, v := range want {
+		e.scratch[v] = true
+	}
+	for i := len(e.activeList) - 1; i >= 0; i-- {
+		if v := e.activeList[i]; !e.scratch[v] {
+			e.Remove(v)
+		}
+	}
+	for _, v := range want {
+		if !e.active[v] {
+			e.Add(v)
+		}
+		e.scratch[v] = false
+	}
+	return true
+}
+
+// Reset empties the activation set and the snapshot stack.
+func (e *WeightEval) Reset() {
+	for len(e.activeList) > 0 {
+		e.Remove(e.activeList[len(e.activeList)-1])
+	}
+	e.snaps = e.snaps[:0]
+}
+
+// addEffective folds an active, live reader v into the counters. The order
+// matters: the tag loop charges coverage changes against the *current* clean
+// statuses, the interference loop then re-prices readers v un-cleans with
+// their already-updated single counts, and finally v's own tags count iff v
+// ended up clean.
+func (e *WeightEval) addEffective(v int) {
+	read := e.sys.read
+	for _, t := range e.sys.tagsOf[v] {
+		old := e.coverCount[t]
+		prev := e.coverSum[t]
+		e.coverCount[t] = old + 1
+		e.coverSum[t] = prev + int32(v)
+		if read[t] {
+			continue
+		}
+		switch old {
+		case 0:
+			e.single[v]++
+		case 1:
+			e.single[prev]--
+			if e.rtc[prev] == 0 {
+				e.weight--
+			}
+		}
+	}
+	rtcV := int32(0)
+	for _, u := range e.interIn[v] {
+		if e.active[u] && !e.sys.isDown(int(u)) {
+			rtcV++
+		}
+	}
+	e.rtc[v] = rtcV
+	for _, u := range e.interOut[v] {
+		if e.active[u] && !e.sys.isDown(int(u)) {
+			e.rtc[u]++
+			if e.rtc[u] == 1 {
+				e.weight -= int(e.single[u])
+			}
+		}
+	}
+	if rtcV == 0 {
+		e.weight += int(e.single[v])
+	}
+}
+
+// removeEffective is the exact inverse of addEffective (reverse order).
+func (e *WeightEval) removeEffective(v int) {
+	if e.rtc[v] == 0 {
+		e.weight -= int(e.single[v])
+	}
+	e.rtc[v] = 0
+	for _, u := range e.interOut[v] {
+		if e.active[u] && !e.sys.isDown(int(u)) {
+			e.rtc[u]--
+			if e.rtc[u] == 0 {
+				e.weight += int(e.single[u])
+			}
+		}
+	}
+	read := e.sys.read
+	for _, t := range e.sys.tagsOf[v] {
+		e.coverCount[t]--
+		e.coverSum[t] -= int32(v)
+		if read[t] {
+			continue
+		}
+		switch e.coverCount[t] {
+		case 0:
+			e.single[v]--
+		case 1:
+			owner := e.coverSum[t]
+			e.single[owner]++
+			if e.rtc[owner] == 0 {
+				e.weight++
+			}
+		}
+	}
+}
+
+// onTagRead is the System's MarkRead hook (called after the unread→read
+// transition): a singly-covered tag stops crediting its owner.
+func (e *WeightEval) onTagRead(t int) {
+	if e.coverCount[t] == 1 {
+		owner := e.coverSum[t]
+		e.single[owner]--
+		if e.rtc[owner] == 0 {
+			e.weight--
+		}
+	}
+}
+
+// onResetReads rebuilds the unread-dependent counters after ResetReads;
+// coverage and interference counters are read-state independent and stand.
+func (e *WeightEval) onResetReads() {
+	for i := range e.single {
+		e.single[i] = 0
+	}
+	for t, c := range e.coverCount {
+		if c == 1 {
+			e.single[e.coverSum[t]]++
+		}
+	}
+	e.weight = 0
+	for _, v := range e.activeList {
+		if !e.sys.isDown(v) && e.rtc[v] == 0 {
+			e.weight += int(e.single[v])
+		}
+	}
+}
+
+// onReaderDown is the System's SetReaderDown hook (called after the mask
+// transition). A down reader in the set behaves exactly as if removed —
+// serves nothing, interferes with nothing — while keeping its membership, so
+// recovery restores its contribution.
+func (e *WeightEval) onReaderDown(v int, down bool) {
+	if v < 0 || v >= len(e.active) || !e.active[v] {
+		return
+	}
+	if down {
+		e.removeEffective(v)
+	} else {
+		e.addEffective(v)
+	}
+}

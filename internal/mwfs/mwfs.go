@@ -40,8 +40,16 @@ type Options struct {
 	// the context are charged to the candidates. Candidates are not
 	// required to be independent from the context — feasibility across
 	// clusters is the caller's concern (Algorithms 2/3 guarantee it by hop
-	// separation); the context only shapes the objective.
+	// separation); the context only shapes the objective. Context is a set:
+	// candidates already present in it are skipped (re-activating a reader
+	// is meaningless), and duplicate entries are ignored.
 	Context []int
+
+	// BruteForce disables the incremental weight evaluator and scores every
+	// search node with a full System.Weight recompute — the pre-evaluator
+	// behavior, kept for differential tests and the wbench regression
+	// baseline. Results are identical either way; only the cost differs.
+	BruteForce bool
 }
 
 // Result reports the solved set and search telemetry.
@@ -63,10 +71,15 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 	}
 
 	// Order by singleton weight, heaviest first: good solutions early make
-	// the bound bite.
+	// the bound bite. Candidates already committed in the context cannot
+	// contribute (activating a reader twice is not a thing) and are dropped.
+	inCtx := make(map[int]bool, len(opts.Context))
+	for _, c := range opts.Context {
+		inCtx[c] = true
+	}
 	cand := make([]int, 0, len(candidates))
 	for _, v := range candidates {
-		if v >= 0 && v < sys.NumReaders() {
+		if v >= 0 && v < sys.NumReaders() && !inCtx[v] {
 			cand = append(cand, v)
 		}
 	}
@@ -100,7 +113,20 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 		maxNodes: maxNodes,
 		exact:    true,
 		ctx:      opts.Context,
-		ctxW:     sys.Weight(opts.Context),
+	}
+	if opts.BruteForce {
+		s.ctxW = sys.Weight(opts.Context)
+	} else {
+		// Incremental path: hold cur ∪ ctx in a WeightEval so each
+		// include/backtrack is an O(Δ) push/pop instead of a full recompute
+		// per node. Weights are bit-identical to the brute force
+		// (differentially tested), so the search — and thus Result — is too.
+		s.eval = model.NewWeightEval(sys)
+		defer s.eval.Close()
+		for _, c := range opts.Context {
+			s.eval.Add(c)
+		}
+		s.ctxW = s.eval.Weight()
 	}
 	s.best = append([]int(nil), s.cur...) // empty set, marginal weight 0
 	s.rec(0, 0)
@@ -112,6 +138,7 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 
 type solver struct {
 	sys      *model.System
+	eval     *model.WeightEval // nil on the brute-force path
 	indep    func(u, v int) bool
 	cand     []int
 	suffix   []int
@@ -167,7 +194,13 @@ func (s *solver) rec(i, curW int) {
 	}
 	if feasible {
 		s.cur = append(s.cur, v)
-		s.rec(i+1, s.marginal())
+		if s.eval != nil {
+			s.eval.Add(v)
+			s.rec(i+1, s.eval.Weight()-s.ctxW)
+			s.eval.Remove(v)
+		} else {
+			s.rec(i+1, s.marginal())
+		}
 		s.cur = s.cur[:len(s.cur)-1]
 	}
 	// Branch 2: exclude v.

@@ -364,6 +364,10 @@ func perReaderCounts(sys *model.System, X []int, covered []int32) map[int]int {
 	return counts
 }
 
+// bestSingleton is the zero-progress fallback picker. SingletonWeight is an
+// O(1) counter read (maintained by MarkRead), so the scan is O(readers) —
+// it no longer walks every reader's tag list the way the pre-incremental
+// model forced it to.
 func bestSingleton(sys *model.System) int {
 	best, bestW := 0, -1
 	for v := 0; v < sys.NumReaders(); v++ {
