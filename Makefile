@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench obsbench wbench wbench-check check
+.PHONY: build test vet race bench obsbench wbench wbench-check psbench psbench-check check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,20 @@ wbench:
 # in BENCH_weight_fresh.json for artifact upload on failure.
 wbench-check:
 	$(GO) run ./cmd/wbench -check -baseline BENCH_weight.json -tolerance 0.15 -o BENCH_weight_fresh.json
+
+# psbench archives the parallel search engine's sequential-vs-pooled
+# wall-clock speedups (BENCH_parallel.json). The committed gate is a fixed
+# per-worker efficiency floor, so the baseline does not need refreshing on
+# hardware changes — rerun only when the engine or the scales change.
+psbench:
+	$(GO) run ./cmd/psbench -o BENCH_parallel.json
+
+# psbench-check is the CI parallel-speedup gate: at min(4, NumCPU) workers
+# the MWFS solve must hit the committed per-worker efficiency floor (0.5 =
+# 2x wall-clock at 4 workers). Auto-skips on runners with fewer than 2 CPUs,
+# where no speedup is physically possible.
+psbench-check:
+	$(GO) run ./cmd/psbench -check -baseline BENCH_parallel.json -o BENCH_parallel_fresh.json
 
 # check is the full pre-merge gate: compile, static analysis, and the whole
 # test suite under the race detector (the fault-injection layers lean on

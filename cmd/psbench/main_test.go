@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func runPsbench(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+// tinyArgs keeps the measured instances small enough for CI while still
+// exercising every bench (including the determinism asserts inside them).
+func tinyArgs(extra ...string) []string {
+	args := []string{
+		"-iters", "1",
+		"-mwfs-scale", "30x600", "-mwfs-nodes", "20000",
+		"-ptas-scale", "20x400",
+	}
+	return append(args, extra...)
+}
+
+func TestReportShape(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	_, errOut, code := runPsbench(t, tinyArgs("-o", out)...)
+	if code != 0 {
+		t.Fatalf("psbench exited %d: %s", code, errOut)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Scales) != 3 {
+		t.Fatalf("expected 3 scales (mwfs, ptas, exactmcs), got %d", len(rep.Scales))
+	}
+	for _, sc := range rep.Scales {
+		if sc.SeqNs <= 0 || sc.ParNs <= 0 || sc.Speedup <= 0 {
+			t.Errorf("%s: non-positive timing: %+v", sc.Name, sc)
+		}
+	}
+	if rep.Scales[1].AllocsPerOp == 0 {
+		t.Errorf("ptas scale missing allocs/op")
+	}
+	floor, ok := rep.Gates["mwfs_parallel_efficiency@30x600"]
+	if !ok || floor <= 0 {
+		t.Fatalf("gate floor missing or non-positive: %v", rep.Gates)
+	}
+	if rep.GateWorkers != min(4, runtime.NumCPU()) {
+		t.Errorf("gate workers %d, want min(4, NumCPU)=%d", rep.GateWorkers, min(4, runtime.NumCPU()))
+	}
+}
+
+// TestCheckSkipsBelowTwoCPUs pins the auto-skip contract on single-core
+// runners; on multi-core machines it instead pins the full check flow
+// against a freshly measured baseline (floor 0 cannot fail).
+func TestCheckFlow(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	_, errOut, code := runPsbench(t, tinyArgs("-o", base, "-floor", "0")...)
+	if code != 0 {
+		t.Fatalf("baseline run exited %d: %s", code, errOut)
+	}
+	stdout, errOut, code := runPsbench(t, tinyArgs("-check", "-baseline", base)...)
+	if code != 0 {
+		t.Fatalf("check exited %d: %s", code, errOut)
+	}
+	if runtime.NumCPU() < 2 {
+		if !strings.Contains(stdout, "skip") {
+			t.Fatalf("expected skip notice on %d CPU(s), got: %s", runtime.NumCPU(), stdout)
+		}
+	} else if !strings.Contains(stdout, "all 1 gated metrics") {
+		t.Fatalf("expected passing gate summary, got: %s", stdout)
+	}
+}
+
+// TestCheckAgainstBaseline exercises the floor comparison directly — the
+// run()-level skip makes it unreachable on single-core CI.
+func TestCheckAgainstBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep report) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", report{Gates: map[string]float64{"mwfs_parallel_efficiency@1x1": 0.5}})
+
+	cases := []struct {
+		name  string
+		fresh map[string]float64
+		want  int
+	}{
+		{"above floor", map[string]float64{"mwfs_parallel_efficiency@1x1": 0.8}, 0},
+		{"at floor", map[string]float64{"mwfs_parallel_efficiency@1x1": 0.5}, 0},
+		{"below floor", map[string]float64{"mwfs_parallel_efficiency@1x1": 0.3}, 1},
+		{"metric missing", map[string]float64{"other": 1.0}, 1},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := checkAgainstBaseline(tc.fresh, base, 4, &stdout, &stderr); got != tc.want {
+			t.Errorf("%s: exit %d, want %d (stdout %q, stderr %q)",
+				tc.name, got, tc.want, stdout.String(), stderr.String())
+		}
+	}
+
+	empty := write("empty.json", report{})
+	var stdout, stderr bytes.Buffer
+	if got := checkAgainstBaseline(map[string]float64{}, empty, 4, &stdout, &stderr); got != 1 {
+		t.Errorf("baseline without gates: exit %d, want 1", got)
+	}
+	if got := checkAgainstBaseline(map[string]float64{}, filepath.Join(dir, "nope.json"), 4, &stdout, &stderr); got != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", got)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	n, m, err := parseScale("120x2400")
+	if err != nil || n != 120 || m != 2400 {
+		t.Fatalf("parseScale(120x2400) = %d, %d, %v", n, m, err)
+	}
+	for _, bad := range []string{"", "x", "12", "0x5", "5x0", "-1x5"} {
+		if _, _, err := parseScale(bad); err == nil {
+			t.Errorf("parseScale(%q) accepted", bad)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose = fs.Bool("v", false, "print the active reader set of every slot")
 		check   = fs.Bool("verify", false, "independently re-verify the schedule against the model")
 		trace   = fs.String("trace", "", "write a JSONL slot-level trace to this file")
+		workers = fs.Int("workers", 0, "solver worker goroutines for alg1/alg2/exact (0 = sequential; results are identical at any value)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -121,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	pristine := sys.Clone()
-	res, err := core.RunMCS(sys, sched, core.MCSOptions{RecordSlots: true, Tracer: tr})
+	res, err := core.RunMCS(sys, sched, core.MCSOptions{RecordSlots: true, Tracer: tr, SolverWorkers: *workers})
 	if err != nil {
 		fmt.Fprintf(stderr, "rfidsched: %v\n", err)
 		return 1

@@ -21,11 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 
 	"rfidsched/internal/experiments"
 	"rfidsched/internal/obs"
+	"rfidsched/internal/parsearch"
 )
 
 func main() {
@@ -44,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		side    = fs.Float64("side", 100, "deployment square side length")
 		rho     = fs.Float64("rho", 1.25, "growth threshold for Algorithms 2/3")
 		workers = fs.Int("workers", 0, "parallel trial workers (0 = NumCPU)")
+		solverW = fs.Int("solver-workers", 0, "solver worker goroutines inside each trial (0 = 1 when trial workers > 1, else NumCPU; results are identical at any value)")
 		format  = fs.String("format", "ascii", "output format: ascii, md, csv, chart")
 		out     = fs.String("out", "", "output file (default stdout)")
 		algs    = fs.String("algs", "", "comma-separated algorithm subset (default all five)")
@@ -68,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := experiments.Config{
 		Trials: *trials, Seed: *seed, NumReaders: *readers, NumTags: *tags,
-		Side: *side, Rho: *rho, Workers: *workers,
+		Side: *side, Rho: *rho, Workers: *workers, SolverWorkers: *solverW,
 	}
 	if *algs != "" {
 		cfg.Algorithms = strings.Split(*algs, ",")
@@ -77,6 +81,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *fig == "trace-report" {
 		return traceReport(*trace, *out, stdout, stderr)
 	}
+
+	// Log the effective worker split (trial-level × solver-level) and route
+	// solver-pool telemetry into a metrics registry so trace reports show
+	// where parallel search time went.
+	logger := obs.NewLogger(stderr, slog.LevelInfo)
+	trialWorkers := *workers
+	if trialWorkers <= 0 {
+		trialWorkers = runtime.NumCPU()
+	}
+	solverWorkers := *solverW
+	if solverWorkers <= 0 {
+		if trialWorkers > 1 {
+			solverWorkers = 1
+		} else {
+			solverWorkers = runtime.NumCPU()
+		}
+	}
+	logger.Info("worker configuration",
+		"trial_workers", trialWorkers,
+		"solver_workers", solverWorkers,
+		"num_cpu", runtime.NumCPU())
+	reg := obs.NewRegistry()
+	parsearch.EnableMetrics(reg)
+	defer parsearch.EnableMetrics(nil)
+	defer func() {
+		snap := reg.Snapshot()
+		tasks := snap.Counters["parsearch.pool.tasks"]
+		if tasks == 0 {
+			return
+		}
+		h := snap.Histograms["parsearch.subtree_nodes"]
+		logger.Info("solver pool",
+			"tasks", tasks,
+			"subtrees", h.N,
+			"subtree_nodes_mean", fmt.Sprintf("%.1f", h.Mean),
+			"subtree_nodes_max", h.Max)
+	}()
 
 	var traceSink *obs.JSONL
 	if *trace != "" {

@@ -14,6 +14,9 @@ type Exact struct {
 	// MaxNodes caps the search; 0 uses the solver default. When hit, the
 	// result is the best set found (still feasible), not a failure.
 	MaxNodes int
+	// Workers is passed through to mwfs.Options.Workers: values below 2
+	// keep the sequential reference path; results are identical either way.
+	Workers int
 	// LastExact records whether the most recent OneShot call completed an
 	// exact search. Diagnostic only; not safe for concurrent use.
 	LastExact bool
@@ -22,13 +25,17 @@ type Exact struct {
 // Name implements model.OneShotScheduler.
 func (*Exact) Name() string { return "Exact" }
 
+// SetWorkers implements the solver-worker plumbing used by
+// core.MCSOptions.SolverWorkers and the CLIs.
+func (e *Exact) SetWorkers(w int) { e.Workers = w }
+
 // OneShot implements model.OneShotScheduler.
 func (e *Exact) OneShot(sys *model.System) ([]int, error) {
 	cands := make([]int, sys.NumReaders())
 	for i := range cands {
 		cands[i] = i
 	}
-	res := mwfs.Solve(sys, cands, mwfs.Options{MaxNodes: e.MaxNodes})
+	res := mwfs.Solve(sys, cands, mwfs.Options{MaxNodes: e.MaxNodes, Workers: e.Workers})
 	e.LastExact = res.Exact
 	return res.Set, nil
 }

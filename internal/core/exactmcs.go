@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rfidsched/internal/model"
+	"rfidsched/internal/parsearch"
 )
 
 // ExactMCS solves the Minimum Covering Schedule problem (Definition 5)
@@ -26,6 +27,15 @@ import (
 // in an overlap, and order can matter. BFS over exact states sidesteps all
 // such reasoning: it simply finds the shortest path from the initial state
 // to the all-read state.
+//
+// All three phases parallelize deterministically (DESIGN.md §11): feasible
+// sets are enumerated over fixed mask ranges and concatenated in range
+// order; served bitsets are precomputed per set on worker-owned clones
+// (Covered mutates System scratch); and the BFS runs level-synchronously —
+// workers expand fixed frontier segments, and the sequential merge walks the
+// segments in frontier order, which reproduces the sequential insertion
+// order exactly. The answer is a BFS depth, so it is identical at any
+// worker count by construction.
 type ExactMCS struct {
 	// MaxTags caps the coverable-tag count (state space 2^MaxTags).
 	// Default 20.
@@ -33,6 +43,10 @@ type ExactMCS struct {
 	// MaxReaders caps the reader count (feasible-set enumeration 2^n).
 	// Default 16.
 	MaxReaders int
+	// Workers fans the three phases over a pool; values below 2 run the
+	// same segmented code inline. The returned slot count is identical for
+	// every value.
+	Workers int
 }
 
 // Solve returns the minimum number of slots needed to read every coverable
@@ -50,6 +64,7 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 	if n := sys.NumReaders(); n > maxReaders {
 		return 0, fmt.Errorf("core: ExactMCS caps readers at %d, have %d", maxReaders, n)
 	}
+	workers := parsearch.Normalize(e.Workers)
 
 	// Index the coverable tags.
 	var coverable []int
@@ -67,33 +82,72 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 		return 0, fmt.Errorf("core: ExactMCS caps coverable tags at %d, have %d", maxTags, len(coverable))
 	}
 
-	// Enumerate every feasible scheduling set once.
+	// Enumerate every feasible scheduling set once. IsFeasible reads only
+	// immutable geometry, so workers scan disjoint ascending mask ranges on
+	// the shared system; concatenating the ranges in order reproduces the
+	// sequential ascending-mask list exactly.
 	n := sys.NumReaders()
-	var feasibleSets [][]int
-	for mask := 1; mask < 1<<n; mask++ {
-		var set []int
-		for v := 0; v < n; v++ {
-			if mask&(1<<v) != 0 {
-				set = append(set, v)
+	total := 1 << n
+	const maskChunk = 4096
+	numChunks := (total + maskChunk - 1) / maskChunk
+	chunkSets := make([][][]int, numChunks)
+	parsearch.ForEach(workers, numChunks, func(_, c int) {
+		lo := c * maskChunk
+		if lo == 0 {
+			lo = 1 // the empty set is not a scheduling set
+		}
+		hi := (c + 1) * maskChunk
+		if hi > total {
+			hi = total
+		}
+		var out [][]int
+		for mask := lo; mask < hi; mask++ {
+			var set []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					set = append(set, v)
+				}
+			}
+			if sys.IsFeasible(set) {
+				out = append(out, set)
 			}
 		}
-		if sys.IsFeasible(set) {
-			feasibleSets = append(feasibleSets, set)
-		}
+		chunkSets[c] = out
+	})
+	var feasibleSets [][]int
+	for _, out := range chunkSets {
+		feasibleSets = append(feasibleSets, out...)
 	}
 
 	// servedMask(set, unread) depends on the unread state only through
 	// which tags are unread — but Definition 1's well-covered predicate is
 	// state-independent geometry (exactly one ACTIVE cover), so the served
-	// bitset of a reader set is fixed: compute once per set.
+	// bitset of a reader set is fixed: compute once per set. Covered mutates
+	// System-owned scratch, so each pool worker serves from a private clone.
 	served := make([]uint32, len(feasibleSets))
-	work := sys.Clone()
-	work.ResetReads()
-	for i, set := range feasibleSets {
-		for _, t := range work.Covered(set, nil) {
-			served[i] |= 1 << tagBit[int(t)]
+	base := sys.Clone()
+	base.ResetReads()
+	const setChunk = 256
+	setChunks := (len(feasibleSets) + setChunk - 1) / setChunk
+	workSys := make([]*model.System, max(workers, 1))
+	parsearch.ForEach(workers, setChunks, func(w, c int) {
+		work := base
+		if workers >= 2 {
+			if workSys[w] == nil {
+				workSys[w] = base.Clone()
+			}
+			work = workSys[w]
 		}
-	}
+		lo, hi := c*setChunk, (c+1)*setChunk
+		if hi > len(feasibleSets) {
+			hi = len(feasibleSets)
+		}
+		for i := lo; i < hi; i++ {
+			for _, t := range work.Covered(feasibleSets[i], nil) {
+				served[i] |= 1 << tagBit[int(t)]
+			}
+		}
+	})
 
 	full := uint32(1<<len(coverable)) - 1
 	start := uint32(0)
@@ -106,26 +160,52 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 		return 0, nil
 	}
 
-	// BFS over read-state bitmasks.
+	// Level-synchronous BFS over read-state bitmasks. Each level, workers
+	// expand fixed segments of the frontier into per-segment successor
+	// lists; dist is frozen during expansion (reads only) and the merge
+	// replays the segments in frontier order, so insertion order — and the
+	// frontier of the next level — matches the sequential queue walk.
 	dist := map[uint32]int{start: 0}
-	queue := []uint32{start}
-	for len(queue) > 0 {
-		state := queue[0]
-		queue = queue[1:]
-		d := dist[state]
-		for i := range feasibleSets {
-			next := state | (served[i] &^ state)
-			if next == state {
-				continue
+	frontier := []uint32{start}
+	for d := 0; len(frontier) > 0; d++ {
+		segs := 1
+		if workers >= 2 {
+			segs = workers * 4
+			if segs > len(frontier) {
+				segs = len(frontier)
 			}
-			if _, seen := dist[next]; seen {
-				continue
+		}
+		succ := make([][]uint32, segs)
+		parsearch.ForEach(workers, segs, func(_, c int) {
+			lo := c * len(frontier) / segs
+			hi := (c + 1) * len(frontier) / segs
+			var out []uint32
+			for _, state := range frontier[lo:hi] {
+				for i := range feasibleSets {
+					next := state | served[i]
+					if next == state {
+						continue
+					}
+					if _, seen := dist[next]; seen {
+						continue
+					}
+					out = append(out, next)
+				}
 			}
-			if next == full {
-				return d + 1, nil
+			succ[c] = out
+		})
+		frontier = frontier[:0]
+		for _, out := range succ {
+			for _, next := range out {
+				if _, seen := dist[next]; seen {
+					continue
+				}
+				if next == full {
+					return d + 1, nil
+				}
+				dist[next] = d + 1
+				frontier = append(frontier, next)
 			}
-			dist[next] = d + 1
-			queue = append(queue, next)
 		}
 	}
 	return 0, fmt.Errorf("core: ExactMCS found no covering schedule (unreachable state)")

@@ -41,6 +41,11 @@ type Growth struct {
 	// computation. 0 means the mwfs package default.
 	SolverNodes int
 
+	// Workers is passed through to every local MWFS solve (mwfs.Options.
+	// Workers): values below 2 keep the sequential reference path. Results
+	// are bit-identical either way; only wall-clock changes.
+	Workers int
+
 	// LastMaxRadius records the largest growth radius r̄ used during the
 	// most recent OneShot call (diagnostics / theorem tests). Not safe for
 	// concurrent use.
@@ -61,6 +66,10 @@ func NewGrowth(g *graph.Graph, rho float64) *Growth {
 
 // Name implements model.OneShotScheduler.
 func (gr *Growth) Name() string { return "Alg2-Growth" }
+
+// SetWorkers implements the solver-worker plumbing used by
+// MCSOptions.SolverWorkers and the CLIs.
+func (gr *Growth) SetWorkers(w int) { gr.Workers = w }
 
 // OneShot implements model.OneShotScheduler.
 func (gr *Growth) OneShot(sys *model.System) ([]int, error) {
@@ -143,7 +152,7 @@ func pruneByWeight(sys *model.System, X []int) []int {
 // context so the local objective is the marginal weight — overlap between
 // clusters is charged where it belongs.
 func (gr *Growth) growLocal(sys *model.System, alive []bool, v, maxR int, indep func(u, v int) bool, committed []int) ([]int, int) {
-	opts := mwfs.Options{MaxNodes: gr.SolverNodes, Independent: indep, Context: committed}
+	opts := mwfs.Options{MaxNodes: gr.SolverNodes, Workers: gr.Workers, Independent: indep, Context: committed}
 	cur := mwfs.Solve(sys, []int{v}, opts) // Γ_0 = {v}
 	r := 0
 	for r < maxR {

@@ -37,6 +37,17 @@ type MCSOptions struct {
 	// RecordSlots retains a per-slot record in the result (memory ~ slots).
 	RecordSlots bool
 
+	// SolverWorkers routes a solver-level worker count into schedulers that
+	// expose a SetWorkers(int) knob (PTAS, Growth, baseline.Exact); 0
+	// leaves the scheduler's own configuration untouched. Schedules are
+	// bit-identical at every value — the knob only trades wall-clock
+	// against cores. Callers running many trials concurrently should keep
+	// this at 1 so trial-level and solver-level pools do not oversubscribe
+	// (see experiments.Config.SolverWorkers). Distributed (Algorithm 3) has
+	// no knob on purpose: its node programs already run one goroutine per
+	// reader, so its inner solvers stay sequential.
+	SolverWorkers int
+
 	// Faults attaches an execution-time fault scenario whose tick axis is
 	// the schedule slot: readers crashed or straggling at slot t fail to
 	// activate that slot. The driver runs in repair mode — a fault is
@@ -113,6 +124,12 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 			return nil, fmt.Errorf("core: fault scenario: %w", err)
 		}
 		plan = p
+	}
+
+	if opts.SolverWorkers != 0 {
+		if sw, ok := sched.(interface{ SetWorkers(int) }); ok {
+			sw.SetWorkers(opts.SolverWorkers)
+		}
 	}
 
 	res := &MCSResult{Algorithm: sched.Name()}

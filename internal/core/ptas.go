@@ -1,13 +1,13 @@
 package core
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"rfidsched/internal/geom"
 	"rfidsched/internal/model"
 	"rfidsched/internal/mwfs"
+	"rfidsched/internal/parsearch"
 )
 
 // PTAS is Algorithm 1: the polynomial-time approximation scheme for the
@@ -33,6 +33,15 @@ import (
 // union (cheap at paper scale) rather than summing child values; context
 // filtering to intersecting disks is lossless because interrogation regions
 // are contained in interference disks.
+//
+// Parallelism: content-bearing level-0 squares ("roots") hold disjoint
+// subtrees whose solutions union additively, and the k^2 shiftings are
+// independent computations over shared geometry — so the unit of fan-out is
+// the (shifting, root) pair. Every root gets its own memo table (subtrees
+// never share squares, so a shared table gains nothing) and a fixed
+// per-root share of the evaluation budget, applied identically in the
+// sequential and parallel paths so results are bit-identical at any worker
+// count (DESIGN.md §11).
 type PTAS struct {
 	// K is the shifting parameter k >= 2; the approximation factor is
 	// (1-1/k)^2 and the work grows with k^2 shiftings. Default 3.
@@ -43,10 +52,21 @@ type PTAS struct {
 	// exponential enumeration cost.
 	Lambda int
 
-	// MaxEvals caps candidate evaluations per shifting as a safety valve on
-	// adversarial instances; 0 means the default (2M). Exhausting the
-	// budget degrades quality, never feasibility.
+	// MaxEvals caps candidate evaluations as a safety valve on adversarial
+	// instances; 0 means the default (2M). The allowance is split into equal
+	// deterministic shares per content root of each shifting — never drawn
+	// from a shared pool — so exhaustion degrades the same roots by the same
+	// amount regardless of Workers. Exhausting the budget degrades quality,
+	// never feasibility.
 	MaxEvals int
+
+	// Workers fans (shifting, root) subproblems over a pool where each
+	// worker evaluates weights on its own System clone; values below 2 run
+	// the same task list inline on the calling goroutine. Results are
+	// bit-identical across all Workers values. The branch-and-bound inside
+	// dense squares stays sequential per task — root-level fan-out is the
+	// parallelism, and nesting pools would oversubscribe.
+	Workers int
 
 	// LastEvals reports candidate evaluations used by the most recent
 	// OneShot call, summed over shiftings. Diagnostic; not concurrency-safe.
@@ -61,6 +81,10 @@ func NewPTAS() *PTAS { return &PTAS{K: 3, Lambda: 6} }
 
 // Name implements model.OneShotScheduler.
 func (p *PTAS) Name() string { return "Alg1-PTAS" }
+
+// SetWorkers implements the solver-worker plumbing used by
+// MCSOptions.SolverWorkers and the CLIs.
+func (p *PTAS) SetWorkers(w int) { p.Workers = w }
 
 // OneShot implements model.OneShotScheduler.
 func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
@@ -84,30 +108,74 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 	inst := newPTASInstance(sys, k)
 	p.LastEvals = 0
 
-	var best []int
-	bestW := -1
+	// Classification per shifting is cheap (O(n·levels)) and stays on the
+	// calling goroutine; the task list is every (shifting, root) pair in
+	// deterministic (r, s, root-order) sequence.
+	plans := make([]*shiftPlan, 0, k*k)
 	for r := 0; r < k; r++ {
 		for s := 0; s < k; s++ {
-			dp := &ptasDP{
-				inst:   inst,
-				grid:   geom.ShiftGrid{K: k, R: r, S: s},
-				lambda: lambda,
-				budget: maxEvals,
-				memo:   make(map[string][]int),
+			plans = append(plans, newShiftPlan(inst, geom.ShiftGrid{K: k, R: r, S: s}, lambda))
+		}
+	}
+	type rootTask struct{ plan, root int }
+	var tasks []rootTask
+	for pi, pl := range plans {
+		for ri := range pl.rootKeys {
+			tasks = append(tasks, rootTask{pi, ri})
+		}
+	}
+
+	type rootResult struct {
+		set   []int
+		evals int
+	}
+	workers := parsearch.Normalize(p.Workers)
+	results := make([]rootResult, len(tasks))
+	clones := make([]*model.System, max(workers, 1))
+	parsearch.ForEach(workers, len(tasks), func(w, t int) {
+		wsys := sys
+		if workers >= 2 {
+			// Weight evaluation mutates System-owned scratch, so each pool
+			// worker scores on a private clone (shared immutable geometry).
+			if clones[w] == nil {
+				clones[w] = sys.Clone()
 			}
-			set := dp.run()
-			p.LastEvals += dp.evals
-			// Augmentation pass: the (r,s)-shifting discarded disks that hit
-			// grid lines purely for the analysis; greedily re-adding any
-			// discarded reader that stays independent and increases the
-			// weight can only help, so Theorem 2's bound is preserved while
-			// the small-k survive loss is largely recovered.
-			set = augmentFeasible(sys, set)
-			if w := sys.Weight(set); w > bestW {
-				bestW = w
-				best = set
-				p.LastShift = [2]int{r, s}
-			}
+			wsys = clones[w]
+		}
+		tk := tasks[t]
+		pl := plans[tk.plan]
+		share := maxEvals / len(pl.rootKeys)
+		if share < 1 {
+			share = 1
+		}
+		dp := &ptasDP{plan: pl, sys: wsys, budget: share, memo: make(map[dpMemoKey][]int)}
+		set := dp.solve(pl.rootKeys[tk.root], nil)
+		results[t] = rootResult{set: set, evals: dp.evals}
+	})
+
+	// Deterministic merge: union each shifting's roots in task order (their
+	// interrogation regions are disjoint, weights additive), augment, then
+	// keep the strictly best shifting in (r,s) order.
+	var best []int
+	bestW := -1
+	idx := 0
+	for _, pl := range plans {
+		var total []int
+		for range pl.rootKeys {
+			total = append(total, results[idx].set...)
+			p.LastEvals += results[idx].evals
+			idx++
+		}
+		// Augmentation pass: the (r,s)-shifting discarded disks that hit
+		// grid lines purely for the analysis; greedily re-adding any
+		// discarded reader that stays independent and increases the
+		// weight can only help, so Theorem 2's bound is preserved while
+		// the small-k survive loss is largely recovered.
+		set := augmentFeasible(sys, total)
+		if w := sys.Weight(set); w > bestW {
+			bestW = w
+			best = set
+			p.LastShift = [2]int{pl.grid.R, pl.grid.S}
 		}
 	}
 	sort.Ints(best)
@@ -195,80 +263,107 @@ func newPTASInstance(sys *model.System, k int) *ptasInstance {
 
 type sqKey struct{ level, ix, iy int }
 
-// ptasDP is the per-shifting dynamic program.
-type ptasDP struct {
-	inst   *ptasInstance
-	grid   geom.ShiftGrid
-	lambda int
-	budget int
-	evals  int
-
+// shiftPlan is the read-only classification of one (r,s) shifting, shared by
+// every root task of that shifting (and by every pool worker — nothing in it
+// is mutated after construction).
+type shiftPlan struct {
+	inst       *ptasInstance
+	grid       geom.ShiftGrid
+	lambda     int
 	disksAt    map[sqKey][]int // survive disks of the key's level in that square
 	hasContent map[sqKey]bool  // square subtree contains at least one survive disk
-	roots      map[sqKey]bool  // content-bearing level-0 squares
-	memo       map[string][]int
+	rootKeys   []sqKey         // content-bearing level-0 squares, sorted (ix, iy)
 }
 
-func (dp *ptasDP) run() []int {
-	dp.classify()
-	var total []int
-	// Deterministic root order.
-	rootKeys := make([]sqKey, 0, len(dp.roots))
-	for kk := range dp.roots {
-		rootKeys = append(rootKeys, kk)
+// newShiftPlan computes survive disks, buckets them by their square, and
+// marks the ancestor chain of every occupied square as content-bearing.
+func newShiftPlan(inst *ptasInstance, grid geom.ShiftGrid, lambda int) *shiftPlan {
+	pl := &shiftPlan{
+		inst:       inst,
+		grid:       grid,
+		lambda:     lambda,
+		disksAt:    make(map[sqKey][]int),
+		hasContent: make(map[sqKey]bool),
 	}
-	sort.Slice(rootKeys, func(a, b int) bool {
-		if rootKeys[a].ix != rootKeys[b].ix {
-			return rootKeys[a].ix < rootKeys[b].ix
-		}
-		return rootKeys[a].iy < rootKeys[b].iy
-	})
-	// Survive disks in different 0-squares are pairwise independent and
-	// their interrogation regions disjoint, so root solutions combine by
-	// plain union with additive weights.
-	for _, rk := range rootKeys {
-		total = append(total, dp.solve(rk, nil)...)
-	}
-	return total
-}
-
-// classify computes survive disks, buckets them by their square, and marks
-// the ancestor chain of every occupied square as content-bearing.
-func (dp *ptasDP) classify() {
-	dp.disksAt = make(map[sqKey][]int)
-	dp.hasContent = make(map[sqKey]bool)
-	dp.roots = make(map[sqKey]bool)
-	for i, d := range dp.inst.disks {
-		lvl := dp.inst.levels[i]
-		if !dp.grid.Survives(d, lvl) {
+	roots := make(map[sqKey]bool)
+	for i, d := range inst.disks {
+		lvl := inst.levels[i]
+		if !grid.Survives(d, lvl) {
 			continue
 		}
-		ix, iy := dp.grid.SquareIndex(d.Center, lvl)
+		ix, iy := grid.SquareIndex(d.Center, lvl)
 		key := sqKey{lvl, ix, iy}
-		dp.disksAt[key] = append(dp.disksAt[key], i)
+		pl.disksAt[key] = append(pl.disksAt[key], i)
 		// Mark the chain up to level 0.
 		for l := lvl; l >= 0; l-- {
-			cix, ciy := dp.grid.SquareIndex(d.Center, l)
-			dp.hasContent[sqKey{l, cix, ciy}] = true
+			cix, ciy := grid.SquareIndex(d.Center, l)
+			pl.hasContent[sqKey{l, cix, ciy}] = true
 			if l == 0 {
-				dp.roots[sqKey{0, cix, ciy}] = true
+				roots[sqKey{0, cix, ciy}] = true
 			}
 		}
 	}
+	for kk := range roots {
+		pl.rootKeys = append(pl.rootKeys, kk)
+	}
+	sort.Slice(pl.rootKeys, func(a, b int) bool {
+		if pl.rootKeys[a].ix != pl.rootKeys[b].ix {
+			return pl.rootKeys[a].ix < pl.rootKeys[b].ix
+		}
+		return pl.rootKeys[a].iy < pl.rootKeys[b].iy
+	})
+	return pl
+}
+
+// dpMemoKey is the comparable memo key for (square, context) DP states. The
+// previous representation was an fmt-formatted string rebuilt per lookup —
+// two allocations and a format pass on the DP's hottest line; contexts are
+// short (filtered to disks intersecting one square), so spilling past the
+// 8-entry inline array is rare and the common-case key costs zero
+// allocations. psbench reports the resulting allocs/op next to the speedup
+// numbers.
+type dpMemoKey struct {
+	sq   sqKey
+	n    int
+	a    [8]int32
+	rest string
+}
+
+func makeMemoKey(key sqKey, ctx []int) dpMemoKey {
+	mk := dpMemoKey{sq: key, n: len(ctx)}
+	for i, c := range ctx {
+		if i < len(mk.a) {
+			mk.a[i] = int32(c)
+			continue
+		}
+		mk.rest += strconv.Itoa(c) + ","
+	}
+	return mk
+}
+
+// ptasDP solves one root subtree of one shifting: a private memo table and
+// evaluation budget over the shared shiftPlan, scoring on sys (the live
+// system sequentially, a worker-owned clone on the pool).
+type ptasDP struct {
+	plan   *shiftPlan
+	sys    *model.System
+	budget int
+	evals  int
+	memo   map[dpMemoKey][]int
 }
 
 // solve returns the best feasible disk set inside square key's subtree,
 // independent from every disk in ctx, judged by exact weight of the union
 // with ctx. ctx is sorted ascending.
 func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
-	mk := memoKey(key, ctx)
+	mk := makeMemoKey(key, ctx)
 	if got, ok := dp.memo[mk]; ok {
 		return got
 	}
 
 	// Candidates of this square's level, pre-filtered against the context.
 	var cands []int
-	for _, i := range dp.disksAt[key] {
+	for _, i := range dp.plan.disksAt[key] {
 		if dp.compatible(i, ctx) {
 			cands = append(cands, i)
 		}
@@ -297,14 +392,14 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 		}
 	}
 
-	if len(cands) <= dp.lambda*2 {
+	if len(cands) <= dp.plan.lambda*2 {
 		// Small candidate pool: enumerate every independent subset D with
 		// |D| <= lambda (including the empty set) so the children can adapt
 		// to each choice through the threaded context — the textbook DP.
 		var enumerate func(start int, chosen []int)
 		enumerate = func(start int, chosen []int) {
 			evaluate(chosen)
-			if len(chosen) >= dp.lambda || dp.evals >= dp.budget {
+			if len(chosen) >= dp.plan.lambda || dp.evals >= dp.budget {
 				return
 			}
 			for i := start; i < len(cands); i++ {
@@ -331,7 +426,7 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 		// square's own disks. Children still adapt via the context.
 		evaluate(nil)
 		if remaining := dp.budget - dp.evals; remaining > 0 {
-			res := mwfs.Solve(dp.inst.sys, cands, mwfs.Options{
+			res := mwfs.Solve(dp.sys, cands, mwfs.Options{
 				MaxNodes:    remaining,
 				Independent: dp.independent,
 			})
@@ -349,13 +444,13 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 // contentChildren lists the child squares of key that carry survive disks,
 // in deterministic order.
 func (dp *ptasDP) contentChildren(key sqKey) []sqKey {
-	xlo, xhi := dp.grid.ChildXRange(key.ix)
-	ylo, yhi := dp.grid.ChildYRange(key.iy)
+	xlo, xhi := dp.plan.grid.ChildXRange(key.ix)
+	ylo, yhi := dp.plan.grid.ChildYRange(key.iy)
 	var out []sqKey
 	for ix := xlo; ix <= xhi; ix++ {
 		for iy := ylo; iy <= yhi; iy++ {
 			ck := sqKey{key.level + 1, ix, iy}
-			if dp.hasContent[ck] {
+			if dp.plan.hasContent[ck] {
 				out = append(out, ck)
 			}
 		}
@@ -367,10 +462,10 @@ func (dp *ptasDP) contentChildren(key sqKey) []sqKey {
 // intersects the child square — the only ones that can constrain or overlap
 // anything inside it.
 func (dp *ptasDP) filterIntersecting(set []int, ck sqKey) []int {
-	rect := dp.grid.SquareRect(ck.level, ck.ix, ck.iy)
+	rect := dp.plan.grid.SquareRect(ck.level, ck.ix, ck.iy)
 	var out []int
 	for _, i := range set {
-		if rect.IntersectsDisk(dp.inst.disks[i]) {
+		if rect.IntersectsDisk(dp.plan.inst.disks[i]) {
 			out = append(out, i)
 		}
 	}
@@ -387,23 +482,14 @@ func (dp *ptasDP) compatible(d int, ctx []int) bool {
 }
 
 func (dp *ptasDP) independent(a, b int) bool {
-	return dp.inst.sys.Independent(a, b)
+	return dp.sys.Independent(a, b)
 }
 
-// weightWith returns w(set ∪ ctx) on the live system.
+// weightWith returns w(set ∪ ctx) on the solver's system handle.
 func (dp *ptasDP) weightWith(set, ctx []int) int {
 	if len(ctx) == 0 {
-		return dp.inst.sys.Weight(set)
+		return dp.sys.Weight(set)
 	}
 	u := append(append(make([]int, 0, len(set)+len(ctx)), set...), ctx...)
-	return dp.inst.sys.Weight(u)
-}
-
-func memoKey(key sqKey, ctx []int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:%d:%d|", key.level, key.ix, key.iy)
-	for _, c := range ctx {
-		fmt.Fprintf(&b, "%d,", c)
-	}
-	return b.String()
+	return dp.sys.Weight(u)
 }

@@ -108,8 +108,17 @@ func ablationSweep(cfg Config, sweep []float64, title, xlabel, ylabel string,
 	wg.Wait()
 	close(resCh)
 	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
+	// Same contract as RunFigure: drain every error, fail the whole sweep.
+	var firstErr error
+	failed := 0
+	for err := range errCh {
+		failed++
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("experiments: %d of %d trials failed, first error: %w", failed, len(tasks), firstErr)
 	}
 
 	accs := map[string]map[float64]*stats.Acc{}

@@ -45,6 +45,14 @@ type Config struct {
 	Rho        float64 // growth threshold for Alg2/Alg3 (default 1.25)
 	Workers    int     // parallel trial workers (default NumCPU)
 
+	// SolverWorkers routes a worker count into each trial's schedulers that
+	// expose SetWorkers (PTAS, Growth, baseline.Exact). Schedules are
+	// bit-identical at every value. Default: 1 (sequential solvers) when
+	// Workers > 1 — trial-level parallelism already saturates the cores,
+	// and nesting pools would oversubscribe — else NumCPU, so single-trial
+	// runs get the full machine at the solver level.
+	SolverWorkers int
+
 	// Algorithms filters which algorithms run (nil = all five).
 	Algorithms []string
 
@@ -82,6 +90,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	if c.SolverWorkers <= 0 {
+		if c.Workers > 1 {
+			c.SolverWorkers = 1
+		} else {
+			c.SolverWorkers = runtime.NumCPU()
+		}
 	}
 	if c.Algorithms == nil {
 		c.Algorithms = AlgNames
@@ -209,8 +224,20 @@ func RunFigure(id string, cfg Config) (*FigureResult, error) {
 	wg.Wait()
 	close(samplesCh)
 	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
+	// Drain ALL trial errors before aggregating: reporting only the first
+	// one used to leave the rest unread and let a partially-populated
+	// figure through on later calls' buffered channels. A single failed
+	// trial invalidates the paired design, so the whole figure fails.
+	var firstErr error
+	failed := 0
+	for err := range errCh {
+		failed++
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("experiments: %d of %d trials failed, first error: %w", failed, len(tasks), firstErr)
 	}
 
 	// Aggregate.
@@ -282,6 +309,9 @@ func runTrial(def figureDef, cfg Config, x float64, trial int, fixedR, fixedr fl
 		sched, err := makeScheduler(alg, g, cfg.Rho, seed)
 		if err != nil {
 			return nil, err
+		}
+		if sw, ok := sched.(interface{ SetWorkers(int) }); ok {
+			sw.SetWorkers(cfg.SolverWorkers)
 		}
 		var tr obs.Tracer
 		if cfg.Tracer != nil {

@@ -168,3 +168,22 @@ func TestRenderers(t *testing.T) {
 		t.Errorf("csv row = %q", lines[1])
 	}
 }
+
+// TestRunFigureReportsFailedTrials forces one sweep point to fail (a
+// negative lambda is rejected by deploy.Generate) and checks that RunFigure
+// drains every worker error and reports how many trials failed, rather than
+// surfacing only the first error and leaving the rest buffered.
+func TestRunFigureReportsFailedTrials(t *testing.T) {
+	cfg := tiny()
+	cfg.Trials = 3
+	cfg.Workers = 2
+	cfg.Algorithms = []string{"GHC"}
+	cfg.Sweep = []float64{-1, 12} // every trial at x=-1 fails, x=12 succeeds
+	_, err := RunFigure("fig6", cfg)
+	if err == nil {
+		t.Fatal("RunFigure succeeded despite a failing sweep point")
+	}
+	if !strings.Contains(err.Error(), "3 of 6 trials failed") {
+		t.Fatalf("error does not report the failure count: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ package mwfs
 
 import (
 	"rfidsched/internal/model"
+	"rfidsched/internal/parsearch"
 )
 
 // Options tunes the search.
@@ -27,6 +28,23 @@ type Options struct {
 	// (4M). When the cap is hit the best set found so far is returned with
 	// Exact=false in the result.
 	MaxNodes int
+
+	// Workers selects the search engine: values below 2 run the sequential
+	// reference path (kept for differential tests), higher values fan the
+	// branch-and-bound over a worker pool where every worker owns a System
+	// clone and incremental evaluator (see parallel.go). For any Workers
+	// value an untruncated search returns a bit-identical Result.Set and
+	// Weight — the deterministic-merge argument is in DESIGN.md §11 — while
+	// Result.Nodes may differ (stale incumbent reads change how much is
+	// pruned, never what is returned). When MaxNodes truncates the search,
+	// the anytime best may legitimately differ across worker counts; the
+	// shared Exact=false flag means the same thing in every mode: the
+	// global node allowance ran out before the tree did.
+	//
+	// Options.Independent must be safe for concurrent calls (a pure
+	// function of its arguments, as graph- and geometry-backed predicates
+	// are) when Workers >= 2.
+	Workers int
 
 	// Independent overrides the feasibility predicate. Algorithms 2 and 3
 	// pass graph adjacency here so that feasibility is judged purely from
@@ -57,7 +75,7 @@ type Result struct {
 	Set    []int // reader indices, ascending
 	Weight int
 	Exact  bool // false if the node cap truncated the search
-	Nodes  int  // search nodes expanded
+	Nodes  int  // search nodes expanded (timing-dependent when Workers >= 2)
 }
 
 const defaultMaxNodes = 4 << 20
@@ -105,6 +123,17 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 	if indep == nil {
 		indep = sys.Independent
 	}
+
+	// Parallel engine: only when a real pool was requested and the frontier
+	// split leaves the workers non-trivial subtrees to chew on. A candidate
+	// list no deeper than the split depth would put the whole tree inside
+	// the (sequential) frontier expansion anyway.
+	if workers := parsearch.Normalize(opts.Workers); workers >= 2 {
+		if d := frontierDepth(len(cand), workers); len(cand) > d {
+			return solveParallel(sys, cand, suffix, indep, opts, maxNodes, workers, d)
+		}
+	}
+
 	s := &solver{
 		sys:      sys,
 		indep:    indep,

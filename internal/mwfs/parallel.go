@@ -1,0 +1,370 @@
+package mwfs
+
+// Parallel branch-and-bound (Options.Workers >= 2). The search tree is split
+// at a FIXED frontier depth d derived only from the candidate count and the
+// worker count — never from timing — so the set of subtree roots is a pure
+// function of the instance. The caller's goroutine expands the tree
+// breadth-limited to depth d in the exact sequential DFS pre-order
+// (include-first), recording two kinds of merge items as it goes:
+//
+//   - eval items: internal nodes that strictly improved the running best
+//     during expansion (their partial set is a candidate answer), and
+//   - task items: subtree roots at depth d, handed to the worker pool.
+//
+// Workers solve subtrees on private System clones (each with its own
+// incremental WeightEval), sharing only two atomics: the incumbent bound and
+// the global node budget. The incumbent is monotone, so stale reads weaken
+// pruning but never soundness; workers prune strictly BELOW it (ub <
+// incumbent) — never at equality — because a tie found in an earlier merge
+// item must remain discoverable everywhere for the tie-break to match the
+// sequential scan.
+//
+// The deterministic merge then replays the item sequence in order with the
+// sequential update rule (strictly greater wins, first achiever kept):
+// because items appear in global DFS pre-order and every subtree reports the
+// first occurrence of its own maximum, the merged answer is exactly the set
+// the sequential search returns — at any worker count, under any
+// interleaving. The full argument, including why pruned regions can never
+// contain the first achiever of the final weight, is written out in
+// DESIGN.md §11.
+
+import (
+	"sort"
+
+	"rfidsched/internal/model"
+	"rfidsched/internal/parsearch"
+)
+
+// frontierDepth returns the fixed split depth: the smallest d whose full
+// binary frontier 2^d reaches ~8 subtree roots per worker (feasibility
+// pruning thins the real frontier, so this overshoots on purpose), capped so
+// the sequential expansion stays trivially cheap.
+func frontierDepth(candLen, workers int) int {
+	d := 0
+	for (1<<d) < 8*workers && d < 14 && d < candLen {
+		d++
+	}
+	return d
+}
+
+// task is one frontier subtree root: the include-prefix over cand[0:depth]
+// and its (marginal) weight, emitted in global DFS pre-order.
+type task struct {
+	prefix []int
+	w      int
+}
+
+// mergeItem is one entry of the deterministic merge sequence. taskIdx >= 0
+// refers to a pool task; otherwise the item is an expansion-time candidate
+// answer (set, w).
+type mergeItem struct {
+	taskIdx int
+	set     []int
+	w       int
+}
+
+// taskResult is a worker's answer for one subtree: the first occurrence of
+// the subtree's maximum in subtree DFS order (hasBest=false when the budget
+// died before the root was even visited).
+type taskResult struct {
+	set       []int
+	w         int
+	hasBest   bool
+	nodes     int
+	truncated bool
+}
+
+func solveParallel(sys *model.System, cand, suffix []int, indep func(u, v int) bool, opts Options, maxNodes, workers, depth int) Result {
+	budget := parsearch.NewBudget(maxNodes)
+
+	// Phase 1: sequential frontier expansion on the caller's goroutine.
+	x := &expander{
+		sys:    sys,
+		indep:  indep,
+		cand:   cand,
+		suffix: suffix,
+		depth:  depth,
+		ctx:    opts.Context,
+		budget: budget,
+	}
+	if opts.BruteForce {
+		x.ctxW = sys.Weight(opts.Context)
+	} else {
+		x.eval = model.NewWeightEval(sys)
+		for _, c := range opts.Context {
+			x.eval.Add(c)
+		}
+		x.ctxW = x.eval.Weight()
+	}
+	x.expand(0, 0)
+	if x.eval != nil {
+		x.eval.Close()
+	}
+
+	// Phase 2: subtree solves on the pool. The incumbent starts at the
+	// expansion-time best — every weight it will ever hold has been achieved
+	// by some merge item, which is what makes strict-below pruning sound.
+	incumbent := parsearch.NewIncumbent(x.bestW)
+	results := make([]taskResult, len(x.tasks))
+	solvers := make([]*psolver, workers)
+	parsearch.ForEach(workers, len(x.tasks), func(worker, ti int) {
+		ps := solvers[worker]
+		if ps == nil {
+			ps = newPSolver(sys, cand, suffix, indep, opts, depth, incumbent, budget)
+			solvers[worker] = ps
+		}
+		results[ti] = ps.solveTask(x.tasks[ti])
+		parsearch.RecordSubtreeNodes(results[ti].nodes)
+	})
+	for _, ps := range solvers {
+		if ps != nil {
+			ps.close()
+		}
+	}
+
+	// Phase 3: deterministic merge in item (= DFS pre-order) order, with the
+	// sequential update rule: strictly greater wins, first achiever kept.
+	best, bestW := []int{}, 0
+	nodes := x.nodes
+	truncated := x.truncated
+	for _, it := range x.items {
+		if it.taskIdx < 0 {
+			if it.w > bestW {
+				best, bestW = it.set, it.w
+			}
+			continue
+		}
+		r := results[it.taskIdx]
+		nodes += r.nodes
+		truncated = truncated || r.truncated
+		if r.hasBest && r.w > bestW {
+			best, bestW = r.set, r.w
+		}
+	}
+
+	set := append([]int(nil), best...)
+	sort.Ints(set)
+	return Result{Set: set, Weight: bestW, Exact: !truncated, Nodes: nodes}
+}
+
+// expander runs the depth-limited sequential DFS that builds the merge-item
+// sequence. It mirrors solver.rec exactly on internal nodes; at the split
+// depth it emits a task instead of recursing.
+type expander struct {
+	sys    *model.System
+	eval   *model.WeightEval // nil on the brute-force path
+	indep  func(u, v int) bool
+	cand   []int
+	suffix []int
+	depth  int
+	ctx    []int
+	ctxW   int
+	budget *parsearch.Budget
+
+	cur       []int
+	bestW     int
+	nodes     int
+	grant     int
+	truncated bool
+	items     []mergeItem
+	tasks     []task
+	scratch   []int
+}
+
+func (x *expander) expand(i, curW int) {
+	if i == x.depth {
+		x.items = append(x.items, mergeItem{taskIdx: len(x.tasks)})
+		x.tasks = append(x.tasks, task{prefix: append([]int(nil), x.cur...), w: curW})
+		return
+	}
+	if x.grant == 0 {
+		x.grant = x.budget.Reserve(parsearch.BudgetChunk)
+		if x.grant == 0 {
+			x.truncated = true
+			return
+		}
+	}
+	x.grant--
+	x.nodes++
+	if curW > x.bestW {
+		x.bestW = curW
+		x.items = append(x.items, mergeItem{taskIdx: -1, set: append([]int(nil), x.cur...), w: curW})
+	}
+	// Bound: the running expansion best is a lower bound on the sequential
+	// best-so-far at this pre-order position, so pruning against it prunes
+	// no subtree the sequential search would have kept.
+	if curW+x.suffix[i] <= x.bestW {
+		return
+	}
+	v := x.cand[i]
+	feasible := true
+	for _, u := range x.cur {
+		if !x.indep(u, v) {
+			feasible = false
+			break
+		}
+	}
+	if feasible {
+		x.cur = append(x.cur, v)
+		if x.eval != nil {
+			x.eval.Add(v)
+			x.expand(i+1, x.eval.Weight()-x.ctxW)
+			x.eval.Remove(v)
+		} else {
+			x.expand(i+1, x.marginal())
+		}
+		x.cur = x.cur[:len(x.cur)-1]
+	}
+	x.expand(i+1, curW)
+}
+
+func (x *expander) marginal() int {
+	x.scratch = x.scratch[:0]
+	x.scratch = append(x.scratch, x.cur...)
+	x.scratch = append(x.scratch, x.ctx...)
+	return x.sys.Weight(x.scratch) - x.ctxW
+}
+
+// psolver is one worker's private search state: a System clone (scratch
+// buffers and evaluator attachment are per-clone, so workers never touch
+// shared mutable memory) plus the chunked view of the global node budget.
+type psolver struct {
+	sys       *model.System
+	eval      *model.WeightEval // nil on the brute-force path
+	indep     func(u, v int) bool
+	cand      []int
+	suffix    []int
+	ctx       []int
+	ctxW      int
+	depth     int
+	incumbent *parsearch.Incumbent
+	budget    *parsearch.Budget
+
+	cur       []int
+	best      []int
+	bestW     int
+	hasBest   bool
+	nodes     int
+	grant     int
+	truncated bool
+	scratch   []int
+}
+
+func newPSolver(sys *model.System, cand, suffix []int, indep func(u, v int) bool, opts Options, depth int, incumbent *parsearch.Incumbent, budget *parsearch.Budget) *psolver {
+	ps := &psolver{
+		sys:       sys.Clone(),
+		indep:     indep,
+		cand:      cand,
+		suffix:    suffix,
+		ctx:       opts.Context,
+		depth:     depth,
+		incumbent: incumbent,
+		budget:    budget,
+	}
+	if opts.BruteForce {
+		ps.ctxW = ps.sys.Weight(opts.Context)
+	} else {
+		ps.eval = model.NewWeightEval(ps.sys)
+		for _, c := range opts.Context {
+			ps.eval.Add(c)
+		}
+		ps.ctxW = ps.eval.Weight()
+	}
+	return ps
+}
+
+func (ps *psolver) close() {
+	if ps.eval != nil {
+		ps.eval.Close()
+	}
+}
+
+// solveTask runs the subtree rooted at t: push the prefix, search, pop. The
+// search resumes at candidate index ps.depth, NOT len(t.prefix): the prefix
+// holds only the candidates the expander INCLUDED among cand[0:depth] —
+// exclude branches and infeasible skips make it shorter than the frontier
+// depth, and resuming early would re-decide candidates the expander already
+// settled (re-including prefix members, re-visiting excluded ones).
+func (ps *psolver) solveTask(t task) taskResult {
+	ps.cur = append(ps.cur[:0], t.prefix...)
+	ps.best = ps.best[:0]
+	ps.bestW = 0
+	ps.hasBest = false
+	ps.nodes = 0
+	ps.truncated = false
+	if ps.eval != nil {
+		for _, v := range t.prefix {
+			ps.eval.Add(v)
+		}
+	}
+	ps.rec(ps.depth, t.w)
+	if ps.eval != nil {
+		for _, v := range t.prefix {
+			ps.eval.Remove(v)
+		}
+	}
+	return taskResult{
+		set:       append([]int(nil), ps.best...),
+		w:         ps.bestW,
+		hasBest:   ps.hasBest,
+		nodes:     ps.nodes,
+		truncated: ps.truncated,
+	}
+}
+
+// rec is solver.rec with two changes: the local best is root-seeded (the
+// subtree must report the first occurrence of its own maximum, and the root
+// node is its first node), and the prune bound folds in the shared incumbent
+// strictly (ties with an earlier subtree's weight stay explorable so the
+// deterministic merge can prefer the earlier achiever).
+func (ps *psolver) rec(i, curW int) {
+	if ps.grant == 0 {
+		ps.grant = ps.budget.Reserve(parsearch.BudgetChunk)
+		if ps.grant == 0 {
+			ps.truncated = true
+			return
+		}
+	}
+	ps.grant--
+	ps.nodes++
+	if !ps.hasBest || curW > ps.bestW {
+		ps.hasBest = true
+		ps.bestW = curW
+		ps.best = append(ps.best[:0], ps.cur...)
+		ps.incumbent.Propose(curW)
+	}
+	if i >= len(ps.cand) {
+		return
+	}
+	ub := curW + ps.suffix[i]
+	if ub <= ps.bestW || ub < ps.incumbent.Get() {
+		return
+	}
+	v := ps.cand[i]
+	feasible := true
+	for _, u := range ps.cur {
+		if !ps.indep(u, v) {
+			feasible = false
+			break
+		}
+	}
+	if feasible {
+		ps.cur = append(ps.cur, v)
+		if ps.eval != nil {
+			ps.eval.Add(v)
+			ps.rec(i+1, ps.eval.Weight()-ps.ctxW)
+			ps.eval.Remove(v)
+		} else {
+			ps.rec(i+1, ps.marginal())
+		}
+		ps.cur = ps.cur[:len(ps.cur)-1]
+	}
+	ps.rec(i+1, curW)
+}
+
+func (ps *psolver) marginal() int {
+	ps.scratch = ps.scratch[:0]
+	ps.scratch = append(ps.scratch, ps.cur...)
+	ps.scratch = append(ps.scratch, ps.ctx...)
+	return ps.sys.Weight(ps.scratch) - ps.ctxW
+}

@@ -45,6 +45,12 @@ type Config struct {
 	// RecordTimeline retains per-slot statistics.
 	RecordTimeline bool
 
+	// SolverWorkers routes a worker count into schedulers exposing a
+	// SetWorkers(int) knob (PTAS, Growth, baseline.Exact), mirroring
+	// core.MCSOptions.SolverWorkers; 0 leaves the scheduler untouched.
+	// Results are bit-identical at every value.
+	SolverWorkers int
+
 	// ArrivalRate is the Poisson mean of new tags appearing per macro slot
 	// (0 = the paper's static population). Arrivals are uniform in the
 	// arrival region.
@@ -116,6 +122,11 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 	maxSlots := cfg.MaxMacroSlots
 	if maxSlots <= 0 {
 		maxSlots = 100000
+	}
+	if cfg.SolverWorkers != 0 {
+		if sw, ok := sched.(interface{ SetWorkers(int) }); ok {
+			sw.SetWorkers(cfg.SolverWorkers)
+		}
 	}
 	rng := randx.New(cfg.Seed)
 	res := &Result{Algorithm: sched.Name()}
