@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench obsbench wbench wbench-check psbench psbench-check check
+.PHONY: build test vet race bench obsbench wbench wbench-check psbench psbench-check fuzz check
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ psbench:
 # where no speedup is physically possible.
 psbench-check:
 	$(GO) run ./cmd/psbench -check -baseline BENCH_parallel.json -o BENCH_parallel_fresh.json
+
+# fuzz is a bounded smoke run of the checkpoint-decoder fuzzer: 30 seconds is
+# enough to shake out parser panics on torn/bit-rotted streams without
+# stalling CI. Raise -fuzztime locally when hunting a specific corruption.
+fuzz:
+	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/checkpoint
 
 # check is the full pre-merge gate: compile, static analysis, and the whole
 # test suite under the race detector (the fault-injection layers lean on

@@ -7,10 +7,20 @@
 //	rfidsched -in warehouse.json -alg alg1 -v
 //	rfidsched -in paper.json -alg alg3 -verify
 //	rfidsched -in paper.json -alg alg2 -trace run.jsonl
+//	rfidsched -in paper.json -alg alg1 -deadline 50ms -checkpoint run.ckpt
+//	rfidsched -in paper.json -alg alg1 -checkpoint run.ckpt -resume
+//	rfidsched -in paper.json -alg colorwave -checkpoint run.ckpt -supervise 3
 //
 // Algorithms: alg1 (PTAS, needs locations — always available here since the
 // file stores them), alg2 (centralized, interference graph only), alg3
 // (distributed), ghc, colorwave, random, exact.
+//
+// -deadline bounds each slot's solver work in wall-clock time (the anytime
+// contract: a truncated slot still activates a feasible reader set);
+// -slot-polls is its deterministic equivalent for reproducible runs.
+// -checkpoint appends a durable record per slot; -resume continues a killed
+// run from that file bit-identically; -supervise N additionally restarts the
+// run from its last checkpoint up to N times if it crashes mid-flight.
 package main
 
 import (
@@ -18,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"rfidsched/internal/baseline"
+	"rfidsched/internal/checkpoint"
 	"rfidsched/internal/core"
 	"rfidsched/internal/deploy"
 	"rfidsched/internal/graph"
@@ -37,16 +49,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rfidsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in      = fs.String("in", "", "deployment JSON file (required)")
-		alg     = fs.String("alg", "alg2", "algorithm: alg1, alg2, alg3, ghc, colorwave, random, exact")
-		rho     = fs.Float64("rho", 1.25, "growth threshold for alg2/alg3")
-		seed    = fs.Uint64("seed", 2011, "seed for randomized algorithms")
-		verbose = fs.Bool("v", false, "print the active reader set of every slot")
-		check   = fs.Bool("verify", false, "independently re-verify the schedule against the model")
-		trace   = fs.String("trace", "", "write a JSONL slot-level trace to this file")
-		workers = fs.Int("workers", 0, "solver worker goroutines for alg1/alg2/exact (0 = sequential; results are identical at any value)")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		in        = fs.String("in", "", "deployment JSON file (required)")
+		alg       = fs.String("alg", "alg2", "algorithm: alg1, alg2, alg3, ghc, colorwave, random, exact")
+		rho       = fs.Float64("rho", 1.25, "growth threshold for alg2/alg3")
+		seed      = fs.Uint64("seed", 2011, "seed for randomized algorithms")
+		verbose   = fs.Bool("v", false, "print the active reader set of every slot")
+		check     = fs.Bool("verify", false, "independently re-verify the schedule against the model")
+		trace     = fs.String("trace", "", "write a JSONL slot-level trace to this file")
+		workers   = fs.Int("workers", 0, "solver worker goroutines for alg1/alg2/exact (0 = sequential; results are identical at any value)")
+		deadline  = fs.Duration("deadline", 0, "per-slot wall-clock budget for alg1/alg2/exact (0 = none; truncated slots still activate a feasible set)")
+		slotPolls = fs.Int("slot-polls", 0, "per-slot deterministic poll budget (reproducible alternative to -deadline; takes precedence)")
+		ckptPath  = fs.String("checkpoint", "", "append a durable per-slot checkpoint to this file")
+		resume    = fs.Bool("resume", false, "resume a killed run from the -checkpoint file")
+		supervise = fs.Int("supervise", 0, "restart a crashed run from its last checkpoint up to N times (requires -checkpoint)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +71,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *in == "" {
 		fmt.Fprintln(stderr, "rfidsched: -in is required")
 		fs.Usage()
+		return 2
+	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(stderr, "rfidsched: -resume requires -checkpoint <file>")
+		return 2
+	}
+	if *supervise > 0 && *ckptPath == "" {
+		fmt.Fprintln(stderr, "rfidsched: -supervise requires -checkpoint <file>")
 		return 2
 	}
 
@@ -80,31 +105,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	g := graph.FromSystem(sys)
 
-	var sched model.OneShotScheduler
-	switch *alg {
-	case "alg1":
-		sched = core.NewPTAS()
-	case "alg2":
-		sched = core.NewGrowth(g, *rho)
-	case "alg3":
-		sched = core.NewDistributed(g, *rho)
-	case "ghc":
-		sched = baseline.GHC{}
-	case "colorwave":
-		sched = baseline.NewColorwave(g, *seed)
-	case "random":
-		rng := randx.New(*seed)
-		sched = &baseline.Random{Next: rng.Intn}
-	case "exact":
-		sched = &baseline.Exact{}
-	default:
-		fmt.Fprintf(stderr, "rfidsched: unknown algorithm %q\n", *alg)
-		return 2
-	}
-
-	fmt.Fprintf(stdout, "deployment: %d readers, %d tags (%d coverable), interference graph: %d edges\n",
-		sys.NumReaders(), sys.NumTags(), sys.CoverableCount(), g.M())
-
 	var tr obs.Tracer
 	var traceSink *obs.JSONL
 	if *trace != "" {
@@ -116,13 +116,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		traceSink = obs.NewJSONL(f)
 		tr = traceSink
-		if d, ok := sched.(*core.Distributed); ok {
-			d.Tracer = tr
-		}
 	}
 
-	pristine := sys.Clone()
-	res, err := core.RunMCS(sys, sched, core.MCSOptions{RecordSlots: true, Tracer: tr, SolverWorkers: *workers})
+	// The supervisor restarts a crashed attempt from its last checkpoint,
+	// which needs a pristine system and a freshly configured scheduler each
+	// time — a half-run attempt has mutated both.
+	newSched := func() (model.OneShotScheduler, error) {
+		var sched model.OneShotScheduler
+		switch *alg {
+		case "alg1":
+			sched = core.NewPTAS()
+		case "alg2":
+			sched = core.NewGrowth(g, *rho)
+		case "alg3":
+			sched = core.NewDistributed(g, *rho)
+		case "ghc":
+			sched = baseline.GHC{}
+		case "colorwave":
+			sched = baseline.NewColorwave(g, *seed)
+		case "random":
+			rng := randx.New(*seed)
+			sched = &baseline.Random{Next: rng.Intn}
+		case "exact":
+			sched = &baseline.Exact{}
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", *alg)
+		}
+		if dd, ok := sched.(*core.Distributed); ok {
+			dd.Tracer = tr
+		}
+		return sched, nil
+	}
+	if _, err := newSched(); err != nil {
+		fmt.Fprintf(stderr, "rfidsched: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "deployment: %d readers, %d tags (%d coverable), interference graph: %d edges\n",
+		sys.NumReaders(), sys.NumTags(), sys.CoverableCount(), g.M())
+
+	opts := core.MCSOptions{
+		RecordSlots:    true,
+		Tracer:         tr,
+		SolverWorkers:  *workers,
+		SlotDeadline:   *deadline,
+		SlotPollBudget: *slotPolls,
+	}
+	sup := supervisor{
+		newSys:   func() (*model.System, error) { return d.ToSystem() },
+		newSched: newSched,
+		opts:     opts,
+		ckptPath: *ckptPath,
+		resume:   *resume,
+		restarts: *supervise,
+		stderr:   stderr,
+	}
+	res, err := sup.run()
 	if err != nil {
 		fmt.Fprintf(stderr, "rfidsched: %v\n", err)
 		return 1
@@ -137,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// The paper's three algorithms must produce feasible slots; the
 		// baselines are only held to the physical accounting rules.
 		feasible := *alg == "alg1" || *alg == "alg2" || *alg == "alg3" || *alg == "exact"
-		rep, err := verify.Schedule(pristine, res, verify.Options{RequireFeasible: feasible})
+		rep, err := verify.Schedule(sys, res, verify.Options{RequireFeasible: feasible})
 		if err != nil {
 			fmt.Fprintf(stderr, "rfidsched: verification FAILED: %v\n", err)
 			return 1
@@ -149,6 +198,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "schedule:   %d slots, %d tags read", res.Size, res.TotalRead)
 	if res.Fallbacks > 0 {
 		fmt.Fprintf(stdout, " (%d fallback slots)", res.Fallbacks)
+	}
+	if res.AnytimeSlots > 0 {
+		fmt.Fprintf(stdout, " (%d anytime slots)", res.AnytimeSlots)
 	}
 	if res.Incomplete {
 		fmt.Fprintf(stdout, " INCOMPLETE")
@@ -164,4 +216,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// supervisor drives the covering-schedule run with crash recovery: each
+// attempt gets a fresh system and scheduler, resumes from the checkpoint
+// file when one is available, and a panic mid-run costs one restart instead
+// of the whole schedule — the checkpointed prefix is never recomputed.
+type supervisor struct {
+	newSys   func() (*model.System, error)
+	newSched func() (model.OneShotScheduler, error)
+	opts     core.MCSOptions
+	ckptPath string
+	resume   bool // first attempt resumes (the -resume flag)
+	restarts int  // max automatic restarts after a crash
+	stderr   io.Writer
+}
+
+func (s *supervisor) run() (*core.MCSResult, error) {
+	resume := s.resume
+	for attempt := 0; ; attempt++ {
+		res, err := s.attempt(resume)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= s.restarts {
+			return nil, err
+		}
+		// Every later attempt resumes: the crashed one left a durable
+		// prefix behind (at worst a torn final line, which LoadMCS drops).
+		resume = true
+		fmt.Fprintf(s.stderr, "rfidsched: run failed (%v); restarting from %s (restart %d of %d)\n",
+			err, s.ckptPath, attempt+1, s.restarts)
+		// Back off briefly so a crash loop with an external cause (disk
+		// full, OOM killer) does not spin at full speed.
+		time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
+	}
+}
+
+// attempt executes one supervised try, converting panics into errors so the
+// supervisor can restart instead of taking the process down.
+func (s *supervisor) attempt(resume bool) (res *core.MCSResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("schedule run panicked: %v", r)
+		}
+	}()
+	sys, err := s.newSys()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := s.newSched()
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+
+	// Resume order matters: load the full surviving state into memory
+	// FIRST, then truncate the same path for the new stream — ResumeMCS
+	// re-records the replayed history, so the file is complete again after
+	// the first appended record.
+	var state *checkpoint.MCSState
+	if resume {
+		state, err = checkpoint.LoadMCS(s.ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+	}
+	if s.ckptPath != "" {
+		w, err := checkpoint.Create(s.ckptPath)
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		opts.Checkpoint = w
+	}
+	if state != nil {
+		return core.ResumeMCS(sys, sched, opts, state)
+	}
+	return core.RunMCS(sys, sched, opts)
 }

@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 
+	"rfidsched/internal/core"
 	"rfidsched/internal/deploy"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
 )
 
 // writeDeployment creates a small deployment file for CLI tests.
@@ -83,5 +88,153 @@ func TestSchedUnknownAlgorithm(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-in", path, "-alg", "quantum"}, &out, &errBuf); code != 2 {
 		t.Errorf("exit %d for unknown algorithm", code)
+	}
+}
+
+func TestSchedCheckpointResume(t *testing.T) {
+	path := writeDeployment(t)
+	ckpt := t.TempDir() + "/run.ckpt"
+
+	var out1, err1 bytes.Buffer
+	if code := run([]string{"-in", path, "-alg", "colorwave", "-checkpoint", ckpt}, &out1, &err1); code != 0 {
+		t.Fatalf("checkpointed run: exit %d: %s", code, err1.String())
+	}
+
+	// Simulate a crash: keep roughly half the stream, tearing the last
+	// surviving line, then resume and demand the identical summary.
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-in", path, "-alg", "colorwave", "-checkpoint", ckpt, "-resume", "-verify"}, &out2, &err2); code != 0 {
+		t.Fatalf("resumed run: exit %d: %s", code, err2.String())
+	}
+	line := func(b *bytes.Buffer) string {
+		for _, l := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(l, "schedule:") {
+				return l
+			}
+		}
+		return ""
+	}
+	if line(&out2) == "" || line(&out1) != line(&out2) {
+		t.Errorf("resumed schedule differs:\n  first: %s\n resume: %s", line(&out1), line(&out2))
+	}
+}
+
+func TestSchedDeadlineFlagsStillComplete(t *testing.T) {
+	path := writeDeployment(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", path, "-alg", "alg1", "-slot-polls", "1", "-verify"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "anytime slots") {
+		t.Errorf("starved poll budget reported no anytime slots:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "verified:") {
+		t.Errorf("budgeted schedule failed verification:\n%s", out.String())
+	}
+}
+
+func TestSchedFlagValidation(t *testing.T) {
+	path := writeDeployment(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", path, "-resume"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for -resume without -checkpoint", code)
+	}
+	if code := run([]string{"-in", path, "-supervise", "2"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d for -supervise without -checkpoint", code)
+	}
+}
+
+// panicOnce panics at a chosen slot on its first run, then behaves.
+type panicOnce struct {
+	inner model.OneShotScheduler
+	calls *int
+	at    int
+}
+
+func (p panicOnce) Name() string { return p.inner.Name() }
+
+func (p panicOnce) OneShot(sys *model.System) ([]int, error) {
+	*p.calls++
+	if *p.calls == p.at {
+		panic("injected crash")
+	}
+	return p.inner.OneShot(sys)
+}
+
+func TestSupervisorRestartsFromCheckpoint(t *testing.T) {
+	dep, err := deploy.LoadFile(writeDeployment(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dep.ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromSystem(ref)
+
+	want, err := core.RunMCS(ref.Clone(), core.NewGrowth(g, 1.25), core.MCSOptions{RecordSlots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Size < 2 {
+		t.Fatalf("degenerate reference run (%d slots)", want.Size)
+	}
+
+	calls := 0
+	var errBuf bytes.Buffer
+	sup := supervisor{
+		newSys: dep.ToSystem,
+		newSched: func() (model.OneShotScheduler, error) {
+			return panicOnce{inner: core.NewGrowth(g, 1.25), calls: &calls, at: 2}, nil
+		},
+		opts:     core.MCSOptions{RecordSlots: true},
+		ckptPath: t.TempDir() + "/sup.ckpt",
+		restarts: 2,
+		stderr:   &errBuf,
+	}
+	got, err := sup.run()
+	if err != nil {
+		t.Fatalf("supervised run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("supervised result diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if !strings.Contains(errBuf.String(), "restarting from") {
+		t.Errorf("supervisor restarted silently:\n%s", errBuf.String())
+	}
+}
+
+func TestSupervisorGivesUpAfterBudget(t *testing.T) {
+	dep, err := deploy.LoadFile(writeDeployment(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	var errBuf bytes.Buffer
+	sup := supervisor{
+		newSys: dep.ToSystem,
+		newSched: func() (model.OneShotScheduler, error) {
+			// Panics on EVERY first slot of every attempt.
+			calls = 0
+			sys, _ := dep.ToSystem()
+			g := graph.FromSystem(sys)
+			return panicOnce{inner: core.NewGrowth(g, 1.25), calls: &calls, at: 1}, nil
+		},
+		opts:     core.MCSOptions{},
+		ckptPath: t.TempDir() + "/sup.ckpt",
+		restarts: 1,
+		stderr:   &errBuf,
+	}
+	if _, err := sup.run(); err == nil {
+		t.Fatal("supervisor succeeded through a permanent crash")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("give-up error does not surface the panic: %v", err)
 	}
 }

@@ -39,21 +39,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rfidsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility, abl-chaos), "ablations", or "trace-report"`)
-		trials  = fs.Int("trials", 10, "random deployments per sweep point")
-		seed    = fs.Uint64("seed", 2011, "base RNG seed")
-		readers = fs.Int("readers", 50, "number of readers")
-		tags    = fs.Int("tags", 1200, "number of tags")
-		side    = fs.Float64("side", 100, "deployment square side length")
-		rho     = fs.Float64("rho", 1.25, "growth threshold for Algorithms 2/3")
-		workers = fs.Int("workers", 0, "parallel trial workers (0 = NumCPU)")
-		solverW = fs.Int("solver-workers", 0, "solver worker goroutines inside each trial (0 = 1 when trial workers > 1, else NumCPU; results are identical at any value)")
-		format  = fs.String("format", "ascii", "output format: ascii, md, csv, chart")
-		out     = fs.String("out", "", "output file (default stdout)")
-		algs    = fs.String("algs", "", "comma-separated algorithm subset (default all five)")
-		trace   = fs.String("trace", "", "JSONL slot-trace file: written by figure/ablation runs, read by -fig trace-report")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		fig       = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility, abl-chaos), "ablations", or "trace-report"`)
+		trials    = fs.Int("trials", 10, "random deployments per sweep point")
+		seed      = fs.Uint64("seed", 2011, "base RNG seed")
+		readers   = fs.Int("readers", 50, "number of readers")
+		tags      = fs.Int("tags", 1200, "number of tags")
+		side      = fs.Float64("side", 100, "deployment square side length")
+		rho       = fs.Float64("rho", 1.25, "growth threshold for Algorithms 2/3")
+		workers   = fs.Int("workers", 0, "parallel trial workers (0 = NumCPU)")
+		solverW   = fs.Int("solver-workers", 0, "solver worker goroutines inside each trial (0 = 1 when trial workers > 1, else NumCPU; results are identical at any value)")
+		format    = fs.String("format", "ascii", "output format: ascii, md, csv, chart")
+		out       = fs.String("out", "", "output file (default stdout)")
+		algs      = fs.String("algs", "", "comma-separated algorithm subset (default all five)")
+		trace     = fs.String("trace", "", "JSONL slot-trace file: written by figure/ablation runs, read by -fig trace-report")
+		slotDl    = fs.Duration("slot-deadline", 0, "per-slot wall-clock solver budget (0 = none; truncated slots stay feasible)")
+		slotPolls = fs.Int("slot-polls", 0, "per-slot deterministic poll budget (reproducible alternative to -slot-deadline)")
+		ckptPath  = fs.String("checkpoint", "", "record completed sweep cells to this file for crash recovery")
+		resume    = fs.Bool("resume", false, "skip sweep cells already recorded in the -checkpoint file")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := experiments.Config{
 		Trials: *trials, Seed: *seed, NumReaders: *readers, NumTags: *tags,
 		Side: *side, Rho: *rho, Workers: *workers, SolverWorkers: *solverW,
+		SlotDeadline: *slotDl, SlotPollBudget: *slotPolls,
 	}
 	if *algs != "" {
 		cfg.Algorithms = strings.Split(*algs, ",")
@@ -80,6 +85,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *fig == "trace-report" {
 		return traceReport(*trace, *out, stdout, stderr)
+	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(stderr, "rfidsim: -resume requires -checkpoint <file>")
+		return 2
+	}
+	if *ckptPath != "" {
+		ckpt, err := experiments.OpenSweepCheckpoint(*ckptPath, cfg, *resume)
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := ckpt.Close(); err != nil {
+				fmt.Fprintf(stderr, "rfidsim: checkpoint: %v\n", err)
+			}
+		}()
+		if n := ckpt.Restored(); n > 0 {
+			fmt.Fprintf(stderr, "rfidsim: resuming — %d completed sweep cells restored from %s\n", n, *ckptPath)
+		}
+		cfg.Checkpoint = ckpt
 	}
 
 	// Log the effective worker split (trial-level × solver-level) and route

@@ -1,6 +1,9 @@
 package baseline
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"rfidsched/internal/graph"
 	"rfidsched/internal/model"
 	"rfidsched/internal/randx"
@@ -48,6 +51,51 @@ func (c *Colorwave) Colors() []int { return c.colors }
 
 // NumColors returns the current frame length in slots.
 func (c *Colorwave) NumColors() int { return c.numColors }
+
+// colorwaveState is the JSON image of everything that makes the next
+// OneShot call differ from a fresh instance: the coloring, the frame
+// position and the RNG stream. The graph and MaxKicksPerSlot are
+// configuration, not state, and stay with the instance.
+type colorwaveState struct {
+	Colors    []int  `json:"colors"`
+	NumColors int    `json:"num_colors"`
+	Slot      int    `json:"slot"`
+	Inited    bool   `json:"inited"`
+	RNGState  uint64 `json:"rng_state"`
+	RNGInc    uint64 `json:"rng_inc"`
+}
+
+// CheckpointState implements the core.SchedulerCheckpointer contract: it
+// snapshots the mutable run state (colors, frame slot, RNG) so a resumed
+// schedule continues the exact color sequence of the interrupted one.
+func (c *Colorwave) CheckpointState() ([]byte, error) {
+	st := colorwaveState{
+		Colors:    c.colors,
+		NumColors: c.numColors,
+		Slot:      c.slot,
+		Inited:    c.inited,
+	}
+	st.RNGState, st.RNGInc = c.rng.State()
+	return json.Marshal(st)
+}
+
+// RestoreState restores a snapshot taken by CheckpointState on an instance
+// built over the same graph and seed.
+func (c *Colorwave) RestoreState(data []byte) error {
+	var st colorwaveState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("baseline: colorwave state: %w", err)
+	}
+	if st.Inited && len(st.Colors) != c.g.N() {
+		return fmt.Errorf("baseline: colorwave state has %d colors, graph has %d readers", len(st.Colors), c.g.N())
+	}
+	c.colors = st.Colors
+	c.numColors = st.NumColors
+	c.slot = st.Slot
+	c.inited = st.Inited
+	c.rng.SetState(st.RNGState, st.RNGInc)
+	return nil
+}
 
 // OneShot implements model.OneShotScheduler: it returns the reader set of
 // the next non-empty color class, advancing the frame position.

@@ -3,6 +3,7 @@ package baseline
 import (
 	"rfidsched/internal/model"
 	"rfidsched/internal/mwfs"
+	"rfidsched/internal/parsearch"
 )
 
 // Exact solves the One-Shot Schedule Problem optimally by branch and bound
@@ -17,9 +18,17 @@ type Exact struct {
 	// Workers is passed through to mwfs.Options.Workers: values below 2
 	// keep the sequential reference path; results are identical either way.
 	Workers int
+	// Deadline, when non-nil, bounds each OneShot call under the anytime
+	// contract: the branch and bound returns its best feasible incumbent
+	// (possibly empty) on expiry instead of blocking. core.RunMCS installs
+	// a fresh per-slot deadline through SetDeadline.
+	Deadline *parsearch.Deadline
 	// LastExact records whether the most recent OneShot call completed an
 	// exact search. Diagnostic only; not safe for concurrent use.
 	LastExact bool
+	// lastAnytime records whether the most recent OneShot was truncated by
+	// the deadline; see Anytime.
+	lastAnytime bool
 }
 
 // Name implements model.OneShotScheduler.
@@ -29,14 +38,22 @@ func (*Exact) Name() string { return "Exact" }
 // core.MCSOptions.SolverWorkers and the CLIs.
 func (e *Exact) SetWorkers(w int) { e.Workers = w }
 
+// SetDeadline implements the core.DeadlineSetter contract.
+func (e *Exact) SetDeadline(dl *parsearch.Deadline) { e.Deadline = dl }
+
+// Anytime implements the core.AnytimeReporter contract: true when the most
+// recent OneShot was truncated by the deadline.
+func (e *Exact) Anytime() bool { return e.lastAnytime }
+
 // OneShot implements model.OneShotScheduler.
 func (e *Exact) OneShot(sys *model.System) ([]int, error) {
 	cands := make([]int, sys.NumReaders())
 	for i := range cands {
 		cands[i] = i
 	}
-	res := mwfs.Solve(sys, cands, mwfs.Options{MaxNodes: e.MaxNodes, Workers: e.Workers})
+	res := mwfs.Solve(sys, cands, mwfs.Options{MaxNodes: e.MaxNodes, Workers: e.Workers, Deadline: e.Deadline})
 	e.LastExact = res.Exact
+	e.lastAnytime = res.TimedOut
 	return res.Set, nil
 }
 

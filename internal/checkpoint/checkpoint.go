@@ -1,0 +1,204 @@
+// Package checkpoint implements the durable run-state format of the
+// covering-schedule stack (DESIGN.md §12): a versioned, checksummed JSONL
+// envelope plus the MCS driver schema carried inside it.
+//
+// A checkpoint stream is a sequence of newline-delimited JSON records.
+// Every record carries the format version, a kind tag, the payload as raw
+// JSON, and a CRC32 of exactly those payload bytes — so a torn write, a
+// flipped bit, or a record from a future format version is detected at
+// decode time instead of silently corrupting a resumed run. Appending is
+// the only write operation; a record, once written and fsynced, is never
+// rewritten. Crash recovery therefore reduces to one rule: the final line
+// of a crashed writer may be torn, and DecodeTail forgives exactly that —
+// a run resumed from a torn stream simply re-executes the slot whose
+// record did not survive.
+//
+// The package deliberately knows nothing about systems or schedulers; the
+// MCS schema types (MCSHeader, MCSSlot) are plain data, and core.ResumeMCS
+// owns the replay semantics.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Version is the stream format version. Decode rejects records written by
+// any other version: resuming across format changes is a silent-corruption
+// risk, not a compatibility exercise.
+const Version = 1
+
+// Record is one line of a checkpoint stream. CRC is the IEEE CRC32 of the
+// exact Data bytes; Decode verifies it before a payload is ever handed to
+// an unmarshaler.
+type Record struct {
+	V    int             `json:"v"`
+	Kind string          `json:"kind"`
+	CRC  uint32          `json:"crc"`
+	Data json.RawMessage `json:"data"`
+}
+
+func checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// Writer appends records to an underlying stream. Errors are sticky: after
+// the first failure every Append returns the same error, so a driver loop
+// can check once at the end instead of plumbing an error per slot. When the
+// underlying writer is an *os.File, every Append fsyncs — a record the
+// driver believes durable survives the process dying the next instant.
+type Writer struct {
+	w      io.Writer
+	sync   func() error
+	closer io.Closer
+	err    error
+}
+
+// NewWriter wraps w. Files get per-record fsync; any other writer is
+// assumed durable on write (bytes.Buffer in tests, a network sink, ...).
+func NewWriter(w io.Writer) *Writer {
+	wr := &Writer{w: w}
+	if f, ok := w.(*os.File); ok {
+		wr.sync = f.Sync
+	}
+	return wr
+}
+
+// Create opens path for writing, truncating any previous stream, and
+// returns a Writer that fsyncs after every record. Close it when done.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w := NewWriter(f)
+	w.closer = f
+	return w, nil
+}
+
+// Append marshals payload, wraps it in a versioned checksummed record, and
+// writes it as one line (plus fsync on files).
+func (w *Writer) Append(kind string, payload any) error {
+	if w.err != nil {
+		return w.err
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		w.err = fmt.Errorf("checkpoint: marshal %s: %w", kind, err)
+		return w.err
+	}
+	rec := Record{V: Version, Kind: kind, CRC: checksum(data), Data: data}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		w.err = fmt.Errorf("checkpoint: marshal record: %w", err)
+		return w.err
+	}
+	line = append(line, '\n')
+	if _, err := w.w.Write(line); err != nil {
+		w.err = fmt.Errorf("checkpoint: write: %w", err)
+		return w.err
+	}
+	if w.sync != nil {
+		if err := w.sync(); err != nil {
+			w.err = fmt.Errorf("checkpoint: sync: %w", err)
+			return w.err
+		}
+	}
+	return nil
+}
+
+// Err returns the sticky write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close closes the underlying file when the writer owns one (Create);
+// writers over caller-supplied streams close nothing.
+func (w *Writer) Close() error {
+	if w.closer == nil {
+		return nil
+	}
+	c := w.closer
+	w.closer = nil
+	return c.Close()
+}
+
+// Decode strictly parses a checkpoint stream: every line must be valid
+// JSON, carry the supported version, and pass its checksum. Use it when the
+// stream is expected intact (tests, archival verification); crashed runs
+// resume through DecodeTail.
+func Decode(r io.Reader) ([]Record, error) {
+	return decode(r, false)
+}
+
+// DecodeTail parses a stream written by a process that may have died
+// mid-append: it tolerates exactly one damaged FINAL line (truncated JSON,
+// checksum mismatch from a partial flush) by dropping it, and still rejects
+// damage anywhere earlier — a corrupt interior record means the stream is
+// untrustworthy, not torn.
+func DecodeTail(r io.Reader) ([]Record, error) {
+	return decode(r, true)
+}
+
+func decode(r io.Reader, tolerateTail bool) ([]Record, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	var out []Record
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		rec, perr := parseRecord(line)
+		if perr != nil {
+			if tolerateTail && lastContentLine(lines, i) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("checkpoint: line %d: %w", i+1, perr)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// lastContentLine reports whether every line after index i is blank.
+func lastContentLine(lines [][]byte, i int) bool {
+	for _, l := range lines[i+1:] {
+		if len(bytes.TrimSpace(l)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func parseRecord(line []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return rec, err
+	}
+	if rec.V != Version {
+		return rec, fmt.Errorf("format version %d (supported: %d)", rec.V, Version)
+	}
+	if rec.Kind == "" {
+		return rec, errors.New("record has no kind")
+	}
+	if rec.CRC != checksum(rec.Data) {
+		return rec, errors.New("checksum mismatch")
+	}
+	return rec, nil
+}
+
+// Load reads the stream at path with crash tolerance (DecodeTail) — the
+// entry point for -resume paths.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return DecodeTail(f)
+}

@@ -1,0 +1,270 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Slot int    `json:"slot"`
+	Note string `json:"note,omitempty"`
+}
+
+func appendN(t *testing.T, w *Writer, n int) {
+	t.Helper()
+	if err := w.Append(KindMCSHeader, MCSHeader{Algorithm: "test", Readers: 3, Tags: 9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(KindMCSSlot, payload{Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	appendN(t, w, 5)
+
+	recs, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	if recs[0].Kind != KindMCSHeader {
+		t.Errorf("first record kind = %q", recs[0].Kind)
+	}
+	for i, rec := range recs[1:] {
+		var p payload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Slot != i {
+			t.Errorf("record %d carries slot %d", i, p.Slot)
+		}
+	}
+}
+
+func TestDecodeTailForgivesTornFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	appendN(t, w, 3)
+	whole := buf.Len()
+	if err := w.Append(KindMCSSlot, payload{Slot: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-line, as a crash mid-write would.
+	torn := buf.Bytes()[:whole+(buf.Len()-whole)/2]
+
+	recs, err := DecodeTail(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("DecodeTail on torn stream: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("DecodeTail kept %d records, want 4", len(recs))
+	}
+	if _, err := Decode(bytes.NewReader(torn)); err == nil {
+		t.Error("strict Decode accepted a torn stream")
+	}
+}
+
+func TestDecodeRejectsInteriorDamage(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	appendN(t, w, 4)
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	lines[2] = lines[2][:len(lines[2])/2] // tear an interior record
+	damaged := bytes.Join(lines, []byte("\n"))
+
+	if _, err := Decode(bytes.NewReader(damaged)); err == nil {
+		t.Error("Decode accepted interior damage")
+	}
+	// DecodeTail forgives only the FINAL line; interior damage means the
+	// stream is untrustworthy.
+	if _, err := DecodeTail(bytes.NewReader(damaged)); err == nil {
+		t.Error("DecodeTail accepted interior damage")
+	}
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	data := []byte(`{"x":1}`)
+	rec := Record{V: Version + 1, Kind: "future", CRC: checksum(data), Data: data}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decode(bytes.NewReader(append(line, '\n')))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version-skewed record: err = %v, want version error", err)
+	}
+}
+
+func TestDecodeRejectsChecksumMismatch(t *testing.T) {
+	data := []byte(`{"slot":1}`)
+	rec := Record{V: Version, Kind: KindMCSSlot, CRC: checksum(data) ^ 1, Data: data}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decode(bytes.NewReader(append(line, '\n')))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("bit-flipped record: err = %v, want checksum error", err)
+	}
+}
+
+func TestDecodeRejectsKindlessRecord(t *testing.T) {
+	data := []byte(`{}`)
+	rec := Record{V: Version, CRC: checksum(data), Data: data}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(append(line, '\n'))); err == nil {
+		t.Error("Decode accepted a record with no kind")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriterErrorsAreSticky(t *testing.T) {
+	w := NewWriter(&failWriter{n: 2})
+	if err := w.Append("a", payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("b", payload{}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Append("c", payload{})
+	if err == nil {
+		t.Fatal("third append succeeded past the failing writer")
+	}
+	if err2 := w.Append("d", payload{}); !errors.Is(err2, err) && err2.Error() != err.Error() {
+		t.Errorf("sticky error changed: %v then %v", err, err2)
+	}
+	if w.Err() == nil {
+		t.Error("Err() did not report the sticky failure")
+	}
+}
+
+func TestCreateLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("loaded %d records, want 4", len(recs))
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.ckpt")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestParseMCSGrammar(t *testing.T) {
+	header := func() Record {
+		data, _ := json.Marshal(MCSHeader{Algorithm: "x", Readers: 2, Tags: 4})
+		return Record{V: Version, Kind: KindMCSHeader, CRC: checksum(data), Data: data}
+	}
+	slot := func(i int) Record {
+		data, _ := json.Marshal(MCSSlot{Slot: i})
+		return Record{V: Version, Kind: KindMCSSlot, CRC: checksum(data), Data: data}
+	}
+
+	if _, err := ParseMCS(nil); err == nil {
+		t.Error("ParseMCS accepted an empty stream")
+	}
+	if _, err := ParseMCS([]Record{slot(0)}); err == nil {
+		t.Error("ParseMCS accepted a stream with no header")
+	}
+	if _, err := ParseMCS([]Record{header(), slot(0), slot(2)}); err == nil {
+		t.Error("ParseMCS accepted a slot gap")
+	}
+	if _, err := ParseMCS([]Record{header(), slot(0), header()}); err == nil {
+		t.Error("ParseMCS accepted a mid-stream header")
+	}
+	st, err := ParseMCS([]Record{header(), slot(0), slot(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Header.Algorithm != "x" || len(st.Slots) != 2 {
+		t.Errorf("parsed %+v", st)
+	}
+}
+
+func TestMCSSlotJSONKeepsNilSlices(t *testing.T) {
+	// omitempty on the slice fields is what keeps resumed MCSResults
+	// DeepEqual to uninterrupted ones: a nil Active must come back nil.
+	data, err := json.Marshal(MCSSlot{Slot: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got MCSSlot
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Active != nil || got.ReadTags != nil || got.Failed != nil {
+		t.Errorf("empty slot round-tripped with non-nil slices: %s", data)
+	}
+}
+
+func TestLoadMCSRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mcs.ckpt")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(KindMCSHeader, MCSHeader{Algorithm: "alg", Readers: 4, Tags: 10}); err != nil {
+		t.Fatal(err)
+	}
+	want := []MCSSlot{
+		{Slot: 0, Active: []int{1, 3}, ReadTags: []int{0, 2, 5}, Stall: 0},
+		{Slot: 1, Active: []int{0}, Fallback: true, Anytime: true, Stall: 1,
+			PlanRNG: &RNGState{State: 7, Inc: 9}, Sched: json.RawMessage(`{"k":1}`)},
+	}
+	for _, s := range want {
+		if err := w.Append(KindMCSSlot, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadMCS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Header.Algorithm != "alg" {
+		t.Errorf("header = %+v", st.Header)
+	}
+	if len(st.Slots) != 2 {
+		t.Fatalf("got %d slots", len(st.Slots))
+	}
+	if fmt.Sprint(st.Slots[0].Active) != "[1 3]" || !st.Slots[1].Anytime || st.Slots[1].PlanRNG.State != 7 {
+		t.Errorf("slots = %+v", st.Slots)
+	}
+}

@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at both decoders and the MCS
+// parser. The contract under fuzz: corrupt, truncated, or version-skewed
+// input is rejected with an error — never a panic, never a hang — and
+// anything DecodeTail accepts is a valid prefix the strict decoder also
+// accepts once re-encoded.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed with a well-formed stream and characteristic damage shapes.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(KindMCSHeader, MCSHeader{Algorithm: "seed", Readers: 2, Tags: 5})
+	w.Append(KindMCSSlot, MCSSlot{Slot: 0, Active: []int{1}, ReadTags: []int{0, 3}})
+	w.Append(KindMCSSlot, MCSSlot{Slot: 1, Anytime: true, Stall: 1})
+	whole := buf.Bytes()
+	f.Add(whole)
+	f.Add(whole[:len(whole)-7])                           // torn final line
+	f.Add([]byte(``))                                     // empty stream
+	f.Add([]byte("\n\n\n"))                               // blank lines only
+	f.Add([]byte(`{"v":99,"kind":"x","data":{}}`))        // version skew
+	f.Add([]byte(`{"v":1,"kind":"x","crc":1,"data":{}}`)) // checksum mismatch
+	f.Add([]byte(`not json at all`))
+	f.Add(bytes.Replace(whole, []byte("slot"), []byte("slop"), 1)) // bit rot
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, strictErr := Decode(bytes.NewReader(data))
+		tail, tailErr := DecodeTail(bytes.NewReader(data))
+		if strictErr == nil && tailErr != nil {
+			t.Fatalf("strict Decode accepted what DecodeTail rejected: %v", tailErr)
+		}
+		if strictErr == nil && len(strict) != len(tail) {
+			t.Fatalf("clean stream: Decode kept %d records, DecodeTail %d", len(strict), len(tail))
+		}
+		// Every surviving record must re-verify: version and checksum hold.
+		for _, rec := range tail {
+			if rec.V != Version {
+				t.Fatalf("decoder passed through version %d", rec.V)
+			}
+			if rec.CRC != checksum(rec.Data) {
+				t.Fatal("decoder passed through a checksum mismatch")
+			}
+		}
+		// The MCS layer must be equally panic-free on whatever survived.
+		if tailErr == nil {
+			_, _ = ParseMCS(tail)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Record kinds of the MCS driver stream: one header identifying the run,
+// then one slot record per executed slot, in slot order.
+const (
+	KindMCSHeader = "mcs-header"
+	KindMCSSlot   = "mcs-slot"
+)
+
+// MCSHeader identifies the run a slot stream belongs to. Resume verifies
+// it against the freshly rebuilt system and scheduler before replaying
+// anything — restoring a stream onto the wrong deployment must fail loudly,
+// not produce a plausible-looking schedule.
+type MCSHeader struct {
+	Algorithm string `json:"algorithm"`
+	Readers   int    `json:"readers"`
+	Tags      int    `json:"tags"`
+}
+
+// RNGState is a serialized randx.RNG position.
+type RNGState struct {
+	State uint64 `json:"state"`
+	Inc   uint64 `json:"inc"`
+}
+
+// MCSSlot is the durable record of one executed slot: everything the
+// driver needs to replay the slot's effects without re-running its solver.
+// Cumulative result counters are deliberately absent — they are recomputed
+// from the per-slot data on resume, so the stream cannot contradict itself.
+type MCSSlot struct {
+	// Slot is the slot index; records must arrive in 0,1,2,... order.
+	Slot int `json:"slot"`
+	// Active is the executed reader set (after fault filtering).
+	Active []int `json:"active,omitempty"`
+	// ReadTags lists the tag IDs newly read this slot.
+	ReadTags []int `json:"read_tags,omitempty"`
+	// Fallback marks a slot forced by the stall guard.
+	Fallback bool `json:"fallback,omitempty"`
+	// Failed lists planned readers that were down at execution time.
+	Failed []int `json:"failed,omitempty"`
+	// Anytime marks a slot whose one-shot was truncated by its deadline.
+	Anytime bool `json:"anytime,omitempty"`
+	// Stall is the driver's consecutive-zero-progress counter AFTER this
+	// slot — the one piece of loop state not derivable from the tag sets.
+	Stall int `json:"stall,omitempty"`
+	// PlanRNG is the fault plan's draw-stream position after this slot;
+	// absent for fault-free runs.
+	PlanRNG *RNGState `json:"plan_rng,omitempty"`
+	// Sched is the scheduler's opaque state blob (SchedulerCheckpointer)
+	// after this slot; absent for stateless schedulers.
+	Sched json.RawMessage `json:"sched,omitempty"`
+}
+
+// MCSState is a decoded MCS stream: the header plus every surviving slot
+// record, in order.
+type MCSState struct {
+	Header MCSHeader
+	Slots  []MCSSlot
+}
+
+// ParseMCS interprets a record stream as an MCS driver checkpoint. It
+// enforces the stream grammar — header first, then gap-free ascending slot
+// records — because a stream with a hole cannot be replayed soundly.
+func ParseMCS(recs []Record) (*MCSState, error) {
+	if len(recs) == 0 {
+		return nil, errors.New("checkpoint: empty MCS stream (not even a header survived)")
+	}
+	if recs[0].Kind != KindMCSHeader {
+		return nil, fmt.Errorf("checkpoint: MCS stream starts with %q, want %q", recs[0].Kind, KindMCSHeader)
+	}
+	st := &MCSState{}
+	if err := json.Unmarshal(recs[0].Data, &st.Header); err != nil {
+		return nil, fmt.Errorf("checkpoint: MCS header: %w", err)
+	}
+	for i, rec := range recs[1:] {
+		if rec.Kind != KindMCSSlot {
+			return nil, fmt.Errorf("checkpoint: record %d has kind %q, want %q", i+1, rec.Kind, KindMCSSlot)
+		}
+		var slot MCSSlot
+		if err := json.Unmarshal(rec.Data, &slot); err != nil {
+			return nil, fmt.Errorf("checkpoint: slot record %d: %w", i, err)
+		}
+		if slot.Slot != i {
+			return nil, fmt.Errorf("checkpoint: slot record %d carries slot index %d (stream has a gap or is reordered)", i, slot.Slot)
+		}
+		st.Slots = append(st.Slots, slot)
+	}
+	return st, nil
+}
+
+// LoadMCS reads and parses the MCS stream at path with crash tolerance —
+// the one-call entry point for -resume.
+func LoadMCS(path string) (*MCSState, error) {
+	recs, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMCS(recs)
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
+)
+
+// Deadline safety: every solver given an expired or mid-run-expiring
+// deadline still returns a FEASIBLE (pairwise-independent) scheduling set
+// and reports the truncation through its Anytime status — never an error,
+// never an infeasible set. Poll-budget mode keeps every assertion
+// deterministic.
+
+// anytimeSolver is the common surface the safety sweep drives.
+type anytimeSolver interface {
+	model.OneShotScheduler
+	DeadlineSetter
+	AnytimeReporter
+}
+
+func anytimeSolvers(sys *model.System) map[string]anytimeSolver {
+	g := graph.FromSystem(sys)
+	return map[string]anytimeSolver{
+		"ptas":   NewPTAS(),
+		"growth": NewGrowth(g, 1.25),
+		"exact":  &baseline.Exact{},
+	}
+}
+
+func TestSolversFeasibleUnderExpiredDeadline(t *testing.T) {
+	sys := paperSystem(t, 21, 12, 5)
+	for name, s := range anytimeSolvers(sys) {
+		s.SetDeadline(NewPollBudget(0)) // expired before the first poll
+		X, err := s.OneShot(sys.Clone())
+		if err != nil {
+			t.Fatalf("%s under expired deadline errored: %v", name, err)
+		}
+		if !sys.IsFeasible(X) {
+			t.Errorf("%s under expired deadline returned infeasible set %v", name, X)
+		}
+		if !s.Anytime() {
+			t.Errorf("%s truncated by an expired deadline did not report Anytime", name)
+		}
+	}
+}
+
+func TestSolversFeasibleUnderMidRunExpiry(t *testing.T) {
+	sys := paperSystem(t, 22, 12, 5)
+	// Sweep poll budgets from starved to generous: at every truncation
+	// point the set must be feasible, and once the budget stops binding the
+	// solver must stop reporting Anytime.
+	for name, mk := range map[string]func() anytimeSolver{
+		"ptas":   func() anytimeSolver { return NewPTAS() },
+		"growth": func() anytimeSolver { return NewGrowth(graph.FromSystem(sys), 1.25) },
+		"exact":  func() anytimeSolver { return &baseline.Exact{} },
+	} {
+		sawTruncated, sawComplete := false, false
+		for _, polls := range []int{1, 4, 16, 256, 1 << 20} {
+			s := mk()
+			s.SetDeadline(NewPollBudget(polls))
+			X, err := s.OneShot(sys.Clone())
+			if err != nil {
+				t.Fatalf("%s polls=%d: %v", name, polls, err)
+			}
+			if !sys.IsFeasible(X) {
+				t.Errorf("%s polls=%d: infeasible set %v", name, polls, X)
+			}
+			if s.Anytime() {
+				sawTruncated = true
+			} else {
+				sawComplete = true
+			}
+		}
+		if !sawComplete {
+			t.Errorf("%s: even a huge poll budget reported truncation", name)
+		}
+		_ = sawTruncated // starved budgets may still complete on tiny instances
+	}
+}
+
+func TestAnytimeTruncationDeterministic(t *testing.T) {
+	sys := paperSystem(t, 23, 14, 6)
+	for name, mk := range map[string]func() anytimeSolver{
+		"ptas":   func() anytimeSolver { return NewPTAS() },
+		"growth": func() anytimeSolver { return NewGrowth(graph.FromSystem(sys), 1.25) },
+		"exact":  func() anytimeSolver { return &baseline.Exact{} },
+	} {
+		for _, polls := range []int{3, 50, 1000} {
+			run := func() ([]int, bool) {
+				s := mk()
+				s.SetDeadline(NewPollBudget(polls))
+				X, err := s.OneShot(sys.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return X, s.Anytime()
+			}
+			X1, a1 := run()
+			X2, a2 := run()
+			if !reflect.DeepEqual(X1, X2) || a1 != a2 {
+				t.Errorf("%s polls=%d: truncation not deterministic: %v/%v vs %v/%v",
+					name, polls, X1, a1, X2, a2)
+			}
+		}
+	}
+}
+
+func TestDeadlineClearsBetweenCalls(t *testing.T) {
+	// SetDeadline(nil) must fully restore unbudgeted behavior: an expired
+	// deadline from a past call may not bleed into the next.
+	sys := paperSystem(t, 24, 12, 5)
+	for name, s := range anytimeSolvers(sys) {
+		ref, err := s.OneShot(sys.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetDeadline(NewPollBudget(0))
+		if _, err := s.OneShot(sys.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		s.SetDeadline(nil)
+		X, err := s.OneShot(sys.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Anytime() {
+			t.Errorf("%s: Anytime sticky after the deadline was cleared", name)
+		}
+		if !reflect.DeepEqual(X, ref) {
+			t.Errorf("%s: post-clear result differs from unbudgeted run", name)
+		}
+	}
+}
+
+func TestRunMCSSlotPollBudget(t *testing.T) {
+	sys := paperSystem(t, 25, 12, 5)
+	g := graph.FromSystem(sys)
+	reg := obs.NewRegistry()
+	col := &obs.Collector{}
+
+	res, err := RunMCS(sys.Clone(), NewGrowth(g, 1.25), MCSOptions{
+		SlotPollBudget: 1,
+		Metrics:        reg,
+		Tracer:         col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-poll budget truncates essentially every slot, yet the schedule
+	// still completes: truncated slots are feasible (possibly light) and
+	// the stall guard forces progress through empty ones.
+	if res.Incomplete {
+		t.Error("budget-starved run did not finish")
+	}
+	if res.TotalRead != sys.CoverableCount() {
+		t.Errorf("read %d of %d coverable tags", res.TotalRead, sys.CoverableCount())
+	}
+	if res.AnytimeSlots == 0 {
+		t.Error("no slot reported truncation under a one-poll budget")
+	}
+	if got := reg.Snapshot().Counters["mcs.slots.truncated"]; got != int64(res.AnytimeSlots) {
+		t.Errorf("mcs.slots.truncated = %d, want %d", got, res.AnytimeSlots)
+	}
+	if col.Count(obs.SlotTruncated) != res.AnytimeSlots {
+		t.Errorf("slot_truncated events = %d, want %d", col.Count(obs.SlotTruncated), res.AnytimeSlots)
+	}
+
+	// Deterministic: the same starved budget reproduces the same schedule.
+	res2, err := RunMCS(sys.Clone(), NewGrowth(g, 1.25), MCSOptions{SlotPollBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Size != res.Size || res2.AnytimeSlots != res.AnytimeSlots || res2.TotalRead != res.TotalRead {
+		t.Errorf("budgeted run not reproducible: %+v vs %+v", res2, res)
+	}
+
+	// The budget costs slots, never correctness: an unbudgeted run is a
+	// lower bound on schedule size.
+	free, err := RunMCS(sys.Clone(), NewGrowth(g, 1.25), MCSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size < free.Size {
+		t.Errorf("budgeted schedule (%d slots) shorter than unbudgeted (%d)", res.Size, free.Size)
+	}
+}
+
+func TestRunMCSSlotWallDeadline(t *testing.T) {
+	// Wall-clock mode is not deterministic, so assert only the safety
+	// contract: completion, full coverage, and a sane anytime count.
+	sys := paperSystem(t, 26, 12, 5)
+	g := graph.FromSystem(sys)
+	res, err := RunMCS(sys.Clone(), NewGrowth(g, 1.25), MCSOptions{SlotDeadline: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete || res.TotalRead != sys.CoverableCount() {
+		t.Errorf("wall-deadline run incomplete: %+v", res)
+	}
+	if res.AnytimeSlots > res.Size {
+		t.Errorf("AnytimeSlots %d exceeds Size %d", res.AnytimeSlots, res.Size)
+	}
+}
+
+func TestExactMCSSolveAnytime(t *testing.T) {
+	sys := smallSystem(t, 27, 8, 40)
+	exact, exactOK, err := ExactMCS{MaxReaders: 12}.SolveAnytime(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactOK {
+		t.Fatal("unbudgeted SolveAnytime did not run to completion")
+	}
+
+	// An expired deadline degrades to the greedy upper bound, never an
+	// error: the answer is still a valid schedule length.
+	ub, ok, err := ExactMCS{MaxReaders: 12}.SolveAnytime(sys, NewPollBudget(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("expired deadline claimed an exact answer")
+	}
+	if ub < exact {
+		t.Errorf("anytime upper bound %d below the exact optimum %d", ub, exact)
+	}
+
+	// Mid-run expiry at any poll budget: always sandwiched the same way.
+	for _, polls := range []int{1, 10, 100, 10000} {
+		v, ok, err := ExactMCS{MaxReaders: 12}.SolveAnytime(sys, NewPollBudget(polls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && v != exact {
+			t.Errorf("polls=%d: claimed exact %d, want %d", polls, v, exact)
+		}
+		if !ok && v < exact {
+			t.Errorf("polls=%d: upper bound %d below optimum %d", polls, v, exact)
+		}
+	}
+}

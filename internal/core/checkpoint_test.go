@@ -1,0 +1,294 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/checkpoint"
+	"rfidsched/internal/fault"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
+)
+
+// Crash-resume determinism: kill a checkpointed run at EVERY slot boundary
+// and the resumed run must reproduce the uninterrupted MCSResult bit for
+// bit — under a fault plan, for every solver, sequential and parallel.
+
+// ckptScheduler builds a fresh, identically configured scheduler; resume
+// semantics require constructing a new instance per run, never reusing a
+// mutated one.
+type ckptScheduler struct {
+	name string
+	mk   func(sys *model.System) model.OneShotScheduler
+}
+
+func ckptSchedulers() []ckptScheduler {
+	return []ckptScheduler{
+		{"ptas", func(sys *model.System) model.OneShotScheduler {
+			return NewPTAS()
+		}},
+		{"growth", func(sys *model.System) model.OneShotScheduler {
+			return NewGrowth(graph.FromSystem(sys), 1.25)
+		}},
+		{"colorwave", func(sys *model.System) model.OneShotScheduler {
+			return baseline.NewColorwave(graph.FromSystem(sys), 42)
+		}},
+		{"exact", func(sys *model.System) model.OneShotScheduler {
+			return &baseline.Exact{}
+		}},
+	}
+}
+
+// churnScenario crashes two readers fail-stop at slot 1 and makes a third
+// straggle through slots 1-3: enough to exercise failed activations, the
+// down-mask replanning, and lost-tag accounting in every churn run.
+func churnScenario(n int, seed uint64) *fault.Scenario {
+	nodes := fault.SampleNodes(n, 2, seed)
+	events := fault.CrashNodes(nodes, 1)
+	events = append(events, fault.Straggle((nodes[0]+1)%n, 1, 3))
+	return &fault.Scenario{Seed: seed, Events: events}
+}
+
+// runCheckpointed executes a full run with a checkpoint stream into memory
+// and returns both the result and the decoded stream.
+func runCheckpointed(t *testing.T, base *model.System, sc ckptScheduler, opts MCSOptions) (*MCSResult, *checkpoint.MCSState, []checkpoint.Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	opts.Checkpoint = checkpoint.NewWriter(&buf)
+	res, err := RunMCS(base.Clone(), sc.mk(base), opts)
+	if err != nil {
+		t.Fatalf("%s: checkpointed run: %v", sc.name, err)
+	}
+	recs, err := checkpoint.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: stream written by the driver does not decode: %v", sc.name, err)
+	}
+	state, err := checkpoint.ParseMCS(recs)
+	if err != nil {
+		t.Fatalf("%s: stream written by the driver does not parse: %v", sc.name, err)
+	}
+	if len(state.Slots) != res.Size {
+		t.Fatalf("%s: run used %d slots but the stream carries %d", sc.name, res.Size, len(state.Slots))
+	}
+	return res, state, recs
+}
+
+func TestResumeMatchesUninterruptedAtEverySlotBoundary(t *testing.T) {
+	base := smallSystem(t, 77, 14, 120)
+	scenario := churnScenario(base.NumReaders(), 5)
+
+	for _, sc := range ckptSchedulers() {
+		for _, workers := range []int{1, 4} {
+			opts := MCSOptions{
+				RecordSlots:   true,
+				Faults:        scenario,
+				SolverWorkers: workers,
+			}
+			want, state, _ := runCheckpointed(t, base, sc, opts)
+			if len(state.Slots) < 2 {
+				t.Fatalf("%s: degenerate run (%d slots) proves nothing", sc.name, len(state.Slots))
+			}
+
+			// Kill at every slot boundary: resume from the first k slots
+			// alone and demand the identical final result.
+			for k := 0; k <= len(state.Slots); k++ {
+				trunc := &checkpoint.MCSState{Header: state.Header, Slots: state.Slots[:k]}
+				got, err := ResumeMCS(base.Clone(), sc.mk(base), opts, trunc)
+				if err != nil {
+					t.Fatalf("%s workers=%d k=%d: resume: %v", sc.name, workers, k, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s workers=%d: resume from slot %d diverged:\n got %+v\nwant %+v",
+						sc.name, workers, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestResumeFromTornStream(t *testing.T) {
+	base := smallSystem(t, 78, 12, 100)
+	opts := MCSOptions{RecordSlots: true, Faults: churnScenario(base.NumReaders(), 9)}
+	sc := ckptSchedulers()[1] // growth
+
+	var buf bytes.Buffer
+	o := opts
+	o.Checkpoint = checkpoint.NewWriter(&buf)
+	want, err := RunMCS(base.Clone(), sc.mk(base), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: keep the stream up to half of its final
+	// record. DecodeTail must drop the torn line and resume must replay the
+	// surviving prefix to the same result.
+	raw := buf.Bytes()
+	cut := bytes.LastIndexByte(raw[:len(raw)-1], '\n') + 1
+	torn := raw[:cut+(len(raw)-cut)/2]
+	recs, err := checkpoint.DecodeTail(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("DecodeTail on torn stream: %v", err)
+	}
+	state, err := checkpoint.ParseMCS(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Slots) != want.Size-1 {
+		t.Fatalf("torn stream kept %d slots, want %d", len(state.Slots), want.Size-1)
+	}
+	got, err := ResumeMCS(base.Clone(), sc.mk(base), opts, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn-stream resume diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestResumeRerecordsHistoryIntoNewStream(t *testing.T) {
+	// A resumed run given its own checkpoint writer must produce a stream
+	// that is itself complete — crashes can repeat.
+	base := smallSystem(t, 79, 12, 100)
+	sc := ckptSchedulers()[2] // colorwave: stateful, exercises the blob
+	opts := MCSOptions{RecordSlots: true}
+
+	want, state, _ := runCheckpointed(t, base, sc, opts)
+	k := len(state.Slots) / 2
+	trunc := &checkpoint.MCSState{Header: state.Header, Slots: state.Slots[:k]}
+
+	var buf2 bytes.Buffer
+	o := opts
+	o.Checkpoint = checkpoint.NewWriter(&buf2)
+	got, err := ResumeMCS(base.Clone(), sc.mk(base), o, trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed run diverged from reference")
+	}
+	recs2, err := checkpoint.Decode(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state2, err := checkpoint.ParseMCS(recs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state2.Slots) != want.Size {
+		t.Fatalf("re-recorded stream carries %d slots, want the full %d", len(state2.Slots), want.Size)
+	}
+	// And the second-generation stream resumes too.
+	got2, err := ResumeMCS(base.Clone(), sc.mk(base), opts,
+		&checkpoint.MCSState{Header: state2.Header, Slots: state2.Slots[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("second-generation resume diverged")
+	}
+}
+
+func TestResumeRejectsMismatchedRuns(t *testing.T) {
+	base := smallSystem(t, 80, 12, 100)
+	g := graph.FromSystem(base)
+	opts := MCSOptions{}
+
+	var buf bytes.Buffer
+	o := opts
+	o.Checkpoint = checkpoint.NewWriter(&buf)
+	if _, err := RunMCS(base.Clone(), NewGrowth(g, 1.25), o); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := checkpoint.Decode(bytes.NewReader(buf.Bytes()))
+	state, err := checkpoint.ParseMCS(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong algorithm.
+	if _, err := ResumeMCS(base.Clone(), NewPTAS(), opts, state); err == nil {
+		t.Error("resume accepted a checkpoint from a different algorithm")
+	}
+	// Wrong deployment shape.
+	other := smallSystem(t, 81, 13, 100)
+	if _, err := ResumeMCS(other.Clone(), NewGrowth(graph.FromSystem(other), 1.25), opts, state); err == nil {
+		t.Error("resume accepted a checkpoint for a different fleet size")
+	}
+	// Fault-plan asymmetry: the stream has no PlanRNG but the resumed run
+	// wants faults.
+	fopts := MCSOptions{Faults: churnScenario(base.NumReaders(), 3)}
+	if len(state.Slots) > 0 {
+		if _, err := ResumeMCS(base.Clone(), NewGrowth(g, 1.25), fopts, state); err == nil {
+			t.Error("resume accepted a fault-free checkpoint into a faulted run")
+		}
+	}
+	// Nil state.
+	if _, err := ResumeMCS(base.Clone(), NewGrowth(g, 1.25), opts, nil); err == nil {
+		t.Error("resume accepted a nil state")
+	}
+	// Stateful scheduler with the blob stripped.
+	var cbuf bytes.Buffer
+	co := MCSOptions{Checkpoint: checkpoint.NewWriter(&cbuf)}
+	if _, err := RunMCS(base.Clone(), baseline.NewColorwave(g, 42), co); err != nil {
+		t.Fatal(err)
+	}
+	crecs, _ := checkpoint.Decode(bytes.NewReader(cbuf.Bytes()))
+	cstate, err := checkpoint.ParseMCS(crecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cstate.Slots) > 0 {
+		stripped := *cstate
+		stripped.Slots = append([]checkpoint.MCSSlot(nil), cstate.Slots...)
+		stripped.Slots[len(stripped.Slots)-1].Sched = nil
+		if _, err := ResumeMCS(base.Clone(), baseline.NewColorwave(g, 42), MCSOptions{}, &stripped); err == nil {
+			t.Error("resume accepted a stateful scheduler without its state blob")
+		}
+	}
+}
+
+func TestCheckpointObservability(t *testing.T) {
+	base := smallSystem(t, 82, 12, 100)
+	sc := ckptSchedulers()[1]
+	reg := obs.NewRegistry()
+	col := &obs.Collector{}
+	opts := MCSOptions{Metrics: reg, Tracer: col}
+
+	_, state, _ := runCheckpointed(t, base, sc, opts)
+	snap := reg.Snapshot()
+	if got := snap.Counters["mcs.checkpoint.written"]; got != int64(len(state.Slots)) {
+		t.Errorf("mcs.checkpoint.written = %d, want %d", got, len(state.Slots))
+	}
+	found := 0
+	for _, ev := range col.Events() {
+		if ev.Type == obs.CheckpointWritten {
+			found++
+		}
+	}
+	if found != len(state.Slots) {
+		t.Errorf("checkpoint_written events = %d, want %d", found, len(state.Slots))
+	}
+
+	reg2 := obs.NewRegistry()
+	col2 := &obs.Collector{}
+	ropts := MCSOptions{Metrics: reg2, Tracer: col2}
+	trunc := &checkpoint.MCSState{Header: state.Header, Slots: state.Slots[:1]}
+	if _, err := ResumeMCS(base.Clone(), sc.mk(base), ropts, trunc); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Snapshot().Counters["mcs.checkpoint.restored"]; got != 1 {
+		t.Errorf("mcs.checkpoint.restored = %d, want 1", got)
+	}
+	restored := false
+	for _, ev := range col2.Events() {
+		if ev.Type == obs.CheckpointRestored {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Error("no checkpoint_restored trace event")
+	}
+}

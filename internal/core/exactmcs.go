@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rfidsched/internal/model"
 	"rfidsched/internal/parsearch"
@@ -53,6 +54,23 @@ type ExactMCS struct {
 // tag of sys, or an error if the instance exceeds the solver's caps. The
 // system is not mutated.
 func (e ExactMCS) Solve(sys *model.System) (int, error) {
+	slots, _, err := e.solve(sys, nil)
+	return slots, err
+}
+
+// SolveAnytime is Solve under the anytime contract (DESIGN.md §12). Before
+// the exponential BFS starts it computes a FEASIBLE upper bound — the
+// greedy covering-schedule length on a clone, always a valid answer to
+// "how many slots suffice" — and then polls dl at chunk granularity through
+// all three phases. On expiry it returns the bound with exact=false instead
+// of blocking; with dl nil (or never expiring) it returns the optimum with
+// exact=true. Cap violations still error: an oversized instance is a usage
+// error, not a timeout.
+func (e ExactMCS) SolveAnytime(sys *model.System, dl *Deadline) (slots int, exact bool, err error) {
+	return e.solve(sys, dl)
+}
+
+func (e ExactMCS) solve(sys *model.System, dl *Deadline) (int, bool, error) {
 	maxTags := e.MaxTags
 	if maxTags <= 0 {
 		maxTags = 20
@@ -62,7 +80,7 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 		maxReaders = 16
 	}
 	if n := sys.NumReaders(); n > maxReaders {
-		return 0, fmt.Errorf("core: ExactMCS caps readers at %d, have %d", maxReaders, n)
+		return 0, false, fmt.Errorf("core: ExactMCS caps readers at %d, have %d", maxReaders, n)
 	}
 	workers := parsearch.Normalize(e.Workers)
 
@@ -76,10 +94,44 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 		}
 	}
 	if len(coverable) == 0 {
-		return 0, nil
+		return 0, true, nil
 	}
 	if len(coverable) > maxTags {
-		return 0, fmt.Errorf("core: ExactMCS caps coverable tags at %d, have %d", maxTags, len(coverable))
+		return 0, false, fmt.Errorf("core: ExactMCS caps coverable tags at %d, have %d", maxTags, len(coverable))
+	}
+
+	// Anytime upper bound: the greedy covering schedule always terminates
+	// (every slot reads at least one remaining tag) and its length answers
+	// "how many slots suffice", so it is the feasible incumbent the BFS
+	// falls back to on expiry. Computed on a clone — sys stays unmutated —
+	// and only when a deadline can actually expire.
+	ub := 0
+	if dl != nil {
+		greedy := model.Func{SchedName: "greedy-ub", F: func(s *model.System) ([]int, error) {
+			return greedyFallback(s), nil
+		}}
+		r, gerr := RunMCS(sys.Clone(), greedy, MCSOptions{})
+		if gerr != nil {
+			return 0, false, gerr
+		}
+		ub = r.Size
+	}
+	// poll is the shared chunk-cadence deadline check: workers of all three
+	// phases call it once per chunk/segment, and the latch makes expiry a
+	// monotone transition every worker observes (mirroring parsearch.Budget).
+	var timedOut atomic.Bool
+	poll := func() bool {
+		if dl == nil {
+			return false
+		}
+		if timedOut.Load() {
+			return true
+		}
+		if dl.Poll() {
+			timedOut.Store(true)
+			return true
+		}
+		return false
 	}
 
 	// Enumerate every feasible scheduling set once. IsFeasible reads only
@@ -92,6 +144,9 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 	numChunks := (total + maskChunk - 1) / maskChunk
 	chunkSets := make([][][]int, numChunks)
 	parsearch.ForEach(workers, numChunks, func(_, c int) {
+		if poll() {
+			return
+		}
 		lo := c * maskChunk
 		if lo == 0 {
 			lo = 1 // the empty set is not a scheduling set
@@ -118,6 +173,9 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 	for _, out := range chunkSets {
 		feasibleSets = append(feasibleSets, out...)
 	}
+	if timedOut.Load() {
+		return ub, false, nil
+	}
 
 	// servedMask(set, unread) depends on the unread state only through
 	// which tags are unread — but Definition 1's well-covered predicate is
@@ -131,6 +189,9 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 	setChunks := (len(feasibleSets) + setChunk - 1) / setChunk
 	workSys := make([]*model.System, max(workers, 1))
 	parsearch.ForEach(workers, setChunks, func(w, c int) {
+		if poll() {
+			return
+		}
 		work := base
 		if workers >= 2 {
 			if workSys[w] == nil {
@@ -149,6 +210,10 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 		}
 	})
 
+	if timedOut.Load() {
+		return ub, false, nil
+	}
+
 	full := uint32(1<<len(coverable)) - 1
 	start := uint32(0)
 	for t := 0; t < sys.NumTags(); t++ {
@@ -157,7 +222,7 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 		}
 	}
 	if start == full {
-		return 0, nil
+		return 0, true, nil
 	}
 
 	// Level-synchronous BFS over read-state bitmasks. Each level, workers
@@ -177,6 +242,9 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 		}
 		succ := make([][]uint32, segs)
 		parsearch.ForEach(workers, segs, func(_, c int) {
+			if poll() {
+				return
+			}
 			lo := c * len(frontier) / segs
 			hi := (c + 1) * len(frontier) / segs
 			var out []uint32
@@ -194,6 +262,12 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 			}
 			succ[c] = out
 		})
+		if timedOut.Load() {
+			// A BFS level died mid-expansion: its successor lists are
+			// partial, so the depth found so far proves nothing. The greedy
+			// bound is the anytime answer.
+			return ub, false, nil
+		}
 		frontier = frontier[:0]
 		for _, out := range succ {
 			for _, next := range out {
@@ -201,12 +275,12 @@ func (e ExactMCS) Solve(sys *model.System) (int, error) {
 					continue
 				}
 				if next == full {
-					return d + 1, nil
+					return d + 1, true, nil
 				}
 				dist[next] = d + 1
 				frontier = append(frontier, next)
 			}
 		}
 	}
-	return 0, fmt.Errorf("core: ExactMCS found no covering schedule (unreachable state)")
+	return 0, false, fmt.Errorf("core: ExactMCS found no covering schedule (unreachable state)")
 }

@@ -46,6 +46,17 @@ type Growth struct {
 	// are bit-identical either way; only wall-clock changes.
 	Workers int
 
+	// Deadline, when non-nil, bounds the call (anytime contract, DESIGN.md
+	// §12). Every local MWFS solve inherits it; once it expires, each
+	// remaining cluster degrades to its seed singleton {v} — feasible with
+	// everything committed by the ball-separation argument (alive vertices
+	// are ≥2 hops from every committed reader) and progress-making (seeds
+	// are chosen for positive singleton weight) — and the polynomial
+	// pruning pass still runs. An expired deadline therefore yields a
+	// greedy-by-singleton feasible set, never an error. RunMCS installs a
+	// fresh per-slot deadline through SetDeadline.
+	Deadline *Deadline
+
 	// LastMaxRadius records the largest growth radius r̄ used during the
 	// most recent OneShot call (diagnostics / theorem tests). Not safe for
 	// concurrent use.
@@ -54,6 +65,10 @@ type Growth struct {
 	// LastCoordinators records how many seed readers the most recent
 	// OneShot call processed.
 	LastCoordinators int
+
+	// lastAnytime records whether the most recent OneShot was truncated by
+	// the deadline; see Anytime.
+	lastAnytime bool
 }
 
 // NewGrowth builds Algorithm 2 with growth threshold rho on graph g.
@@ -71,6 +86,13 @@ func (gr *Growth) Name() string { return "Alg2-Growth" }
 // MCSOptions.SolverWorkers and the CLIs.
 func (gr *Growth) SetWorkers(w int) { gr.Workers = w }
 
+// SetDeadline implements DeadlineSetter.
+func (gr *Growth) SetDeadline(dl *Deadline) { gr.Deadline = dl }
+
+// Anytime implements AnytimeReporter: true when the most recent OneShot
+// was truncated by the deadline and returned a degraded (but feasible) set.
+func (gr *Growth) Anytime() bool { return gr.lastAnytime }
+
 // OneShot implements model.OneShotScheduler.
 func (gr *Growth) OneShot(sys *model.System) ([]int, error) {
 	n := gr.G.N()
@@ -86,6 +108,7 @@ func (gr *Growth) OneShot(sys *model.System) ([]int, error) {
 
 	gr.LastMaxRadius = 0
 	gr.LastCoordinators = 0
+	gr.lastAnytime = false
 	var X []int
 	for {
 		v, w := maxAliveSingleton(sys, alive)
@@ -152,15 +175,32 @@ func pruneByWeight(sys *model.System, X []int) []int {
 // context so the local objective is the marginal weight — overlap between
 // clusters is charged where it belongs.
 func (gr *Growth) growLocal(sys *model.System, alive []bool, v, maxR int, indep func(u, v int) bool, committed []int) ([]int, int) {
-	opts := mwfs.Options{MaxNodes: gr.SolverNodes, Workers: gr.Workers, Independent: indep, Context: committed}
+	opts := mwfs.Options{MaxNodes: gr.SolverNodes, Workers: gr.Workers, Independent: indep, Context: committed, Deadline: gr.Deadline}
 	cur := mwfs.Solve(sys, []int{v}, opts) // Γ_0 = {v}
+	if cur.TimedOut {
+		// Expired before Γ_0 could even be scored: degrade to the seed
+		// singleton. It is feasible with the committed set (alive vertices
+		// are at least two hops from every committed reader) and keeps the
+		// cluster progress-making, which is all the anytime contract needs.
+		gr.lastAnytime = true
+		return []int{v}, 0
+	}
 	r := 0
 	for r < maxR {
+		if gr.Deadline.Expired() {
+			gr.lastAnytime = true
+			break // commit Γ_r as-is; no time to grow further
+		}
 		ball := ballAlive(gr.G, alive, v, r+1)
 		next := mwfs.Solve(sys, ball, opts)
+		if next.TimedOut {
+			gr.lastAnytime = true
+		}
 		if float64(next.Weight) < gr.Rho*float64(cur.Weight) {
 			break // growth condition violated: commit Γ_r
 		}
+		// A truncated next that still clears the growth condition is safe to
+		// commit: it is feasible inside the ball and beats Γ_r by ρ.
 		cur = next
 		r++
 	}

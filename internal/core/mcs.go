@@ -8,7 +8,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"rfidsched/internal/checkpoint"
 	"rfidsched/internal/fault"
 	"rfidsched/internal/model"
 	"rfidsched/internal/obs"
@@ -48,6 +50,24 @@ type MCSOptions struct {
 	// reader, so its inner solvers stay sequential.
 	SolverWorkers int
 
+	// SlotDeadline bounds each slot's one-shot computation in wall-clock
+	// time: before every OneShot call the driver installs a fresh
+	// NewDeadline(SlotDeadline) into schedulers implementing DeadlineSetter
+	// (PTAS, Growth, baseline.Exact). A truncated slot still yields a
+	// feasible set (the anytime contract, DESIGN.md §12) and is counted in
+	// MCSResult.AnytimeSlots; a zero-progress anytime slot is eventually
+	// forced forward by the stall guard, so the schedule still terminates.
+	// Schedulers without the interface are unaffected. 0 disables.
+	SlotDeadline time.Duration
+
+	// SlotPollBudget is the deterministic fallback to SlotDeadline for
+	// tests and CI: each slot's deadline expires after this many
+	// cooperative solver polls instead of at a wall-clock instant, so
+	// truncation lands on the same search node on every machine (with
+	// sequential solvers; see parsearch.Deadline). Takes precedence over
+	// SlotDeadline when both are set. 0 disables.
+	SlotPollBudget int
+
 	// Faults attaches an execution-time fault scenario whose tick axis is
 	// the schedule slot: readers crashed or straggling at slot t fail to
 	// activate that slot. The driver runs in repair mode — a fault is
@@ -58,14 +78,28 @@ type MCSOptions struct {
 	// abandoned honestly via LostTags/Degraded rather than looping forever.
 	Faults *fault.Scenario
 
+	// Checkpoint, when non-nil, makes the run durable: the driver appends
+	// one header record up front and one slot record after every executed
+	// slot (fsynced when the writer is file-backed), so a run killed at any
+	// point resumes bit-identically through ResumeMCS. Checkpoint write
+	// failures abort the run with an error — a checkpoint silently falling
+	// behind is worse than no checkpoint.
+	Checkpoint *checkpoint.Writer
+
 	// Tracer receives slot-level trace events (see package obs): the
 	// planned set, execution-time activation failures with their cause,
-	// stall fallbacks, abandoned tags and the run total. nil disables
-	// tracing at zero cost — every emission site is guarded, so the hot
-	// loop neither builds events nor makes interface calls. Tracing is
-	// pure observation: the same seed yields an identical MCSResult with
-	// a tracer attached or not.
+	// stall fallbacks, per-slot budget truncations, checkpoint writes and
+	// restores, abandoned tags and the run total. nil disables tracing at
+	// zero cost — every emission site is guarded, so the hot loop neither
+	// builds events nor makes interface calls. Tracing is pure observation:
+	// the same seed yields an identical MCSResult with a tracer attached or
+	// not.
 	Tracer obs.Tracer
+
+	// Metrics, when non-nil, receives driver counters: "mcs.slots.truncated"
+	// (per-slot budget expiries), "mcs.checkpoint.written" and
+	// "mcs.checkpoint.restored". Pure observation, like Tracer.
+	Metrics *obs.Registry
 }
 
 // SlotRecord describes one time slot of a covering schedule.
@@ -85,12 +119,32 @@ type MCSResult struct {
 	Fallbacks  int          // slots forced by the stall guard
 	Slots      []SlotRecord // per-slot records if RecordSlots was set
 
+	// AnytimeSlots counts slots whose one-shot computation was truncated by
+	// the per-slot budget (SlotDeadline/SlotPollBudget) and returned an
+	// anytime incumbent instead of a completed search.
+	AnytimeSlots int
+
 	// Fault telemetry (zero without MCSOptions.Faults). The honesty
 	// contract: a degraded run never over-counts coverage — it reports
 	// exactly what the surviving readers served and what was lost.
 	Degraded          bool // some activation failed or some tags were lost
 	FailedActivations int  // planned activations that crashed at execution
 	LostTags          int  // unread tags coverable only by dead readers
+}
+
+// SchedulerCheckpointer is implemented by stateful schedulers (Colorwave:
+// colors, frame slot, RNG) whose next decision depends on more than the
+// system's read state. The driver snapshots the blob into every slot record
+// and ResumeMCS restores the last one, so a resumed schedule continues the
+// exact decision sequence of the interrupted run. Stateless schedulers
+// (PTAS, Growth, baseline.Exact) need no blob: their decisions are a pure
+// function of the replayed system state.
+type SchedulerCheckpointer interface {
+	// CheckpointState returns a JSON snapshot of the mutable run state.
+	CheckpointState() ([]byte, error)
+	// RestoreState restores a snapshot taken by CheckpointState on an
+	// identically configured instance.
+	RestoreState(data []byte) error
 }
 
 // RunMCS executes the greedy covering-schedule loop of Section III: at each
@@ -109,34 +163,205 @@ type MCSResult struct {
 // The sys read-state is mutated; callers wanting to preserve it should pass
 // sys.Clone().
 func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*MCSResult, error) {
-	maxSlots := opts.MaxSlots
-	if maxSlots <= 0 {
-		maxSlots = 100000
+	eng, err := newMCSEngine(sys, sched, opts)
+	if err != nil {
+		return nil, err
 	}
-	stallLimit := opts.StallLimit
-	if stallLimit == 0 {
-		stallLimit = 2
+	if eng.ckpt != nil {
+		if err := eng.ckpt.Append(checkpoint.KindMCSHeader, eng.header()); err != nil {
+			return nil, fmt.Errorf("core: checkpoint header: %w", err)
+		}
 	}
-	var plan *fault.Plan
+	return eng.run()
+}
+
+// ResumeMCS continues a covering-schedule run from durable state written by
+// a previous RunMCS with MCSOptions.Checkpoint set. The caller rebuilds the
+// same system (same deployment, fresh read state), the same scheduler
+// (same configuration and seed) and the same options; ResumeMCS verifies
+// the checkpoint header against them, replays the recorded slots onto sys
+// (tags read, counters, stall state, scheduler and fault-plan internal
+// state), and runs the loop to completion. The final MCSResult is
+// bit-identical to the result the uninterrupted run would have produced —
+// the crash-resume determinism contract the checkpoint tests enforce,
+// including under fault scenarios and parallel solver pools.
+//
+// When opts.Checkpoint is set, the resumed run first re-records the
+// replayed history into the new stream, so the output checkpoint is itself
+// complete and resumable — runs can crash and resume any number of times.
+func ResumeMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions, state *checkpoint.MCSState) (*MCSResult, error) {
+	eng, err := newMCSEngine(sys, sched, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.restore(state); err != nil {
+		return nil, err
+	}
+	return eng.run()
+}
+
+// mcsEngine is the shared driver state of RunMCS and ResumeMCS: options
+// resolved to their effective values, the compiled fault plan, the result
+// under construction, and the loop state (the stall counter) that a resume
+// must restore.
+type mcsEngine struct {
+	sys        *model.System
+	sched      model.OneShotScheduler
+	opts       MCSOptions
+	maxSlots   int
+	stallLimit int
+	plan       *fault.Plan
+	res        *MCSResult
+	tr         obs.Tracer
+	ckpt       *checkpoint.Writer
+	stall      int
+	ds         DeadlineSetter  // nil if the scheduler takes no deadline
+	ar         AnytimeReporter // nil if the scheduler cannot report truncation
+	budgeted   bool            // a per-slot budget is configured
+}
+
+func newMCSEngine(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*mcsEngine, error) {
+	eng := &mcsEngine{
+		sys:   sys,
+		sched: sched,
+		opts:  opts,
+		tr:    opts.Tracer,
+		ckpt:  opts.Checkpoint,
+		res:   &MCSResult{Algorithm: sched.Name()},
+	}
+	eng.maxSlots = opts.MaxSlots
+	if eng.maxSlots <= 0 {
+		eng.maxSlots = 100000
+	}
+	eng.stallLimit = opts.StallLimit
+	if eng.stallLimit == 0 {
+		eng.stallLimit = 2
+	}
 	if opts.Faults != nil && !opts.Faults.IsZero() {
 		p, err := opts.Faults.Compile(sys.NumReaders())
 		if err != nil {
 			return nil, fmt.Errorf("core: fault scenario: %w", err)
 		}
-		plan = p
+		eng.plan = p
 	}
-
 	if opts.SolverWorkers != 0 {
 		if sw, ok := sched.(interface{ SetWorkers(int) }); ok {
 			sw.SetWorkers(opts.SolverWorkers)
 		}
 	}
+	eng.ds, _ = sched.(DeadlineSetter)
+	eng.ar, _ = sched.(AnytimeReporter)
+	eng.budgeted = opts.SlotPollBudget > 0 || opts.SlotDeadline > 0
+	return eng, nil
+}
 
-	res := &MCSResult{Algorithm: sched.Name()}
-	tr := opts.Tracer
-	stall := 0
+// header identifies the run in its checkpoint stream.
+func (eng *mcsEngine) header() checkpoint.MCSHeader {
+	return checkpoint.MCSHeader{
+		Algorithm: eng.sched.Name(),
+		Readers:   eng.sys.NumReaders(),
+		Tags:      eng.sys.NumTags(),
+	}
+}
+
+// slotDeadline builds the fresh per-slot budget. Each slot gets its own
+// deadline so truncation in one slot cannot bleed into the next — which is
+// also what keeps poll-budget runs resumable: the budget of the slot being
+// re-executed after a crash starts from the same count it originally did.
+func (eng *mcsEngine) slotDeadline() *Deadline {
+	if eng.opts.SlotPollBudget > 0 {
+		return NewPollBudget(eng.opts.SlotPollBudget)
+	}
+	return NewDeadline(eng.opts.SlotDeadline)
+}
+
+// restore replays checkpointed state onto the engine: header verification,
+// tag reads, result counters, the stall counter, and the fault-plan and
+// scheduler internal state snapshotted after the last durable slot.
+func (eng *mcsEngine) restore(state *checkpoint.MCSState) error {
+	if state == nil {
+		return fmt.Errorf("core: ResumeMCS requires a checkpoint state")
+	}
+	h := state.Header
+	if h.Algorithm != eng.sched.Name() {
+		return fmt.Errorf("core: checkpoint belongs to algorithm %q, resuming with %q", h.Algorithm, eng.sched.Name())
+	}
+	if h.Readers != eng.sys.NumReaders() || h.Tags != eng.sys.NumTags() {
+		return fmt.Errorf("core: checkpoint is for %d readers / %d tags, system has %d / %d",
+			h.Readers, h.Tags, eng.sys.NumReaders(), eng.sys.NumTags())
+	}
+	for _, rec := range state.Slots {
+		for _, t := range rec.ReadTags {
+			if t < 0 || t >= eng.sys.NumTags() {
+				return fmt.Errorf("core: checkpoint slot %d reads tag %d, out of range", rec.Slot, t)
+			}
+			eng.sys.MarkRead(t)
+		}
+		eng.res.Size++
+		eng.res.TotalRead += len(rec.ReadTags)
+		if rec.Fallback {
+			eng.res.Fallbacks++
+		}
+		if rec.Anytime {
+			eng.res.AnytimeSlots++
+		}
+		eng.res.FailedActivations += len(rec.Failed)
+		eng.stall = rec.Stall
+		if eng.opts.RecordSlots {
+			eng.res.Slots = append(eng.res.Slots, SlotRecord{
+				Active:   rec.Active,
+				TagsRead: len(rec.ReadTags),
+				Fallback: rec.Fallback,
+				Failed:   rec.Failed,
+			})
+		}
+	}
+	if n := len(state.Slots); n > 0 {
+		last := state.Slots[n-1]
+		switch {
+		case last.PlanRNG != nil && eng.plan == nil:
+			return fmt.Errorf("core: checkpoint carries fault-plan state but the resumed run has no fault scenario")
+		case last.PlanRNG == nil && eng.plan != nil:
+			return fmt.Errorf("core: resumed run has a fault scenario but the checkpoint carries no fault-plan state")
+		case last.PlanRNG != nil:
+			eng.plan.RestoreRNG(last.PlanRNG.State, last.PlanRNG.Inc)
+		}
+		if sc, ok := eng.sched.(SchedulerCheckpointer); ok {
+			if len(last.Sched) == 0 {
+				return fmt.Errorf("core: %s expects scheduler state in the checkpoint, found none", eng.sched.Name())
+			}
+			if err := sc.RestoreState(last.Sched); err != nil {
+				return fmt.Errorf("core: restore %s state: %w", eng.sched.Name(), err)
+			}
+		}
+	}
+	if eng.tr != nil {
+		eng.tr.Emit(obs.EvCheckpointRestored(eng.res.Size, eng.res.TotalRead))
+	}
+	if eng.opts.Metrics != nil {
+		eng.opts.Metrics.Counter("mcs.checkpoint.restored").Add(1)
+	}
+	// Re-record the replayed history into the new stream so the output
+	// checkpoint is complete: a run may crash and resume repeatedly.
+	if eng.ckpt != nil {
+		if err := eng.ckpt.Append(checkpoint.KindMCSHeader, eng.header()); err != nil {
+			return fmt.Errorf("core: checkpoint header: %w", err)
+		}
+		for _, rec := range state.Slots {
+			if err := eng.ckpt.Append(checkpoint.KindMCSSlot, rec); err != nil {
+				return fmt.Errorf("core: checkpoint replay slot %d: %w", rec.Slot, err)
+			}
+		}
+	}
+	return nil
+}
+
+// run executes the greedy loop from the engine's current position (slot 0
+// for a fresh run, the first unrecorded slot after restore).
+func (eng *mcsEngine) run() (*MCSResult, error) {
+	sys, sched, res, tr, plan := eng.sys, eng.sched, eng.res, eng.tr, eng.plan
 	for reachableUnread(sys, plan, res.Size) > 0 {
-		if res.Size >= maxSlots {
+		if res.Size >= eng.maxSlots {
 			res.Incomplete = true
 			break
 		}
@@ -147,12 +372,25 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 			// planned around from slot t+1.
 			applyDownMask(sys, plan, slot-1)
 		}
+		if eng.budgeted && eng.ds != nil {
+			eng.ds.SetDeadline(eng.slotDeadline())
+		}
 		X, err := sched.OneShot(sys)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s one-shot failed at slot %d: %w", sched.Name(), res.Size, err)
 		}
 		if tr != nil {
 			tr.Emit(obs.EvSlotPlanned(slot, res.Algorithm, X))
+		}
+		anytime := eng.ar != nil && eng.ar.Anytime()
+		if anytime {
+			res.AnytimeSlots++
+			if tr != nil {
+				tr.Emit(obs.EvSlotTruncated(slot, res.Algorithm))
+			}
+			if eng.opts.Metrics != nil {
+				eng.opts.Metrics.Counter("mcs.slots.truncated").Add(1)
+			}
 		}
 		var failed []int
 		if plan != nil {
@@ -167,8 +405,8 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 		covered := sys.Covered(X, nil)
 		fallback := false
 		if len(covered) == 0 {
-			stall++
-			if stallLimit > 0 && stall > stallLimit {
+			eng.stall++
+			if eng.stallLimit > 0 && eng.stall > eng.stallLimit {
 				if plan != nil {
 					// The conservative fallback is driver-internal: give it
 					// the true current fleet so it never wastes the slot on
@@ -179,13 +417,13 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 				covered = sys.Covered(X, nil)
 				fallback = true
 				res.Fallbacks++
-				stall = 0
+				eng.stall = 0
 				if tr != nil {
 					tr.Emit(obs.EvStallFallback(slot, X))
 				}
 			}
 		} else {
-			stall = 0
+			eng.stall = 0
 		}
 		for _, t := range covered {
 			sys.MarkRead(int(t))
@@ -195,7 +433,7 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 		if tr != nil {
 			tr.Emit(obs.EvSlotExecuted(slot, X, len(covered)))
 		}
-		if opts.RecordSlots {
+		if eng.opts.RecordSlots {
 			res.Slots = append(res.Slots, SlotRecord{
 				Active:   append([]int(nil), X...),
 				TagsRead: len(covered),
@@ -203,6 +441,47 @@ func RunMCS(sys *model.System, sched model.OneShotScheduler, opts MCSOptions) (*
 				Failed:   failed,
 			})
 		}
+		if eng.ckpt != nil {
+			rec := checkpoint.MCSSlot{
+				Slot:     slot,
+				Active:   append([]int(nil), X...),
+				Fallback: fallback,
+				Failed:   failed,
+				Anytime:  anytime,
+				Stall:    eng.stall,
+			}
+			if len(covered) > 0 {
+				rec.ReadTags = make([]int, len(covered))
+				for i, t := range covered {
+					rec.ReadTags[i] = int(t)
+				}
+			}
+			if plan != nil {
+				st, inc := plan.RNGState()
+				rec.PlanRNG = &checkpoint.RNGState{State: st, Inc: inc}
+			}
+			if sc, ok := sched.(SchedulerCheckpointer); ok {
+				blob, err := sc.CheckpointState()
+				if err != nil {
+					return nil, fmt.Errorf("core: %s checkpoint state at slot %d: %w", sched.Name(), slot, err)
+				}
+				rec.Sched = blob
+			}
+			if err := eng.ckpt.Append(checkpoint.KindMCSSlot, rec); err != nil {
+				return nil, fmt.Errorf("core: checkpoint slot %d: %w", slot, err)
+			}
+			if tr != nil {
+				tr.Emit(obs.EvCheckpointWritten(slot, res.TotalRead))
+			}
+			if eng.opts.Metrics != nil {
+				eng.opts.Metrics.Counter("mcs.checkpoint.written").Add(1)
+			}
+		}
+	}
+	if eng.budgeted && eng.ds != nil {
+		// Leave the scheduler reusable: the last slot's (possibly expired)
+		// deadline must not bleed into a later run without a budget.
+		eng.ds.SetDeadline(nil)
 	}
 	if plan != nil {
 		lost := lostTagIDs(sys, plan, res.Size)

@@ -68,12 +68,26 @@ type PTAS struct {
 	// parallelism, and nesting pools would oversubscribe.
 	Workers int
 
+	// Deadline, when non-nil, bounds the call: the square DP polls it once
+	// per candidate evaluation and once per inner branch-and-bound chunk,
+	// and on expiry every remaining subtree keeps its best-so-far feasible
+	// set (possibly empty). The final augmentation pass still runs — it is
+	// polynomial and only adds weight — so even a fully expired deadline
+	// yields a feasible, progress-making set, never an error (anytime
+	// contract, DESIGN.md §12). RunMCS installs a fresh per-slot deadline
+	// through SetDeadline.
+	Deadline *Deadline
+
 	// LastEvals reports candidate evaluations used by the most recent
 	// OneShot call, summed over shiftings. Diagnostic; not concurrency-safe.
 	LastEvals int
 
 	// LastShift reports the winning (r,s) shifting of the last call.
 	LastShift [2]int
+
+	// lastAnytime records whether the most recent OneShot was truncated by
+	// the deadline; see Anytime.
+	lastAnytime bool
 }
 
 // NewPTAS returns Algorithm 1 with the default parameters (k=3, Λ=6).
@@ -85,6 +99,13 @@ func (p *PTAS) Name() string { return "Alg1-PTAS" }
 // SetWorkers implements the solver-worker plumbing used by
 // MCSOptions.SolverWorkers and the CLIs.
 func (p *PTAS) SetWorkers(w int) { p.Workers = w }
+
+// SetDeadline implements DeadlineSetter.
+func (p *PTAS) SetDeadline(dl *Deadline) { p.Deadline = dl }
+
+// Anytime implements AnytimeReporter: true when the most recent OneShot
+// was truncated by the deadline and returned an anytime incumbent.
+func (p *PTAS) Anytime() bool { return p.lastAnytime }
 
 // OneShot implements model.OneShotScheduler.
 func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
@@ -126,10 +147,12 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 	}
 
 	type rootResult struct {
-		set   []int
-		evals int
+		set      []int
+		evals    int
+		timedOut bool
 	}
 	workers := parsearch.Normalize(p.Workers)
+	p.lastAnytime = false
 	results := make([]rootResult, len(tasks))
 	clones := make([]*model.System, max(workers, 1))
 	parsearch.ForEach(workers, len(tasks), func(w, t int) {
@@ -148,9 +171,9 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 		if share < 1 {
 			share = 1
 		}
-		dp := &ptasDP{plan: pl, sys: wsys, budget: share, memo: make(map[dpMemoKey][]int)}
+		dp := &ptasDP{plan: pl, sys: wsys, budget: share, memo: make(map[dpMemoKey][]int), dl: p.Deadline}
 		set := dp.solve(pl.rootKeys[tk.root], nil)
-		results[t] = rootResult{set: set, evals: dp.evals}
+		results[t] = rootResult{set: set, evals: dp.evals, timedOut: dp.timedOut}
 	})
 
 	// Deterministic merge: union each shifting's roots in task order (their
@@ -164,6 +187,7 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 		for range pl.rootKeys {
 			total = append(total, results[idx].set...)
 			p.LastEvals += results[idx].evals
+			p.lastAnytime = p.lastAnytime || results[idx].timedOut
 			idx++
 		}
 		// Augmentation pass: the (r,s)-shifting discarded disks that hit
@@ -345,11 +369,27 @@ func makeMemoKey(key sqKey, ctx []int) dpMemoKey {
 // evaluation budget over the shared shiftPlan, scoring on sys (the live
 // system sequentially, a worker-owned clone on the pool).
 type ptasDP struct {
-	plan   *shiftPlan
-	sys    *model.System
-	budget int
-	evals  int
-	memo   map[dpMemoKey][]int
+	plan     *shiftPlan
+	sys      *model.System
+	budget   int
+	evals    int
+	memo     map[dpMemoKey][]int
+	dl       *parsearch.Deadline
+	timedOut bool
+}
+
+// expired polls the deadline (one poll per candidate evaluation — each
+// evaluation is a full weight computation, so the poll is noise) and
+// latches the anytime flag. Once expired, every remaining solve call
+// returns its current best immediately.
+func (dp *ptasDP) expired() bool {
+	if dp.timedOut {
+		return true
+	}
+	if dp.dl.Poll() {
+		dp.timedOut = true
+	}
+	return dp.timedOut
 }
 
 // solve returns the best feasible disk set inside square key's subtree,
@@ -359,6 +399,12 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 	mk := makeMemoKey(key, ctx)
 	if got, ok := dp.memo[mk]; ok {
 		return got
+	}
+	// Expired: contribute the feasible floor (the empty set) without paying
+	// a weight evaluation or recursing. The state is not memoized — it was
+	// never solved; expiry is sticky, so re-entry stays this cheap.
+	if dp.expired() {
+		return nil
 	}
 
 	// Candidates of this square's level, pre-filtered against the context.
@@ -373,7 +419,7 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 	bestSet := []int{}
 	bestW := dp.weightWith(nil, ctx)
 	evaluate := func(chosen []int) {
-		if dp.evals >= dp.budget {
+		if dp.evals >= dp.budget || dp.expired() {
 			return
 		}
 		dp.evals++
@@ -399,7 +445,7 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 		var enumerate func(start int, chosen []int)
 		enumerate = func(start int, chosen []int) {
 			evaluate(chosen)
-			if len(chosen) >= dp.plan.lambda || dp.evals >= dp.budget {
+			if len(chosen) >= dp.plan.lambda || dp.evals >= dp.budget || dp.timedOut {
 				return
 			}
 			for i := start; i < len(cands); i++ {
@@ -425,13 +471,26 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 		// branch-and-bound maximum-weight independent subset of the
 		// square's own disks. Children still adapt via the context.
 		evaluate(nil)
-		if remaining := dp.budget - dp.evals; remaining > 0 {
+		if remaining := dp.budget - dp.evals; remaining > 0 && !dp.timedOut {
+			// The inner branch-and-bound inherits the deadline directly: its
+			// own chunked polls truncate the subtree search, and its anytime
+			// best is still worth evaluating — the incumbent is feasible.
 			res := mwfs.Solve(dp.sys, cands, mwfs.Options{
 				MaxNodes:    remaining,
 				Independent: dp.independent,
+				Deadline:    dp.dl,
 			})
 			dp.evals += res.Nodes
-			if len(res.Set) > 0 {
+			if res.TimedOut {
+				// Expired mid-search: keep the anytime incumbent if it beats
+				// the current best (it is feasible against ctx by the cands
+				// pre-filter), but skip child recursion — time is up.
+				dp.timedOut = true
+				if w := dp.weightWith(res.Set, ctx); w > bestW {
+					bestW = w
+					bestSet = append([]int(nil), res.Set...)
+				}
+			} else if len(res.Set) > 0 {
 				evaluate(res.Set)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 	"rfidsched/internal/randx"
 )
 
@@ -20,6 +21,18 @@ type Retrying struct {
 
 	// MaxAttempts bounds the total tries per OneShot call (0 = default 3).
 	MaxAttempts int
+
+	// MaxElapsed caps the total wall-clock one OneShot call may spend
+	// across attempts and backoff waits: before each re-attempt the elapsed
+	// time is checked, and once the cap is exceeded the call gives up with
+	// the retry-exhausted error even when attempts remain. A slow-but-
+	// succeeding first attempt is never interrupted — the cap gates
+	// re-attempts, it does not preempt the inner scheduler (per-attempt
+	// preemption is MCSOptions.SlotDeadline's job). 0 means no elapsed cap.
+	MaxElapsed time.Duration
+
+	// Now replaces time.Now as the elapsed cap's clock in tests.
+	Now func() time.Time
 
 	// Seed drives the backoff jitter; the same seed reproduces the same
 	// delay sequence.
@@ -37,6 +50,11 @@ type Retrying struct {
 	// Experiments use it to reseed the fault stream between tries, modeling
 	// an operator re-running the protocol at a later, luckier moment.
 	OnRetry func(attempt int, err error)
+
+	// Metrics, when non-nil, receives retry telemetry: "retry.attempts"
+	// counts re-attempts after a failure, "retry.giveups" counts OneShot
+	// calls that exhausted their attempt or elapsed budget.
+	Metrics *obs.Registry
 
 	// LastAttempts reports how many attempts the most recent OneShot used.
 	// Diagnostic; not safe for concurrent use.
@@ -57,11 +75,29 @@ func (r *Retrying) OneShot(sys *model.System) ([]int, error) {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	now := r.Now
+	if now == nil {
+		now = time.Now
+	}
+	var elapsedCap time.Time
+	if r.MaxElapsed > 0 {
+		elapsedCap = now().Add(r.MaxElapsed)
+	}
 	rng := randx.New(r.Seed)
 
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			if !elapsedCap.IsZero() && !now().Before(elapsedCap) {
+				r.LastAttempts = i
+				if r.Metrics != nil {
+					r.Metrics.Counter("retry.giveups").Add(1)
+				}
+				return nil, fmt.Errorf("core: %s gave up after %d attempts (elapsed cap %v): %w", r.Inner.Name(), i, r.MaxElapsed, lastErr)
+			}
+			if r.Metrics != nil {
+				r.Metrics.Counter("retry.attempts").Add(1)
+			}
 			if r.OnRetry != nil {
 				r.OnRetry(i, lastErr)
 			}
@@ -80,5 +116,8 @@ func (r *Retrying) OneShot(sys *model.System) ([]int, error) {
 		lastErr = err
 	}
 	r.LastAttempts = attempts
+	if r.Metrics != nil {
+		r.Metrics.Counter("retry.giveups").Add(1)
+	}
 	return nil, fmt.Errorf("core: %s failed after %d attempts: %w", r.Inner.Name(), attempts, lastErr)
 }

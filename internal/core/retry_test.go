@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 )
 
 // flaky fails its first failures calls, then returns set.
@@ -97,5 +98,83 @@ func TestRetryingBackoffSeededAndBounded(t *testing.T) {
 		if d < base/2 || d >= base {
 			t.Errorf("delay %d = %v outside jitter window [%v, %v)", i, d, base/2, base)
 		}
+	}
+}
+
+func TestRetryingMaxElapsedGivesUpEarly(t *testing.T) {
+	sys := smallSystem(t, 83, 5, 20)
+	sentinel := errors.New("still down")
+	fail := model.Func{SchedName: "doomed", F: func(*model.System) ([]int, error) { return nil, sentinel }}
+
+	// Fake clock: each attempt appears to cost 40ms against a 100ms cap,
+	// so attempts 1-3 fit and the 4th re-attempt is refused.
+	now := time.Unix(0, 0)
+	reg := obs.NewRegistry()
+	r := &Retrying{
+		Inner: fail, MaxAttempts: 10, MaxElapsed: 100 * time.Millisecond,
+		Metrics: reg,
+		Now: func() time.Time {
+			now = now.Add(40 * time.Millisecond)
+			return now
+		},
+	}
+	_, err := r.OneShot(sys)
+	if err == nil {
+		t.Fatal("want give-up error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("give-up error does not wrap the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "gave up") || !strings.Contains(err.Error(), "elapsed cap") {
+		t.Errorf("error does not name the elapsed cap: %v", err)
+	}
+	// now() calls: 1 to arm the cap, then 1 per re-attempt check. Cap armed
+	// at t=40ms with deadline 140ms; checks at 80, 120 pass, 160 refuses:
+	// 3 attempts ran.
+	if r.LastAttempts != 3 {
+		t.Errorf("LastAttempts = %d, want 3", r.LastAttempts)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["retry.attempts"]; got != 2 {
+		t.Errorf("retry.attempts = %d, want 2 re-attempts", got)
+	}
+	if got := snap.Counters["retry.giveups"]; got != 1 {
+		t.Errorf("retry.giveups = %d, want 1", got)
+	}
+}
+
+func TestRetryingMaxElapsedNeverPreemptsFirstAttempt(t *testing.T) {
+	// A slow but succeeding first attempt must not be failed by the cap:
+	// the cap gates re-attempts only.
+	sys := smallSystem(t, 83, 5, 20)
+	slow := model.Func{SchedName: "slow", F: func(*model.System) ([]int, error) { return []int{2}, nil }}
+	now := time.Unix(0, 0)
+	r := &Retrying{
+		Inner: slow, MaxAttempts: 3, MaxElapsed: time.Millisecond,
+		Now: func() time.Time {
+			now = now.Add(time.Hour) // every look at the clock blows the cap
+			return now
+		},
+	}
+	X, err := r.OneShot(sys)
+	if err != nil {
+		t.Fatalf("cap preempted a succeeding first attempt: %v", err)
+	}
+	if !reflect.DeepEqual(X, []int{2}) || r.LastAttempts != 1 {
+		t.Errorf("got %v after %d attempts", X, r.LastAttempts)
+	}
+}
+
+func TestRetryingCountsGiveupOnAttemptExhaustion(t *testing.T) {
+	sys := smallSystem(t, 83, 5, 20)
+	fail := model.Func{SchedName: "doomed", F: func(*model.System) ([]int, error) { return nil, errors.New("x") }}
+	reg := obs.NewRegistry()
+	r := &Retrying{Inner: fail, MaxAttempts: 3, Metrics: reg}
+	if _, err := r.OneShot(sys); err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["retry.attempts"] != 2 || snap.Counters["retry.giveups"] != 1 {
+		t.Errorf("counters = %v", snap.Counters)
 	}
 }

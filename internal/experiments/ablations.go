@@ -86,6 +86,14 @@ func ablationSweep(cfg Config, sweep []float64, title, xlabel, ylabel string,
 		go func() {
 			defer wg.Done()
 			for tk := range taskCh {
+				if cfg.Checkpoint != nil {
+					// Ablation series labels are not known up front, so any
+					// recorded cell counts as done (required labels nil).
+					if vals, ok := cfg.Checkpoint.lookup(title, tk.x, tk.trial, nil); ok {
+						resCh <- res{x: tk.x, vals: vals}
+						continue
+					}
+				}
 				// The swept variable is an ALGORITHM parameter here (rho,
 				// channels, speed, survey noise), so — unlike the paper
 				// figures where x shapes the deployment — the deployment
@@ -96,6 +104,12 @@ func ablationSweep(cfg Config, sweep []float64, title, xlabel, ylabel string,
 				if err != nil {
 					errCh <- err
 					continue
+				}
+				if cfg.Checkpoint != nil {
+					if err := cfg.Checkpoint.record(title, tk.x, tk.trial, vals); err != nil {
+						errCh <- err
+						continue
+					}
 				}
 				resCh <- res{x: tk.x, vals: vals}
 			}

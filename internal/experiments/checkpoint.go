@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"rfidsched/internal/checkpoint"
+)
+
+// Sweep checkpointing: a figure or ablation run is a grid of independent
+// (x, trial) cells, each minutes-cheap but hours-expensive in aggregate, so
+// the durable unit is the cell. Completed cells are appended to a
+// checkpoint stream (same versioned, checksummed JSONL envelope as the MCS
+// driver's, see internal/checkpoint); a resumed run replays them into the
+// aggregation for free and only re-executes the cells that never finished.
+// One stream serves a whole multi-figure invocation — cells carry their
+// figure id — so `rfidsim -fig all -resume` picks up mid-sweep.
+const (
+	// KindSweepHeader opens a sweep stream: the Config shape all cells were
+	// measured under. Resume refuses a stream whose shape differs — mixing
+	// samples from two configurations would be silent data corruption.
+	KindSweepHeader = "sweep-header"
+	// KindSweepCell records one completed (figure, x, trial) cell.
+	KindSweepCell = "sweep-cell"
+)
+
+// SweepHeader pins the configuration a sweep stream belongs to.
+type SweepHeader struct {
+	Trials     int     `json:"trials"`
+	Seed       uint64  `json:"seed"`
+	NumReaders int     `json:"readers"`
+	NumTags    int     `json:"tags"`
+	Side       float64 `json:"side"`
+	Rho        float64 `json:"rho"`
+}
+
+// SweepSample is one labeled measurement inside a cell (an algorithm's
+// metric for the paper figures, a series label for ablations).
+type SweepSample struct {
+	Label string  `json:"label"`
+	V     float64 `json:"v"`
+}
+
+// SweepCell is the durable record of one completed (figure, x, trial) cell.
+type SweepCell struct {
+	Figure  string        `json:"figure"`
+	X       float64       `json:"x"`
+	Trial   int           `json:"trial"`
+	Samples []SweepSample `json:"samples"`
+}
+
+// SweepCheckpoint makes figure and ablation sweeps durable at cell
+// granularity. Safe for concurrent use by the trial worker pool.
+type SweepCheckpoint struct {
+	mu       sync.Mutex
+	w        *checkpoint.Writer
+	done     map[string]SweepCell
+	restored int
+}
+
+func cellKey(figure string, x float64, trial int) string {
+	return fmt.Sprintf("%s/x=%g/trial=%d", figure, x, trial)
+}
+
+// OpenSweepCheckpoint opens (or resumes) the sweep stream at path for the
+// given configuration. With resume set and an existing stream present, its
+// surviving cells are loaded — after the header is verified against cfg —
+// and the stream is compacted: rewritten from scratch with the header and
+// every intact cell, so a torn final line from the crashed writer never
+// poisons subsequent appends. Without resume, any previous stream is
+// truncated. Close flushes and releases the file.
+func OpenSweepCheckpoint(path string, cfg Config, resume bool) (*SweepCheckpoint, error) {
+	cfg = cfg.withDefaults()
+	hdr := SweepHeader{
+		Trials: cfg.Trials, Seed: cfg.Seed,
+		NumReaders: cfg.NumReaders, NumTags: cfg.NumTags,
+		Side: cfg.Side, Rho: cfg.Rho,
+	}
+	sc := &SweepCheckpoint{done: map[string]SweepCell{}}
+
+	if resume {
+		recs, err := checkpoint.Load(path)
+		switch {
+		case err == nil:
+			if err := sc.ingest(recs, hdr); err != nil {
+				return nil, err
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing to resume: a fresh stream is the correct outcome.
+		default:
+			return nil, err
+		}
+	}
+
+	w, err := checkpoint.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sc.w = w
+	if err := w.Append(KindSweepHeader, hdr); err != nil {
+		w.Close()
+		return nil, err
+	}
+	// Compaction: re-record the surviving cells in deterministic order.
+	keys := make([]string, 0, len(sc.done))
+	for k := range sc.done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := w.Append(KindSweepCell, sc.done[k]); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// ingest verifies the stream header and indexes its cells (last write wins,
+// so a cell re-recorded after an earlier partial run shadows the stale one).
+func (sc *SweepCheckpoint) ingest(recs []checkpoint.Record, want SweepHeader) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if recs[0].Kind != KindSweepHeader {
+		return fmt.Errorf("experiments: sweep stream starts with %q, want %q", recs[0].Kind, KindSweepHeader)
+	}
+	var got SweepHeader
+	if err := json.Unmarshal(recs[0].Data, &got); err != nil {
+		return fmt.Errorf("experiments: sweep header: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("experiments: sweep checkpoint was recorded under %+v, resuming with %+v (delete the file or match the flags)", got, want)
+	}
+	for i, rec := range recs[1:] {
+		if rec.Kind != KindSweepCell {
+			return fmt.Errorf("experiments: sweep record %d has kind %q, want %q", i+1, rec.Kind, KindSweepCell)
+		}
+		var cell SweepCell
+		if err := json.Unmarshal(rec.Data, &cell); err != nil {
+			return fmt.Errorf("experiments: sweep cell %d: %w", i+1, err)
+		}
+		sc.done[cellKey(cell.Figure, cell.X, cell.Trial)] = cell
+		sc.restored++
+	}
+	return nil
+}
+
+// Restored reports how many completed cells the stream carried at open.
+func (sc *SweepCheckpoint) Restored() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.restored
+}
+
+// lookup returns the recorded measurements for a cell, if present. When
+// required is non-nil the cell only counts as done if it carries a sample
+// for every required label — a stream recorded under a narrower -algs
+// subset must not satisfy a broader rerun.
+func (sc *SweepCheckpoint) lookup(figure string, x float64, trial int, required []string) (map[string]float64, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	cell, ok := sc.done[cellKey(figure, x, trial)]
+	if !ok {
+		return nil, false
+	}
+	vals := make(map[string]float64, len(cell.Samples))
+	for _, s := range cell.Samples {
+		vals[s.Label] = s.V
+	}
+	for _, lbl := range required {
+		if _, ok := vals[lbl]; !ok {
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+// record appends a completed cell to the stream (fsynced) and indexes it.
+func (sc *SweepCheckpoint) record(figure string, x float64, trial int, vals map[string]float64) error {
+	labels := make([]string, 0, len(vals))
+	for lbl := range vals {
+		labels = append(labels, lbl)
+	}
+	sort.Strings(labels)
+	cell := SweepCell{Figure: figure, X: x, Trial: trial}
+	for _, lbl := range labels {
+		cell.Samples = append(cell.Samples, SweepSample{Label: lbl, V: vals[lbl]})
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.w.Append(KindSweepCell, cell); err != nil {
+		return err
+	}
+	sc.done[cellKey(figure, x, trial)] = cell
+	return nil
+}
+
+// Close releases the underlying stream.
+func (sc *SweepCheckpoint) Close() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.w == nil {
+		return nil
+	}
+	err := sc.w.Err()
+	if cerr := sc.w.Close(); err == nil {
+		err = cerr
+	}
+	sc.w = nil
+	return err
+}

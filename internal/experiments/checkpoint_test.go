@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps sweep-checkpoint tests fast: one worker makes sample
+// aggregation order (and thus floating-point accumulation) identical across
+// the reference and resumed runs, so FigureResults compare with DeepEqual.
+func tinyCfg() Config {
+	return Config{
+		Trials: 2, Seed: 5, NumReaders: 10, NumTags: 60, Side: 60,
+		Workers: 1, SolverWorkers: 1,
+		Algorithms: []string{"Alg2-Growth", "GHC"},
+		Sweep:      []float64{8, 12},
+	}
+}
+
+func TestSweepCheckpointResumeReproducesFigure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cfg := tinyCfg()
+
+	ckpt, err := OpenSweepCheckpoint(path, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = ckpt
+	want, err := RunFigure("fig6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill mid-sweep: keep the header and half the recorded cells, with the
+	// last surviving line torn as a crash mid-append would leave it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	keep := 1 + (len(lines)-1)/2
+	torn := strings.Join(lines[:keep], "") + lines[keep][:len(lines[keep])/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := tinyCfg()
+	ckpt2, err := OpenSweepCheckpoint(path, cfg2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if ckpt2.Restored() == 0 {
+		t.Fatal("resume restored no cells from a half-complete stream")
+	}
+	if ckpt2.Restored() >= len(cfg2.Sweep)*cfg2.Trials {
+		t.Fatalf("resume restored %d cells from a truncated stream", ckpt2.Restored())
+	}
+	cfg2.Checkpoint = ckpt2
+	got, err := RunFigure("fig6", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed figure diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSweepCheckpointFullResumeSkipsAllWork(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cfg := tinyCfg()
+	ckpt, err := OpenSweepCheckpoint(path, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = ckpt
+	want, err := RunFigure("fig6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+
+	cfg2 := tinyCfg()
+	ckpt2, err := OpenSweepCheckpoint(path, cfg2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if n, total := ckpt2.Restored(), len(cfg2.Sweep)*cfg2.Trials; n != total {
+		t.Fatalf("restored %d cells, want all %d", n, total)
+	}
+	cfg2.Checkpoint = ckpt2
+	got, err := RunFigure("fig6", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("fully resumed figure diverged from the original")
+	}
+}
+
+func TestSweepCheckpointRejectsConfigMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cfg := tinyCfg()
+	ckpt, err := OpenSweepCheckpoint(path, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+
+	other := tinyCfg()
+	other.Seed = 999
+	if _, err := OpenSweepCheckpoint(path, other, true); err == nil {
+		t.Error("resume accepted a stream recorded under a different seed")
+	}
+}
+
+func TestSweepCheckpointNarrowerAlgsDoNotSatisfyBroaderRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cfg := tinyCfg()
+	cfg.Algorithms = []string{"GHC"}
+	ckpt, err := OpenSweepCheckpoint(path, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = ckpt
+	if _, err := RunFigure("fig6", cfg); err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+
+	// The header matches (algorithms are not part of it), but each cell
+	// lacks the Alg2-Growth sample, so every cell must re-run.
+	broad := tinyCfg()
+	ckpt2, err := OpenSweepCheckpoint(path, broad, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	broad.Checkpoint = ckpt2
+	res, err := RunFigure("fig6", broad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ser := range res.Series {
+		for _, p := range ser.Points {
+			if p.N != broad.Trials {
+				t.Fatalf("%s at x=%v aggregated %d samples, want %d", ser.Algorithm, p.X, p.N, broad.Trials)
+			}
+		}
+	}
+}
+
+func TestSweepCheckpointFreshRunIgnoresStaleStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := os.WriteFile(path, []byte("garbage that is not a checkpoint\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Without resume, a pre-existing (even corrupt) file is truncated.
+	ckpt, err := OpenSweepCheckpoint(path, tinyCfg(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	if ckpt.Restored() != 0 {
+		t.Errorf("fresh open restored %d cells", ckpt.Restored())
+	}
+	// Resume on a missing file is a fresh start, not an error.
+	ckpt2, err := OpenSweepCheckpoint(filepath.Join(t.TempDir(), "missing.ckpt"), tinyCfg(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt2.Close()
+}
+
+func TestAblationSweepCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "abl.ckpt")
+	cfg := tinyCfg()
+	cfg.Sweep = []float64{1.1, 1.5}
+
+	ckpt, err := OpenSweepCheckpoint(path, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = ckpt
+	want, err := RunAblation("abl-rho", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+
+	cfg2 := tinyCfg()
+	cfg2.Sweep = []float64{1.1, 1.5}
+	ckpt2, err := OpenSweepCheckpoint(path, cfg2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if n, total := ckpt2.Restored(), len(cfg2.Sweep)*cfg2.Trials; n != total {
+		t.Fatalf("restored %d ablation cells, want %d", n, total)
+	}
+	cfg2.Checkpoint = ckpt2
+	got, err := RunAblation("abl-rho", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed ablation diverged from the original")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"rfidsched/internal/baseline"
 	"rfidsched/internal/core"
@@ -70,6 +71,22 @@ type Config struct {
 	// run's events are stamped with a "figure/x/trial/algorithm" run id
 	// via obs.WithRun so a single trace file stays attributable.
 	Tracer obs.Tracer
+
+	// Checkpoint, when non-nil, makes the sweep durable at cell
+	// granularity: every completed (figure, x, trial) cell is appended to
+	// the stream, and cells already recorded there are replayed into the
+	// aggregation instead of re-executed (see OpenSweepCheckpoint). One
+	// checkpoint may span several RunFigure/RunAblation calls.
+	Checkpoint *SweepCheckpoint
+
+	// SlotDeadline / SlotPollBudget bound each slot's (or one-shot call's)
+	// solver work, exactly as in core.MCSOptions: SlotDeadline in
+	// wall-clock time, SlotPollBudget in deterministic cooperative polls
+	// (precedence when both are set). Truncated calls still yield feasible
+	// sets — the anytime contract — so long sweeps trade tail latency for
+	// slightly longer schedules instead of hanging on hard instances.
+	SlotDeadline   time.Duration
+	SlotPollBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -208,10 +225,30 @@ func RunFigure(id string, cfg Config) (*FigureResult, error) {
 		go func() {
 			defer wg.Done()
 			for tk := range taskCh {
+				if cfg.Checkpoint != nil {
+					if vals, ok := cfg.Checkpoint.lookup(def.id, tk.x, tk.trial, cfg.Algorithms); ok {
+						ss := make([]sample, 0, len(cfg.Algorithms))
+						for _, alg := range cfg.Algorithms {
+							ss = append(ss, sample{x: tk.x, alg: alg, v: vals[alg]})
+						}
+						samplesCh <- ss
+						continue
+					}
+				}
 				ss, err := runTrial(def, cfg, tk.x, tk.trial, fixedR, fixedr)
 				if err != nil {
 					errCh <- err
 					continue
+				}
+				if cfg.Checkpoint != nil {
+					vals := make(map[string]float64, len(ss))
+					for _, s := range ss {
+						vals[s.alg] = s.v
+					}
+					if err := cfg.Checkpoint.record(def.id, tk.x, tk.trial, vals); err != nil {
+						errCh <- err
+						continue
+					}
 				}
 				samplesCh <- ss
 			}
@@ -324,12 +361,23 @@ func runTrial(def figureDef, cfg Config, x float64, trial int, fixedR, fixedr fl
 		var v float64
 		switch def.metric {
 		case "mcs":
-			res, err := core.RunMCS(sys, sched, core.MCSOptions{Tracer: tr})
+			res, err := core.RunMCS(sys, sched, core.MCSOptions{
+				Tracer:         tr,
+				SlotDeadline:   cfg.SlotDeadline,
+				SlotPollBudget: cfg.SlotPollBudget,
+			})
 			if err != nil {
 				return nil, err
 			}
 			v = float64(res.Size)
 		case "oneshot":
+			if ds, ok := sched.(core.DeadlineSetter); ok {
+				if cfg.SlotPollBudget > 0 {
+					ds.SetDeadline(core.NewPollBudget(cfg.SlotPollBudget))
+				} else if cfg.SlotDeadline > 0 {
+					ds.SetDeadline(core.NewDeadline(cfg.SlotDeadline))
+				}
+			}
 			X, err := sched.OneShot(sys)
 			if err != nil {
 				return nil, err

@@ -22,6 +22,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"rfidsched/internal/randx"
@@ -192,8 +193,19 @@ func (s Scenario) Compile(n int) (*Plan, error) {
 	p.rng = randx.New(s.Seed)
 	p.draw = p.rng.Float64
 	for i, ev := range s.Events {
-		if ev.At < 0 || ev.Until <= ev.At {
-			return nil, fmt.Errorf("fault: event %d (%s): empty interval [%d,%d)", i, ev.Kind, ev.At, ev.Until)
+		if ev.At < 0 {
+			return nil, fmt.Errorf("fault: event %d (%s): negative start tick %d", i, ev.Kind, ev.At)
+		}
+		if ev.At >= Forever {
+			return nil, fmt.Errorf("fault: event %d (%s): start tick %d is at or beyond Forever (%d) and can never activate", i, ev.Kind, ev.At, Forever)
+		}
+		if ev.Until <= ev.At {
+			return nil, fmt.Errorf("fault: event %d (%s): zero-length window [%d,%d)", i, ev.Kind, ev.At, ev.Until)
+		}
+		if ev.Kind == KindLoss || ev.Kind == KindDuplicate {
+			if math.IsNaN(ev.Rate) || ev.Rate < 0 || ev.Rate > 1 {
+				return nil, fmt.Errorf("fault: event %d (%s): rate %v outside [0,1]", i, ev.Kind, ev.Rate)
+			}
 		}
 		sp := span{ev.At, ev.Until}
 		switch ev.Kind {
@@ -233,6 +245,16 @@ func (s Scenario) Compile(n int) (*Plan, error) {
 	return p, nil
 }
 
+// Validate checks the scenario against an n-node system without keeping
+// the query plan — the cheap pre-flight check CLIs and config loaders run
+// before committing to a long run. It accepts exactly the scenarios
+// Compile accepts: non-negative below-Forever start ticks, non-empty
+// windows, in-range node IDs and edge endpoints, rates inside [0, 1].
+func (s Scenario) Validate(n int) error {
+	_, err := s.Compile(n)
+	return err
+}
+
 // MustCompile is Compile for scenarios known valid; it panics on error
 // (tests and examples).
 func MustCompile(s Scenario, n int) *Plan {
@@ -256,6 +278,18 @@ func (p *Plan) N() int { return p.n }
 // SetDraw overrides the loss-draw source; the legacy distnet WithLoss shim
 // uses it to preserve caller-supplied randomness streams.
 func (p *Plan) SetDraw(draw func() float64) { p.draw = draw }
+
+// RNGState captures the plan's probabilistic-draw state for checkpointing.
+// A resumed consumer compiles the same Scenario (rebuilding the immutable
+// interval structures) and calls RestoreRNG so the probabilistic kinds
+// (loss, duplication, reorder) continue the exact stream the interrupted
+// run was drawing from.
+func (p *Plan) RNGState() (state, inc uint64) { return p.rng.State() }
+
+// RestoreRNG restores the draw stream captured by RNGState. It does not
+// undo a SetDraw override — callers that replaced the draw source own its
+// persistence.
+func (p *Plan) RestoreRNG(state, inc uint64) { p.rng.SetState(state, inc) }
 
 // Crashed reports whether node is down (fail-stop, not yet recovered) at
 // tick t.

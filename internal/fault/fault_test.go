@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -198,5 +200,44 @@ func TestPermAndReorder(t *testing.T) {
 	}
 	if len(seen) != 6 {
 		t.Errorf("not a permutation: %v", perm)
+	}
+}
+
+func TestValidateDescriptiveErrors(t *testing.T) {
+	// Validate is the construction-time pre-flight; each rejection must
+	// carry a message that names the defect, not just "invalid".
+	cases := []struct {
+		name string
+		scn  Scenario
+		want string
+	}{
+		{"negative start", Scenario{Events: []Event{{Kind: KindCrash, Node: 0, At: -2, Until: 5}}}, "negative start tick"},
+		{"zero-length window", Scenario{Events: []Event{{Kind: KindCrash, Node: 0, At: 3, Until: 3}}}, "zero-length window"},
+		{"inverted window", Scenario{Events: []Event{{Kind: KindStraggle, Node: 0, At: 5, Until: 2}}}, "zero-length window"},
+		{"start at Forever", Scenario{Events: []Event{{Kind: KindCrash, Node: 0, At: Forever, Until: Forever + 1}}}, "Forever"},
+		{"node out of range", Scenario{Events: []Event{{Kind: KindCrash, Node: 7, At: 0, Until: 2}}}, "out of range"},
+		{"negative node", Scenario{Events: []Event{{Kind: KindStraggle, Node: -1, At: 0, Until: 2}}}, "out of range"},
+		{"NaN rate", Scenario{Events: []Event{{Kind: KindLoss, Rate: math.NaN(), At: 0, Until: 2}}}, "outside [0,1]"},
+		{"negative rate", Scenario{Events: []Event{{Kind: KindLoss, Rate: -0.5, At: 0, Until: 2}}}, "outside [0,1]"},
+		{"rate above one", Scenario{Events: []Event{{Kind: KindDuplicate, Rate: 1.5, At: 0, Until: 2}}}, "outside [0,1]"},
+		{"partition edge out of range", Scenario{Events: []Event{{Kind: KindPartition, Edges: [][2]int{{0, 4}}, At: 0, Until: 2}}}, "invalid for 4 nodes"},
+	}
+	for _, tc := range cases {
+		err := tc.scn.Validate(4)
+		if err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// The pre-flight accepts exactly what Compile accepts.
+	good := Scenario{Seed: 1, Events: []Event{
+		Crash(1, 2), Straggle(0, 1, 3), Loss(0.25, 0, 10),
+		Duplicate(1, 0, 5), Partition([][2]int{{0, 3}}, 2, 8),
+	}}
+	if err := good.Validate(4); err != nil {
+		t.Errorf("Validate rejected a valid scenario: %v", err)
 	}
 }

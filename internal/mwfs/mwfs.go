@@ -68,14 +68,25 @@ type Options struct {
 	// behavior, kept for differential tests and the wbench regression
 	// baseline. Results are identical either way; only the cost differs.
 	BruteForce bool
+
+	// Deadline is the anytime contract (DESIGN.md §12): the search polls it
+	// once per parsearch.BudgetChunk nodes (piggybacked on the chunked
+	// budget reservations on the parallel path) and, on expiry, stops
+	// expanding and returns the best feasible set found so far with
+	// TimedOut set. The empty set is feasible, so even a deadline that is
+	// already expired at entry yields a valid (if empty) result, never an
+	// error. nil means no deadline. Deterministic truncation is guaranteed
+	// only in poll-budget mode with Workers < 2; see parsearch.Deadline.
+	Deadline *parsearch.Deadline
 }
 
 // Result reports the solved set and search telemetry.
 type Result struct {
-	Set    []int // reader indices, ascending
-	Weight int
-	Exact  bool // false if the node cap truncated the search
-	Nodes  int  // search nodes expanded (timing-dependent when Workers >= 2)
+	Set      []int // reader indices, ascending
+	Weight   int
+	Exact    bool // false if the node cap or deadline truncated the search
+	TimedOut bool // true if Options.Deadline expired mid-search (anytime result)
+	Nodes    int  // search nodes expanded (timing-dependent when Workers >= 2)
 }
 
 const defaultMaxNodes = 4 << 20
@@ -142,6 +153,7 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 		maxNodes: maxNodes,
 		exact:    true,
 		ctx:      opts.Context,
+		dl:       opts.Deadline,
 	}
 	if opts.BruteForce {
 		s.ctxW = sys.Weight(opts.Context)
@@ -162,7 +174,7 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 
 	set := append([]int(nil), s.best...)
 	insertionSortBy(set, func(a, b int) bool { return a < b })
-	return Result{Set: set, Weight: s.bestW, Exact: s.exact, Nodes: s.nodes}
+	return Result{Set: set, Weight: s.bestW, Exact: s.exact, TimedOut: s.timedOut, Nodes: s.nodes}
 }
 
 type solver struct {
@@ -178,8 +190,10 @@ type solver struct {
 	nodes    int
 	maxNodes int
 	exact    bool
+	timedOut bool
 	ctx      []int
 	ctxW     int
+	dl       *parsearch.Deadline
 	scratch  []int
 }
 
@@ -195,8 +209,20 @@ func (s *solver) marginal() int {
 }
 
 func (s *solver) rec(i, curW int) {
+	if s.timedOut {
+		return
+	}
 	s.nodes++
 	if s.nodes > s.maxNodes {
+		s.exact = false
+		return
+	}
+	// Anytime contract: poll the deadline at the budget-chunk cadence (the
+	// first node polls too, so an expired-at-entry deadline truncates the
+	// search before any expansion). Expiry keeps the incumbent as-is — it
+	// is feasible by construction — and unwinds the recursion.
+	if s.nodes%parsearch.BudgetChunk == 1 && s.dl.Poll() {
+		s.timedOut = true
 		s.exact = false
 		return
 	}

@@ -75,7 +75,10 @@ type taskResult struct {
 }
 
 func solveParallel(sys *model.System, cand, suffix []int, indep func(u, v int) bool, opts Options, maxNodes, workers, depth int) Result {
-	budget := parsearch.NewBudget(maxNodes)
+	// The deadline rides the budget: Reserve polls it once per chunk, so
+	// expiry drains every worker through the same monotone "grant = 0"
+	// transition as node exhaustion (anytime contract, DESIGN.md §12).
+	budget := parsearch.NewBudget(maxNodes).WithDeadline(opts.Deadline)
 
 	// Phase 1: sequential frontier expansion on the caller's goroutine.
 	x := &expander{
@@ -144,7 +147,7 @@ func solveParallel(sys *model.System, cand, suffix []int, indep func(u, v int) b
 
 	set := append([]int(nil), best...)
 	sort.Ints(set)
-	return Result{Set: set, Weight: bestW, Exact: !truncated, Nodes: nodes}
+	return Result{Set: set, Weight: bestW, Exact: !truncated, TimedOut: budget.TimedOut(), Nodes: nodes}
 }
 
 // expander runs the depth-limited sequential DFS that builds the merge-item

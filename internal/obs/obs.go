@@ -55,6 +55,16 @@ const (
 	// RunCompleted: a covering-schedule or simulator run ended after T
 	// slots having read N tags; Cause is "ok", "degraded" or "incomplete".
 	RunCompleted EventType = "run_completed"
+	// SlotTruncated: slot T's one-shot computation hit its per-slot budget
+	// and the scheduler (Alg) returned its anytime incumbent instead of
+	// finishing the search.
+	SlotTruncated EventType = "slot_truncated"
+	// CheckpointWritten: durable driver state through slot T was flushed;
+	// N is the cumulative tags-read count the checkpoint records.
+	CheckpointWritten EventType = "checkpoint_written"
+	// CheckpointRestored: a run resumed from durable state at slot T; N is
+	// the restored cumulative tags-read count.
+	CheckpointRestored EventType = "checkpoint_restored"
 )
 
 // Event is one trace record. Numeric fields that do not apply to a given
@@ -144,6 +154,30 @@ func EvElectionCompleted(call, rounds, messages int, readers []int) Event {
 	e.N = rounds
 	e.M = messages
 	e.Readers = append([]int(nil), readers...)
+	return e
+}
+
+// EvSlotTruncated builds a slot_truncated event: slot's one-shot hit its
+// budget and alg returned an anytime incumbent.
+func EvSlotTruncated(slot int, alg string) Event {
+	e := base(SlotTruncated, slot)
+	e.Alg = alg
+	return e
+}
+
+// EvCheckpointWritten builds a checkpoint_written event for the checkpoint
+// covering everything through slot, with the cumulative tags-read count.
+func EvCheckpointWritten(slot, totalRead int) Event {
+	e := base(CheckpointWritten, slot)
+	e.N = totalRead
+	return e
+}
+
+// EvCheckpointRestored builds a checkpoint_restored event: the run resumed
+// at slot with totalRead tags already credited.
+func EvCheckpointRestored(slot, totalRead int) Event {
+	e := base(CheckpointRestored, slot)
+	e.N = totalRead
 	return e
 }
 

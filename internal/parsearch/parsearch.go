@@ -130,10 +130,14 @@ const BudgetChunk = 256
 
 // Budget is a shared node allowance for a truncation-capped search. The
 // caller-facing contract is monotone: once exhausted, every subsequent
-// Reserve returns 0, on every worker.
+// Reserve returns 0, on every worker. An attached Deadline (WithDeadline)
+// piggybacks cooperative cancellation on the same chunked cadence: Reserve
+// polls it once per call, so a deadline costs the search one check per
+// BudgetChunk nodes, never one per node.
 type Budget struct {
 	max  int64
 	used atomic.Int64
+	dl   *Deadline
 }
 
 // NewBudget returns a budget of max nodes. max <= 0 is an unlimited budget.
@@ -141,11 +145,25 @@ func NewBudget(max int) *Budget {
 	return &Budget{max: int64(max)}
 }
 
+// WithDeadline attaches a cooperative deadline to the budget and returns
+// the budget for chaining. A nil deadline is a no-op. Once the deadline
+// expires, every subsequent Reserve returns 0 on every worker — the same
+// monotone transition as node exhaustion, so solver truncation handling
+// covers both causes with one code path; TimedOut distinguishes them.
+func (b *Budget) WithDeadline(dl *Deadline) *Budget {
+	b.dl = dl
+	return b
+}
+
 // Reserve grants up to n nodes from the allowance and returns how many were
-// granted (0 when the budget is exhausted). Grants are charged immediately;
-// callers keep unused grant remainders charged — the slack is bounded by
-// one chunk per worker and only matters in already-truncated searches.
+// granted (0 when the budget is exhausted or the attached deadline has
+// expired). Grants are charged immediately; callers keep unused grant
+// remainders charged — the slack is bounded by one chunk per worker and
+// only matters in already-truncated searches.
 func (b *Budget) Reserve(n int) int {
+	if b.dl.Poll() {
+		return 0
+	}
 	if b.max <= 0 {
 		return n
 	}
@@ -161,10 +179,15 @@ func (b *Budget) Reserve(n int) int {
 	return int(granted)
 }
 
-// Exhausted reports whether the allowance has run out.
+// Exhausted reports whether the allowance has run out (node cap hit or
+// deadline expired).
 func (b *Budget) Exhausted() bool {
-	return b.max > 0 && b.used.Load() >= b.max
+	return (b.max > 0 && b.used.Load() >= b.max) || b.dl.Expired()
 }
+
+// TimedOut reports whether the attached deadline (if any) has expired —
+// how callers split "anytime: out of time" from "truncated: out of nodes".
+func (b *Budget) TimedOut() bool { return b.dl.Expired() }
 
 // Metrics are the optional observability hooks (see internal/obs): a
 // counter of pool tasks dispatched and a histogram of per-subtree node

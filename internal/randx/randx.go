@@ -47,6 +47,15 @@ func (r *RNG) Split() *RNG {
 	return NewStream(r.Uint64(), r.Uint64())
 }
 
+// State captures the generator's internal state for checkpointing; the
+// (state, inc) pair fully determines the future stream. Restore with
+// SetState.
+func (r *RNG) State() (state, inc uint64) { return r.state, r.inc }
+
+// SetState restores a generator to a state previously captured with State,
+// so the stream continues exactly where the captured generator left off.
+func (r *RNG) SetState(state, inc uint64) { r.state, r.inc = state, inc }
+
 func splitmix64(state *uint64) uint64 {
 	*state += 0x9e3779b97f4a7c15
 	z := *state

@@ -20,12 +20,14 @@ package slotsim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"rfidsched/internal/anticollision"
 	"rfidsched/internal/fault"
 	"rfidsched/internal/geom"
 	"rfidsched/internal/model"
 	"rfidsched/internal/obs"
+	"rfidsched/internal/parsearch"
 	"rfidsched/internal/randx"
 )
 
@@ -50,6 +52,20 @@ type Config struct {
 	// core.MCSOptions.SolverWorkers; 0 leaves the scheduler untouched.
 	// Results are bit-identical at every value.
 	SolverWorkers int
+
+	// SlotDeadline bounds each macro slot's one-shot computation in
+	// wall-clock time, mirroring core.MCSOptions.SlotDeadline: before every
+	// OneShot call a fresh deadline is installed into schedulers exposing a
+	// SetDeadline knob (PTAS, Growth, baseline.Exact). Truncated slots
+	// return anytime incumbents (still feasible) and are counted in
+	// Result.AnytimeSlots. 0 disables.
+	SlotDeadline time.Duration
+
+	// SlotPollBudget is the deterministic fallback to SlotDeadline: the
+	// per-slot deadline expires after this many cooperative solver polls,
+	// so tests truncate at the same node everywhere. Takes precedence over
+	// SlotDeadline. 0 disables.
+	SlotPollBudget int
 
 	// ArrivalRate is the Poisson mean of new tags appearing per macro slot
 	// (0 = the paper's static population). Arrivals are uniform in the
@@ -103,6 +119,10 @@ type Result struct {
 	Incomplete      bool
 	Timeline        []SlotStats
 
+	// AnytimeSlots counts macro slots whose one-shot computation was
+	// truncated by the per-slot budget (Config.SlotDeadline/SlotPollBudget).
+	AnytimeSlots int
+
 	// Fault telemetry (zero without Config.Faults); same honesty contract
 	// as core.MCSResult — a degraded run reports exactly what survived.
 	Degraded          bool
@@ -131,6 +151,19 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 	rng := randx.New(cfg.Seed)
 	res := &Result{Algorithm: sched.Name()}
 	tr := cfg.Tracer
+
+	// Per-slot budget plumbing, structurally typed so slotsim stays
+	// independent of the scheduler package (the method set matches
+	// core.DeadlineSetter / core.AnytimeReporter).
+	budgeted := cfg.SlotPollBudget > 0 || cfg.SlotDeadline > 0
+	ds, _ := sched.(interface{ SetDeadline(*parsearch.Deadline) })
+	ar, _ := sched.(interface{ Anytime() bool })
+	slotDeadline := func() *parsearch.Deadline {
+		if cfg.SlotPollBudget > 0 {
+			return parsearch.PollBudget(cfg.SlotPollBudget)
+		}
+		return parsearch.After(cfg.SlotDeadline)
+	}
 	var plan *fault.Plan
 	if cfg.Faults != nil && !cfg.Faults.IsZero() {
 		p, err := cfg.Faults.Compile(sys.NumReaders())
@@ -190,12 +223,21 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 			// through the failed activation: plan with last slot's fleet.
 			applyDownMask(sys, plan, slot-1)
 		}
+		if budgeted && ds != nil {
+			ds.SetDeadline(slotDeadline())
+		}
 		X, err := sched.OneShot(sys)
 		if err != nil {
 			return nil, fmt.Errorf("slotsim: %s failed at slot %d: %w", sched.Name(), res.MacroSlots, err)
 		}
 		if tr != nil {
 			tr.Emit(obs.EvSlotPlanned(slot, res.Algorithm, X))
+		}
+		if ar != nil && ar.Anytime() {
+			res.AnytimeSlots++
+			if tr != nil {
+				tr.Emit(obs.EvSlotTruncated(slot, res.Algorithm))
+			}
 		}
 		var failedX []int
 		if plan != nil {
@@ -259,6 +301,9 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 				Failed:     failedX,
 			})
 		}
+	}
+	if budgeted && ds != nil {
+		ds.SetDeadline(nil) // leave the scheduler reusable
 	}
 	if plan != nil {
 		lost := lostTagIDs(sys, plan, res.MacroSlots)

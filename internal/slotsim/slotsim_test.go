@@ -237,3 +237,59 @@ func TestMicroSlotsAtLeastTags(t *testing.T) {
 		}
 	}
 }
+
+func TestSlotPollBudgetTruncatesButCompletes(t *testing.T) {
+	sys := paperSystem(t, 9)
+	coverable := sys.CoverableCount()
+	g := graph.FromSystem(sys)
+
+	run := func() *Result {
+		res, err := Run(sys.Clone(), core.NewGrowth(g, 1.25), Config{SlotPollBudget: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	// The anytime contract at the slot-sim layer: a starved per-slot budget
+	// costs macro slots, never coverage or termination.
+	if res.Incomplete {
+		t.Fatal("budget-starved slot sim did not finish")
+	}
+	if res.TagsRead != coverable {
+		t.Errorf("read %d of %d coverable", res.TagsRead, coverable)
+	}
+	if res.AnytimeSlots == 0 {
+		t.Error("no macro slot reported truncation under a one-poll budget")
+	}
+	// Deterministic in poll-budget mode.
+	res2 := run()
+	if res2.MacroSlots != res.MacroSlots || res2.AnytimeSlots != res.AnytimeSlots || res2.TagsRead != res.TagsRead {
+		t.Errorf("budgeted slot sim not reproducible: %+v vs %+v", res2, res)
+	}
+
+	// Unbudgeted run: no truncations reported.
+	free, err := Run(sys.Clone(), core.NewGrowth(g, 1.25), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.AnytimeSlots != 0 {
+		t.Errorf("unbudgeted run reported %d anytime slots", free.AnytimeSlots)
+	}
+	if res.MacroSlots < free.MacroSlots {
+		t.Errorf("budgeted sim (%d macro slots) shorter than unbudgeted (%d)", res.MacroSlots, free.MacroSlots)
+	}
+}
+
+func TestSlotBudgetIgnoredBySchedulersWithoutTheKnob(t *testing.T) {
+	// GHC implements neither SetDeadline nor Anytime: the budget must be a
+	// no-op, not a crash.
+	sys := paperSystem(t, 10)
+	res, err := Run(sys.Clone(), baseline.GHC{}, Config{SlotPollBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnytimeSlots != 0 {
+		t.Errorf("budget-blind scheduler reported %d anytime slots", res.AnytimeSlots)
+	}
+}
