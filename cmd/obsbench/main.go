@@ -1,7 +1,10 @@
 // Command obsbench measures the observability overhead of the covering
 // schedule driver: wall time per slot of core.RunMCS with no tracer (the
 // guarded nil path the hot loop pays when tracing is off), with an in-memory
-// collector, and with a JSONL sink. It writes the numbers as JSON so
+// collector, with a JSONL sink, with the flight recorder's ring buffer, and
+// with the metrics registry's progress gauges and phase-span histograms. It
+// also times one Prometheus exposition render of the populated registry —
+// the marginal cost of a /metrics scrape. It writes the numbers as JSON so
 // `make bench` can archive them (BENCH_obs.json) and CI can watch the nil
 // path stay within noise of the untraced baseline.
 //
@@ -37,12 +40,15 @@ type result struct {
 
 // report is the whole benchmark output.
 type report struct {
-	Readers       int      `json:"readers"`
-	Tags          int      `json:"tags"`
-	Seed          uint64   `json:"seed"`
-	Results       []result `json:"results"`
-	OverheadNil   float64  `json:"overhead_nil_pct"`   // nil tracer vs baseline
-	OverheadJSONL float64  `json:"overhead_jsonl_pct"` // JSONL sink vs baseline
+	Readers        int      `json:"readers"`
+	Tags           int      `json:"tags"`
+	Seed           uint64   `json:"seed"`
+	Results        []result `json:"results"`
+	OverheadNil    float64  `json:"overhead_nil_pct"`    // nil tracer vs baseline
+	OverheadJSONL  float64  `json:"overhead_jsonl_pct"`  // JSONL sink vs baseline
+	OverheadFlight float64  `json:"overhead_flight_pct"` // ring-buffer recorder vs baseline
+	OverheadSpans  float64  `json:"overhead_spans_pct"`  // registry gauges + spans vs baseline
+	ExpositionNs   float64  `json:"exposition_ns"`       // one /metrics render of the populated registry
 }
 
 func main() {
@@ -76,15 +82,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// with the most emission sites) is part of what we time.
 	crash := fault.CrashNodes(fault.SampleNodes(*readers, *readers/5, *seed), 1)
 
-	bench := func(tr obs.Tracer) (result, error) {
+	bench := func(tr obs.Tracer, reg *obs.Registry) (result, error) {
 		slots := 0
 		var total time.Duration
 		for i := 0; i < *iters; i++ {
 			s := sys.Clone()
 			start := time.Now()
 			res, err := core.RunMCS(s, core.NewGrowth(g, 1.25), core.MCSOptions{
-				Faults: &fault.Scenario{Seed: *seed, Events: crash},
-				Tracer: tr,
+				Faults:  &fault.Scenario{Seed: *seed, Events: crash},
+				Tracer:  tr,
+				Metrics: reg,
 			})
 			total += time.Since(start)
 			if err != nil {
@@ -103,35 +110,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// "baseline" runs with a literally nil MCSOptions.Tracer; "nil" measures
 	// the same thing again so the report shows run-to-run noise — any real
 	// gap between the two is measurement jitter, which is exactly the band
-	// the nil-tracer contract promises to stay inside.
+	// the nil-tracer contract promises to stay inside. The metrics registry
+	// is reused across that configuration's iterations, like a live server's.
+	metricsReg := obs.NewRegistry()
 	configs := []struct {
 		name string
 		tr   func() obs.Tracer
+		reg  *obs.Registry
 	}{
-		{"baseline", func() obs.Tracer { return nil }},
-		{"nil", func() obs.Tracer { return nil }},
-		{"collector", func() obs.Tracer { return &obs.Collector{} }},
-		{"jsonl-discard", func() obs.Tracer { return obs.NewJSONL(io.Discard) }},
+		{"baseline", func() obs.Tracer { return nil }, nil},
+		{"nil", func() obs.Tracer { return nil }, nil},
+		{"collector", func() obs.Tracer { return &obs.Collector{} }, nil},
+		{"jsonl-discard", func() obs.Tracer { return obs.NewJSONL(io.Discard) }, nil},
+		{"flight", func() obs.Tracer { return obs.NewFlightRecorder(0) }, nil},
+		{"metrics-spans", func() obs.Tracer { return nil }, metricsReg},
 	}
 	rep := report{Readers: *readers, Tags: *tags, Seed: *seed}
 	// Untimed warm-up so the first timed configuration doesn't absorb cache
 	// and allocator cold-start costs.
-	if _, err := bench(nil); err != nil {
+	if _, err := bench(nil, nil); err != nil {
 		fmt.Fprintf(stderr, "obsbench: warm-up: %v\n", err)
 		return 1
 	}
+	byName := map[string]result{}
 	for _, c := range configs {
-		r, err := bench(c.tr())
+		r, err := bench(c.tr(), c.reg)
 		if err != nil {
 			fmt.Fprintf(stderr, "obsbench: %s: %v\n", c.name, err)
 			return 1
 		}
 		r.Tracer = c.name
 		rep.Results = append(rep.Results, r)
+		byName[c.name] = r
 	}
-	base := rep.Results[0].NsPerSlot
-	rep.OverheadNil = 100 * (rep.Results[1].NsPerSlot - base) / base
-	rep.OverheadJSONL = 100 * (rep.Results[3].NsPerSlot - base) / base
+	base := byName["baseline"].NsPerSlot
+	rep.OverheadNil = 100 * (byName["nil"].NsPerSlot - base) / base
+	rep.OverheadJSONL = 100 * (byName["jsonl-discard"].NsPerSlot - base) / base
+	rep.OverheadFlight = 100 * (byName["flight"].NsPerSlot - base) / base
+	rep.OverheadSpans = 100 * (byName["metrics-spans"].NsPerSlot - base) / base
+
+	// One /metrics render over the registry the metrics-spans runs filled —
+	// the per-scrape cost a live telemetry server adds, off the driver path.
+	expoStart := time.Now()
+	if err := metricsReg.Snapshot().WriteExposition(io.Discard); err != nil {
+		fmt.Fprintf(stderr, "obsbench: exposition: %v\n", err)
+		return 1
+	}
+	rep.ExpositionNs = float64(time.Since(expoStart).Nanoseconds())
 
 	var w io.Writer = stdout
 	if *out != "" {
@@ -150,8 +175,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *out != "" {
-		fmt.Fprintf(stdout, "obsbench: nil overhead %+.1f%%, jsonl overhead %+.1f%% (wrote %s)\n",
-			rep.OverheadNil, rep.OverheadJSONL, *out)
+		fmt.Fprintf(stdout, "obsbench: nil overhead %+.1f%%, jsonl %+.1f%%, flight %+.1f%%, spans %+.1f%%, exposition %.0fns (wrote %s)\n",
+			rep.OverheadNil, rep.OverheadJSONL, rep.OverheadFlight, rep.OverheadSpans, rep.ExpositionNs, *out)
 	}
 	return 0
 }

@@ -23,13 +23,25 @@ func TestObsbenchWritesReport(t *testing.T) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(rep.Results) != 4 {
-		t.Fatalf("expected 4 configurations, got %d", len(rep.Results))
+	if len(rep.Results) != 6 {
+		t.Fatalf("expected 6 configurations, got %d", len(rep.Results))
 	}
+	names := map[string]bool{}
 	for _, r := range rep.Results {
+		names[r.Tracer] = true
 		if r.NsPerSlot <= 0 || r.Slots <= 0 {
 			t.Errorf("%s: implausible measurement %+v", r.Tracer, r)
 		}
+	}
+	for _, want := range []string{"baseline", "nil", "collector", "jsonl-discard", "flight", "metrics-spans"} {
+		if !names[want] {
+			t.Errorf("configuration %q missing from the report", want)
+		}
+	}
+	// The metrics-spans runs populate the registry, so the exposition render
+	// it times cannot be free.
+	if rep.ExpositionNs <= 0 {
+		t.Errorf("exposition render not timed: %v", rep.ExpositionNs)
 	}
 }
 

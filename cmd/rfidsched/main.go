@@ -10,6 +10,7 @@
 //	rfidsched -in paper.json -alg alg1 -deadline 50ms -checkpoint run.ckpt
 //	rfidsched -in paper.json -alg alg1 -checkpoint run.ckpt -resume
 //	rfidsched -in paper.json -alg colorwave -checkpoint run.ckpt -supervise 3
+//	rfidsched -in paper.json -alg alg2 -http 127.0.0.1:9190
 //
 // Algorithms: alg1 (PTAS, needs locations — always available here since the
 // file stores them), alg2 (centralized, interference graph only), alg3
@@ -21,6 +22,16 @@
 // -checkpoint appends a durable record per slot; -resume continues a killed
 // run from that file bit-identically; -supervise N additionally restarts the
 // run from its last checkpoint up to N times if it crashes mid-flight.
+//
+// -http serves live telemetry while the run executes: Prometheus metrics at
+// /metrics, JSON run progress at /runs, liveness/readiness probes, pprof
+// under /debug/pprof/, and the flight recorder's recent events at
+// /debug/flight. The flight recorder (-flight N, on by default) retains the
+// last N trace events in memory; a crashed -supervise attempt archives them
+// to <checkpoint>.flight.attempt<K>.jsonl before restarting, and -flight-dump
+// additionally writes them to a file whenever a run ends degraded or
+// incomplete. Telemetry is pure observation: a seeded run's schedule is
+// bit-identical with or without any of it (DESIGN.md §9, §13).
 package main
 
 import (
@@ -49,21 +60,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rfidsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in        = fs.String("in", "", "deployment JSON file (required)")
-		alg       = fs.String("alg", "alg2", "algorithm: alg1, alg2, alg3, ghc, colorwave, random, exact")
-		rho       = fs.Float64("rho", 1.25, "growth threshold for alg2/alg3")
-		seed      = fs.Uint64("seed", 2011, "seed for randomized algorithms")
-		verbose   = fs.Bool("v", false, "print the active reader set of every slot")
-		check     = fs.Bool("verify", false, "independently re-verify the schedule against the model")
-		trace     = fs.String("trace", "", "write a JSONL slot-level trace to this file")
-		workers   = fs.Int("workers", 0, "solver worker goroutines for alg1/alg2/exact (0 = sequential; results are identical at any value)")
-		deadline  = fs.Duration("deadline", 0, "per-slot wall-clock budget for alg1/alg2/exact (0 = none; truncated slots still activate a feasible set)")
-		slotPolls = fs.Int("slot-polls", 0, "per-slot deterministic poll budget (reproducible alternative to -deadline; takes precedence)")
-		ckptPath  = fs.String("checkpoint", "", "append a durable per-slot checkpoint to this file")
-		resume    = fs.Bool("resume", false, "resume a killed run from the -checkpoint file")
-		supervise = fs.Int("supervise", 0, "restart a crashed run from its last checkpoint up to N times (requires -checkpoint)")
-		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		in         = fs.String("in", "", "deployment JSON file (required)")
+		alg        = fs.String("alg", "alg2", "algorithm: alg1, alg2, alg3, ghc, colorwave, random, exact")
+		rho        = fs.Float64("rho", 1.25, "growth threshold for alg2/alg3")
+		seed       = fs.Uint64("seed", 2011, "seed for randomized algorithms")
+		verbose    = fs.Bool("v", false, "print the active reader set of every slot")
+		check      = fs.Bool("verify", false, "independently re-verify the schedule against the model")
+		trace      = fs.String("trace", "", "write a JSONL slot-level trace to this file")
+		workers    = fs.Int("workers", 0, "solver worker goroutines for alg1/alg2/exact (0 = sequential; results are identical at any value)")
+		deadline   = fs.Duration("deadline", 0, "per-slot wall-clock budget for alg1/alg2/exact (0 = none; truncated slots still activate a feasible set)")
+		slotPolls  = fs.Int("slot-polls", 0, "per-slot deterministic poll budget (reproducible alternative to -deadline; takes precedence)")
+		ckptPath   = fs.String("checkpoint", "", "append a durable per-slot checkpoint to this file")
+		resume     = fs.Bool("resume", false, "resume a killed run from the -checkpoint file")
+		supervise  = fs.Int("supervise", 0, "restart a crashed run from its last checkpoint up to N times (requires -checkpoint)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr   = fs.String("http", "", "serve live telemetry on this address (/metrics, /runs, /healthz, /readyz, /debug/pprof/, /debug/flight)")
+		httpLinger = fs.Duration("http-linger", 0, "keep the telemetry server up this long after the run finishes (for scrapers)")
+		flightCap  = fs.Int("flight", obs.DefaultFlightCapacity, "flight-recorder capacity in events (0 disables it)")
+		flightDump = fs.String("flight-dump", "", "dump the flight record to this JSONL file when a run ends degraded or incomplete")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,6 +133,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tr = traceSink
 	}
 
+	// The flight recorder rides the tracer path: a fixed ring of the most
+	// recent slot events, archived on crash by the supervisor, dumped on a
+	// degraded/incomplete finish via -flight-dump, and readable live at
+	// /debug/flight. Teeing keeps any -trace file complete and untouched.
+	var flight *obs.FlightRecorder
+	if *flightCap > 0 {
+		flight = obs.NewFlightRecorder(*flightCap)
+		if *flightDump != "" {
+			flight.AutoDump(*flightDump)
+		}
+		tr = obs.Tee(tr, flight)
+	}
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*httpAddr, obs.ServeOptions{Registry: reg, Flight: flight})
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsched: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "rfidsched: telemetry listening on http://%s/\n", srv.Addr)
+		// Fold the event stream into the registry too, so /metrics carries
+		// the events.* counters (including events.run_completed, which /runs
+		// reports) alongside the driver's own gauges and spans.
+		tr = obs.Tee(tr, obs.NewMetricsTracer(reg))
+		defer func() {
+			// Linger so a scraper (or the CI smoke job) can still read the
+			// final state of a short run before the process exits.
+			if *httpLinger > 0 {
+				time.Sleep(*httpLinger)
+			}
+			srv.Close()
+		}()
+	}
+
 	// The supervisor restarts a crashed attempt from its last checkpoint,
 	// which needs a pristine system and a freshly configured scheduler each
 	// time — a half-run attempt has mutated both.
@@ -158,6 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := core.MCSOptions{
 		RecordSlots:    true,
 		Tracer:         tr,
+		Metrics:        reg,
 		SolverWorkers:  *workers,
 		SlotDeadline:   *deadline,
 		SlotPollBudget: *slotPolls,
@@ -170,6 +221,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resume:   *resume,
 		restarts: *supervise,
 		stderr:   stderr,
+		reg:      reg,
+		flight:   flight,
+	}
+	if *supervise > 0 && flight != nil {
+		sup.flightBase = *ckptPath + ".flight"
 	}
 	res, err := sup.run()
 	if err != nil {
@@ -230,14 +286,32 @@ type supervisor struct {
 	resume   bool // first attempt resumes (the -resume flag)
 	restarts int  // max automatic restarts after a crash
 	stderr   io.Writer
+
+	reg        *obs.Registry       // telemetry registry (nil without -http)
+	flight     *obs.FlightRecorder // ring of recent events (nil when -flight 0)
+	flightBase string              // crash-archive prefix; "" disables archiving
 }
 
 func (s *supervisor) run() (*core.MCSResult, error) {
 	resume := s.resume
 	for attempt := 0; ; attempt++ {
+		if s.reg != nil {
+			s.reg.Gauge("supervise.attempt").Set(float64(attempt))
+		}
 		res, err := s.attempt(resume)
 		if err == nil {
 			return res, nil
+		}
+		// Archive the flight record before the restart overwrites the ring:
+		// the last events before the crash are exactly what a post-mortem
+		// needs, and each attempt keeps its own file.
+		if s.flight != nil && s.flightBase != "" {
+			path := fmt.Sprintf("%s.attempt%d.jsonl", s.flightBase, attempt)
+			if derr := s.flight.DumpFile(path); derr != nil {
+				fmt.Fprintf(s.stderr, "rfidsched: flight record: %v\n", derr)
+			} else {
+				fmt.Fprintf(s.stderr, "rfidsched: flight record archived to %s\n", path)
+			}
 		}
 		if attempt >= s.restarts {
 			return nil, err

@@ -1,16 +1,22 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"reflect"
 	"strings"
 	"testing"
 
+	"rfidsched/internal/checkpoint"
 	"rfidsched/internal/core"
 	"rfidsched/internal/deploy"
 	"rfidsched/internal/graph"
 	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
 )
 
 // writeDeployment creates a small deployment file for CLI tests.
@@ -236,5 +242,156 @@ func TestSupervisorGivesUpAfterBudget(t *testing.T) {
 		t.Fatal("supervisor succeeded through a permanent crash")
 	} else if !strings.Contains(err.Error(), "panicked") {
 		t.Errorf("give-up error does not surface the panic: %v", err)
+	}
+}
+
+// TestSchedHTTPServesTelemetry drives the full -http path: start a run with
+// a lingering telemetry server, scrape every endpoint while it is up, and
+// check the exposition carries the live run's metrics.
+func TestSchedHTTPServesTelemetry(t *testing.T) {
+	path := writeDeployment(t)
+
+	// stderr goes through a pipe so the test can read the bound address the
+	// moment the server prints it, while the run continues concurrently.
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		code := run([]string{"-in", path, "-alg", "alg2",
+			"-http", "127.0.0.1:0", "-http-linger", "2s"}, &out, pw)
+		pw.Close()
+		done <- code
+	}()
+
+	sc := bufio.NewScanner(pr)
+	var addr string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on http://"); ok {
+			addr = strings.TrimSuffix(rest, "/")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server address never printed (exit %d)", <-done)
+	}
+	go io.Copy(io.Discard, pr) // keep draining so the run never blocks on stderr
+
+	get := func(p string) (int, string) {
+		resp, err := http.Get("http://" + addr + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+	// The run is short; by the linger window the gauges hold final values.
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "mcs_slot_current") ||
+		!strings.Contains(body, "span_solve_seconds_count") {
+		t.Errorf("/metrics missing live series (status %d):\n%s", code, body)
+	}
+	if code, body := get("/runs"); code != 200 || !strings.Contains(body, "tags_read") {
+		t.Errorf("/runs: %d %q", code, body)
+	}
+	if code, body := get("/debug/flight"); code != 200 || !strings.Contains(body, "slot_planned") {
+		t.Errorf("/debug/flight: %d %q", code, body)
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	if !strings.Contains(out.String(), "schedule:") {
+		t.Errorf("missing schedule line:\n%s", out.String())
+	}
+}
+
+// TestSupervisorArchivesFlightRecord is the crash post-mortem contract: a
+// panicking attempt leaves a per-attempt flight-record JSONL whose final
+// event lines up with the checkpoint's last durable slot.
+func TestSupervisorArchivesFlightRecord(t *testing.T) {
+	dep, err := deploy.LoadFile(writeDeployment(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dep.ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromSystem(sys)
+
+	dir := t.TempDir()
+	ckpt := dir + "/sup.ckpt"
+	flight := obs.NewFlightRecorder(64)
+	calls := 0
+	var errBuf bytes.Buffer
+	sup := supervisor{
+		newSys: dep.ToSystem,
+		newSched: func() (model.OneShotScheduler, error) {
+			return panicOnce{inner: core.NewGrowth(g, 1.25), calls: &calls, at: 3}, nil
+		},
+		opts:       core.MCSOptions{Tracer: flight},
+		ckptPath:   ckpt,
+		restarts:   2,
+		stderr:     &errBuf,
+		flight:     flight,
+		flightBase: ckpt + ".flight",
+	}
+	if _, err := sup.run(); err != nil {
+		t.Fatalf("supervised run: %v (stderr: %s)", err, errBuf.String())
+	}
+
+	raw, err := os.ReadFile(ckpt + ".flight.attempt0.jsonl")
+	if err != nil {
+		t.Fatalf("crash left no flight record: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("flight record is empty")
+	}
+	var last obs.Event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("flight record tail is not an event: %v", err)
+	}
+
+	// The crash hit slot 2's solve, so the last durable checkpoint slot is 1
+	// — and the flight record's final event must be exactly its write.
+	st, err := checkpoint.LoadMCS(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed attempt rewrote the stream to completion; the archive was
+	// taken at crash time, so compare against the crash-time tail instead:
+	// the final archived event is the checkpoint write of the last slot the
+	// crashed attempt made durable.
+	if last.Type != obs.CheckpointWritten {
+		t.Fatalf("flight tail is %q, want %q", last.Type, obs.CheckpointWritten)
+	}
+	if wantLast := 1; last.T != wantLast {
+		t.Errorf("flight tail records slot %d, want %d (crash at slot 2)", last.T, wantLast)
+	}
+	if len(st.Slots) == 0 || st.Slots[len(st.Slots)-1].Slot < last.T {
+		t.Errorf("final checkpoint (%d slots) lost the slot the flight tail proves durable (%d)",
+			len(st.Slots), last.T)
+	}
+}
+
+// TestSchedFlightDisabled: -flight 0 must switch the recorder off without
+// disturbing the run.
+func TestSchedFlightDisabled(t *testing.T) {
+	path := writeDeployment(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", path, "-alg", "alg2", "-flight", "0"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "schedule:") {
+		t.Errorf("missing schedule line:\n%s", out.String())
 	}
 }

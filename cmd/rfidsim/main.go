@@ -11,6 +11,13 @@
 //	rfidsim -fig chaos -trace run.jsonl       # record a slot-level trace
 //	rfidsim -fig trace-report -trace run.jsonl  # summarize a recorded trace
 //	rfidsim -fig 6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	rfidsim -fig all -http 127.0.0.1:9191       # watch the sweep live
+//
+// -http serves the live metrics registry (solver-pool counters, MCS
+// progress gauges, phase-span histograms) at /metrics with JSON progress at
+// /runs, pprof under /debug/pprof/, and — when the flight recorder is on —
+// the most recent trace events at /debug/flight. -fig trace-report also
+// accepts flight-recorder dumps, which are mid-run windows of a trace.
 //
 // Figures: 6/7 sweep the covering-schedule size against lambda_R / lambda_r;
 // 8/9 sweep the one-shot well-covered tag count. Defaults follow Section VI
@@ -25,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"rfidsched/internal/experiments"
 	"rfidsched/internal/obs"
@@ -39,25 +47,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rfidsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig       = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility, abl-chaos), "ablations", or "trace-report"`)
-		trials    = fs.Int("trials", 10, "random deployments per sweep point")
-		seed      = fs.Uint64("seed", 2011, "base RNG seed")
-		readers   = fs.Int("readers", 50, "number of readers")
-		tags      = fs.Int("tags", 1200, "number of tags")
-		side      = fs.Float64("side", 100, "deployment square side length")
-		rho       = fs.Float64("rho", 1.25, "growth threshold for Algorithms 2/3")
-		workers   = fs.Int("workers", 0, "parallel trial workers (0 = NumCPU)")
-		solverW   = fs.Int("solver-workers", 0, "solver worker goroutines inside each trial (0 = 1 when trial workers > 1, else NumCPU; results are identical at any value)")
-		format    = fs.String("format", "ascii", "output format: ascii, md, csv, chart")
-		out       = fs.String("out", "", "output file (default stdout)")
-		algs      = fs.String("algs", "", "comma-separated algorithm subset (default all five)")
-		trace     = fs.String("trace", "", "JSONL slot-trace file: written by figure/ablation runs, read by -fig trace-report")
-		slotDl    = fs.Duration("slot-deadline", 0, "per-slot wall-clock solver budget (0 = none; truncated slots stay feasible)")
-		slotPolls = fs.Int("slot-polls", 0, "per-slot deterministic poll budget (reproducible alternative to -slot-deadline)")
-		ckptPath  = fs.String("checkpoint", "", "record completed sweep cells to this file for crash recovery")
-		resume    = fs.Bool("resume", false, "skip sweep cells already recorded in the -checkpoint file")
-		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		fig        = fs.String("fig", "all", `figure: 6-9, "all", an ablation id (abl-rho, abl-survey, abl-channels, abl-mobility, abl-chaos), "ablations", or "trace-report"`)
+		trials     = fs.Int("trials", 10, "random deployments per sweep point")
+		seed       = fs.Uint64("seed", 2011, "base RNG seed")
+		readers    = fs.Int("readers", 50, "number of readers")
+		tags       = fs.Int("tags", 1200, "number of tags")
+		side       = fs.Float64("side", 100, "deployment square side length")
+		rho        = fs.Float64("rho", 1.25, "growth threshold for Algorithms 2/3")
+		workers    = fs.Int("workers", 0, "parallel trial workers (0 = NumCPU)")
+		solverW    = fs.Int("solver-workers", 0, "solver worker goroutines inside each trial (0 = 1 when trial workers > 1, else NumCPU; results are identical at any value)")
+		format     = fs.String("format", "ascii", "output format: ascii, md, csv, chart")
+		out        = fs.String("out", "", "output file (default stdout)")
+		algs       = fs.String("algs", "", "comma-separated algorithm subset (default all five)")
+		trace      = fs.String("trace", "", "JSONL slot-trace file: written by figure/ablation runs, read by -fig trace-report")
+		slotDl     = fs.Duration("slot-deadline", 0, "per-slot wall-clock solver budget (0 = none; truncated slots stay feasible)")
+		slotPolls  = fs.Int("slot-polls", 0, "per-slot deterministic poll budget (reproducible alternative to -slot-deadline)")
+		ckptPath   = fs.String("checkpoint", "", "record completed sweep cells to this file for crash recovery")
+		resume     = fs.Bool("resume", false, "skip sweep cells already recorded in the -checkpoint file")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr   = fs.String("http", "", "serve live telemetry on this address (/metrics, /runs, /healthz, /readyz, /debug/pprof/, /debug/flight)")
+		httpLinger = fs.Duration("http-linger", 0, "keep the telemetry server up this long after the sweep finishes (for scrapers)")
+		flightCap  = fs.Int("flight", 0, "flight-recorder capacity in events (0 = on only with -http, at the default capacity)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -154,6 +165,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		traceSink = obs.NewJSONL(f)
 		cfg.Tracer = traceSink
+	}
+
+	// Live telemetry: the sweep shares one registry across parallel trials
+	// (counters and span histograms aggregate; progress gauges are
+	// last-write-wins), and the flight recorder keeps a ring of the latest
+	// slot events for /debug/flight without growing with the sweep.
+	cfg.Metrics = reg
+	flightEvents := *flightCap
+	if flightEvents == 0 && *httpAddr != "" {
+		flightEvents = obs.DefaultFlightCapacity
+	}
+	var flight *obs.FlightRecorder
+	if flightEvents > 0 {
+		flight = obs.NewFlightRecorder(flightEvents)
+		cfg.Tracer = obs.Tee(cfg.Tracer, flight)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.ServeOptions{Registry: reg, Flight: flight})
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "rfidsim: telemetry listening on http://%s/\n", srv.Addr)
+		// Fold the event stream into the registry so /metrics carries the
+		// events.* counters (events.run_completed feeds /runs) on top of the
+		// solver-pool and driver metrics.
+		cfg.Tracer = obs.Tee(cfg.Tracer, obs.NewMetricsTracer(reg))
+		defer func() {
+			if *httpLinger > 0 {
+				time.Sleep(*httpLinger)
+			}
+			srv.Close()
+		}()
 	}
 
 	var ids []string

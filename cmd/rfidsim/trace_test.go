@@ -120,3 +120,30 @@ func TestTraceReportFlagErrors(t *testing.T) {
 		t.Errorf("exit %d for missing trace file", code)
 	}
 }
+
+// TestTraceReportAcceptsFlightDump runs the summarizer over a flight-recorder
+// dump — a mid-run window whose first slot lost its slot_planned prefix to
+// ring wrap — and expects a report, not an error.
+func TestTraceReportAcceptsFlightDump(t *testing.T) {
+	rec := obs.NewFlightRecorder(5)
+	rec.Emit(obs.EvSlotPlanned(120, "Alg2-Growth", []int{4})) // wraps out
+	for slot := 121; slot < 124; slot++ {
+		rec.Emit(obs.EvSlotPlanned(slot, "Alg2-Growth", []int{1, 2}))
+		rec.Emit(obs.EvSlotExecuted(slot, []int{1, 2}, 3))
+	}
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	if err := rec.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig", "trace-report", "-trace", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	rep := out.String()
+	if !strings.Contains(rep, "mid-run window: trace opens at slot 121") {
+		t.Errorf("report does not flag the flight-dump window:\n%s", rep)
+	}
+	if !strings.Contains(rep, "per-slot detail") {
+		t.Errorf("no per-slot detail for the window:\n%s", rep)
+	}
+}

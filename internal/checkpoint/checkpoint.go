@@ -55,6 +55,13 @@ type Writer struct {
 	sync   func() error
 	closer io.Closer
 	err    error
+
+	// Observer, when non-nil, is called after every successfully appended
+	// (and, for files, fsynced) record with its kind and encoded size in
+	// bytes — the hook the telemetry layer uses for its checkpoint volume
+	// counters without this package importing it. It runs synchronously on
+	// the appending goroutine; keep it cheap.
+	Observer func(kind string, bytes int)
 }
 
 // NewWriter wraps w. Files get per-record fsync; any other writer is
@@ -106,6 +113,9 @@ func (w *Writer) Append(kind string, payload any) error {
 			w.err = fmt.Errorf("checkpoint: sync: %w", err)
 			return w.err
 		}
+	}
+	if w.Observer != nil {
+		w.Observer(kind, len(line))
 	}
 	return nil
 }

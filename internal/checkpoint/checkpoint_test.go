@@ -268,3 +268,35 @@ func TestLoadMCSRoundTrip(t *testing.T) {
 		t.Errorf("slots = %+v", st.Slots)
 	}
 }
+
+func TestWriterObserver(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var kinds []string
+	var total int
+	w.Observer = func(kind string, n int) {
+		kinds = append(kinds, kind)
+		total += n
+	}
+	appendN(t, w, 3)
+	want := []string{KindMCSHeader, KindMCSSlot, KindMCSSlot, KindMCSSlot}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Errorf("observed kinds %v, want %v", kinds, want)
+	}
+	// The observer sees the encoded line sizes, newline included: the sum is
+	// exactly what reached the stream.
+	if total != buf.Len() {
+		t.Errorf("observed %d bytes, stream holds %d", total, buf.Len())
+	}
+
+	// A failed append must not be observed: the record never became durable.
+	w2 := NewWriter(&failWriter{n: 0})
+	calls := 0
+	w2.Observer = func(string, int) { calls++ }
+	if err := w2.Append("a", payload{}); err == nil {
+		t.Fatal("append over a full disk succeeded")
+	}
+	if calls != 0 {
+		t.Errorf("observer ran %d times on a failed append", calls)
+	}
+}

@@ -97,6 +97,12 @@ type Distributed struct {
 	// concurrent OneShot calls.
 	Tracer obs.Tracer
 
+	// Metrics, when non-nil, times each OneShot protocol execution into the
+	// "span.election.seconds" histogram (see obs.StartSpan). Pure
+	// observation, like Tracer; the MCS driver wires its own registry in
+	// through SetMetrics.
+	Metrics *obs.Registry
+
 	// calls counts OneShot invocations, indexing election_completed
 	// events so a trace orders the elections of one covering schedule.
 	calls int
@@ -112,6 +118,10 @@ func NewDistributed(g *graph.Graph, rho float64) *Distributed {
 
 // Name implements model.OneShotScheduler.
 func (d *Distributed) Name() string { return "Alg3-Distributed" }
+
+// SetMetrics routes span telemetry into reg — the hook core.RunMCS uses to
+// extend MCSOptions.Metrics down into the protocol layer.
+func (d *Distributed) SetMetrics(reg *obs.Registry) { d.Metrics = reg }
 
 // ControlParameter returns the effective c.
 func (d *Distributed) ControlParameter() int {
@@ -165,7 +175,9 @@ func (d *Distributed) OneShot(sys *model.System) ([]int, error) {
 	}
 	call := d.calls
 	d.calls++
+	electionSpan := obs.StartSpan(d.Metrics, obs.SpanElection)
 	stats, err := net.Run(nodes, maxRounds)
+	electionSpan.End()
 	d.LastStats = stats
 	if err != nil {
 		return nil, fmt.Errorf("core: distributed protocol: %w", err)

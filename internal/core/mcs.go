@@ -96,9 +96,22 @@ type MCSOptions struct {
 	// not.
 	Tracer obs.Tracer
 
-	// Metrics, when non-nil, receives driver counters: "mcs.slots.truncated"
-	// (per-slot budget expiries), "mcs.checkpoint.written" and
-	// "mcs.checkpoint.restored". Pure observation, like Tracer.
+	// Metrics, when non-nil, receives the driver's live telemetry — the
+	// signals the obs telemetry server exposes at /metrics and /runs:
+	//
+	//   - progress gauges "mcs.slot.current", "mcs.tags.read" and
+	//     "checkpoint.last_slot";
+	//   - counters "mcs.slots.truncated" (per-slot budget expiries),
+	//     "mcs.checkpoint.written", "mcs.checkpoint.restored", and
+	//     "checkpoint.records"/"checkpoint.bytes" (via the writer's
+	//     Observer hook);
+	//   - per-phase duration histograms "span.solve.seconds",
+	//     "span.repair.seconds" and "span.checkpoint.write.seconds"
+	//     (obs.StartSpan; schedulers implementing SetMetrics — the
+	//     Distributed protocol — additionally time "span.election.seconds").
+	//
+	// Pure observation, like Tracer: nil disables everything at zero cost,
+	// and a seeded run is bit-identical with or without a registry.
 	Metrics *obs.Registry
 }
 
@@ -252,6 +265,21 @@ func newMCSEngine(sys *model.System, sched model.OneShotScheduler, opts MCSOptio
 	eng.ds, _ = sched.(DeadlineSetter)
 	eng.ar, _ = sched.(AnytimeReporter)
 	eng.budgeted = opts.SlotPollBudget > 0 || opts.SlotDeadline > 0
+	if reg := opts.Metrics; reg != nil {
+		// Route the registry into schedulers that carry their own span
+		// telemetry (Distributed times its elections).
+		if sm, ok := sched.(interface{ SetMetrics(*obs.Registry) }); ok {
+			sm.SetMetrics(reg)
+		}
+		// Count durable records and bytes at the writer, so checkpoint
+		// volume is visible next to the lag gauge.
+		if eng.ckpt != nil {
+			eng.ckpt.Observer = func(kind string, n int) {
+				reg.Counter("checkpoint.records").Inc()
+				reg.Counter("checkpoint.bytes").Add(int64(n))
+			}
+		}
+	}
 	return eng, nil
 }
 
@@ -338,8 +366,16 @@ func (eng *mcsEngine) restore(state *checkpoint.MCSState) error {
 	if eng.tr != nil {
 		eng.tr.Emit(obs.EvCheckpointRestored(eng.res.Size, eng.res.TotalRead))
 	}
-	if eng.opts.Metrics != nil {
-		eng.opts.Metrics.Counter("mcs.checkpoint.restored").Add(1)
+	if reg := eng.opts.Metrics; reg != nil {
+		reg.Counter("mcs.checkpoint.restored").Add(1)
+		// Seed the progress gauges from the replayed history, so a freshly
+		// resumed run's /runs view starts at the restored position instead
+		// of the -1 "no run" sentinels.
+		reg.Gauge("mcs.slot.current").Set(float64(eng.res.Size))
+		reg.Gauge("mcs.tags.read").Set(float64(eng.res.TotalRead))
+		if eng.res.Size > 0 {
+			reg.Gauge("checkpoint.last_slot").Set(float64(eng.res.Size - 1))
+		}
 	}
 	// Re-record the replayed history into the new stream so the output
 	// checkpoint is complete: a run may crash and resume repeatedly.
@@ -360,12 +396,16 @@ func (eng *mcsEngine) restore(state *checkpoint.MCSState) error {
 // for a fresh run, the first unrecorded slot after restore).
 func (eng *mcsEngine) run() (*MCSResult, error) {
 	sys, sched, res, tr, plan := eng.sys, eng.sched, eng.res, eng.tr, eng.plan
+	reg := eng.opts.Metrics
 	for reachableUnread(sys, plan, res.Size) > 0 {
 		if res.Size >= eng.maxSlots {
 			res.Incomplete = true
 			break
 		}
 		slot := res.Size
+		if reg != nil {
+			reg.Gauge("mcs.slot.current").Set(float64(slot))
+		}
 		if plan != nil {
 			// The planner's knowledge lags reality by one slot: a crash at
 			// slot t is discovered through its failed activation and only
@@ -375,7 +415,9 @@ func (eng *mcsEngine) run() (*MCSResult, error) {
 		if eng.budgeted && eng.ds != nil {
 			eng.ds.SetDeadline(eng.slotDeadline())
 		}
+		solveSpan := obs.StartSpan(reg, obs.SpanSolve)
 		X, err := sched.OneShot(sys)
+		solveSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: %s one-shot failed at slot %d: %w", sched.Name(), res.Size, err)
 		}
@@ -393,7 +435,11 @@ func (eng *mcsEngine) run() (*MCSResult, error) {
 			}
 		}
 		var failed []int
+		var repairSpan obs.Span
 		if plan != nil {
+			// The repair span covers the fault-facing work of the slot: the
+			// executable split plus any stall fallback it forces.
+			repairSpan = obs.StartSpan(reg, obs.SpanRepair)
 			X, failed = splitExecutable(sys, plan, X, slot)
 			res.FailedActivations += len(failed)
 			if tr != nil {
@@ -425,11 +471,17 @@ func (eng *mcsEngine) run() (*MCSResult, error) {
 		} else {
 			eng.stall = 0
 		}
+		if plan != nil {
+			repairSpan.End()
+		}
 		for _, t := range covered {
 			sys.MarkRead(int(t))
 		}
 		res.Size++
 		res.TotalRead += len(covered)
+		if reg != nil {
+			reg.Gauge("mcs.tags.read").Set(float64(res.TotalRead))
+		}
 		if tr != nil {
 			tr.Emit(obs.EvSlotExecuted(slot, X, len(covered)))
 		}
@@ -467,14 +519,18 @@ func (eng *mcsEngine) run() (*MCSResult, error) {
 				}
 				rec.Sched = blob
 			}
-			if err := eng.ckpt.Append(checkpoint.KindMCSSlot, rec); err != nil {
+			ckptSpan := obs.StartSpan(reg, obs.SpanCheckpointWrite)
+			err := eng.ckpt.Append(checkpoint.KindMCSSlot, rec)
+			ckptSpan.End()
+			if err != nil {
 				return nil, fmt.Errorf("core: checkpoint slot %d: %w", slot, err)
 			}
 			if tr != nil {
 				tr.Emit(obs.EvCheckpointWritten(slot, res.TotalRead))
 			}
-			if eng.opts.Metrics != nil {
-				eng.opts.Metrics.Counter("mcs.checkpoint.written").Add(1)
+			if reg != nil {
+				reg.Counter("mcs.checkpoint.written").Add(1)
+				reg.Gauge("checkpoint.last_slot").Set(float64(slot))
 			}
 		}
 	}

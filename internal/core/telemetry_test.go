@@ -1,0 +1,179 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rfidsched/internal/checkpoint"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/obs"
+)
+
+// TestTelemetryPreservesDeterminism extends the DESIGN.md §9 contract to the
+// full live-telemetry stack: metrics registry (gauges + spans), flight
+// recorder, and a running telemetry server scraping mid-run must leave a
+// seeded run bit-identical to the bare one.
+func TestTelemetryPreservesDeterminism(t *testing.T) {
+	run := func(reg *obs.Registry, tr obs.Tracer) *MCSResult {
+		sys := smallSystem(t, 71, 25, 200)
+		g := graph.FromSystem(sys)
+		res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{
+			RecordSlots: true,
+			Faults:      chaosScenario(25),
+			Tracer:      tr,
+			Metrics:     reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	baseline := run(nil, nil)
+
+	if got := run(obs.NewRegistry(), nil); !reflect.DeepEqual(baseline, got) {
+		t.Error("metrics registry (gauges + spans) changed the result")
+	}
+	if got := run(nil, obs.NewFlightRecorder(64)); !reflect.DeepEqual(baseline, got) {
+		t.Error("flight recorder changed the result")
+	}
+
+	// Everything on at once, with the HTTP server live over the run.
+	reg := obs.NewRegistry()
+	rec := obs.NewFlightRecorder(64)
+	srv, err := obs.Serve("127.0.0.1:0", obs.ServeOptions{Registry: reg, Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := run(reg, rec); !reflect.DeepEqual(baseline, got) {
+		t.Error("full telemetry stack changed the result")
+	}
+}
+
+// TestRunMCSProgressGaugesAndSpans checks the live-telemetry signals the
+// /runs and /metrics endpoints read: progress gauges land on the final
+// values and every driver phase shows up in its span histogram.
+func TestRunMCSProgressGaugesAndSpans(t *testing.T) {
+	sys := smallSystem(t, 71, 25, 200)
+	g := graph.FromSystem(sys)
+	reg := obs.NewRegistry()
+	ckptPath := filepath.Join(t.TempDir(), "run.ckpt")
+	w, err := checkpoint.Create(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{
+		Faults:     chaosScenario(25),
+		Metrics:    reg,
+		Checkpoint: w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Gauges["mcs.slot.current"]; got != float64(res.Size-1) {
+		t.Errorf("mcs.slot.current = %v, want last slot %d", got, res.Size-1)
+	}
+	if got := snap.Gauges["mcs.tags.read"]; got != float64(res.TotalRead) {
+		t.Errorf("mcs.tags.read = %v, want %d", got, res.TotalRead)
+	}
+	if got := snap.Gauges["checkpoint.last_slot"]; got != float64(res.Size-1) {
+		t.Errorf("checkpoint.last_slot = %v, want %d", got, res.Size-1)
+	}
+	// One header + one record per slot, counted by the writer's Observer.
+	if got := snap.Counters["checkpoint.records"]; got != int64(res.Size+1) {
+		t.Errorf("checkpoint.records = %d, want %d", got, res.Size+1)
+	}
+	if got := snap.Counters["checkpoint.bytes"]; got <= 0 {
+		t.Errorf("checkpoint.bytes = %d, want > 0", got)
+	}
+
+	// Spans: one solve per slot, one repair per slot (fault plan present),
+	// one checkpoint.write per slot record.
+	if h := snap.Histograms[obs.SpanMetric(obs.SpanSolve)]; h.N != res.Size {
+		t.Errorf("solve spans %d, want one per slot (%d)", h.N, res.Size)
+	}
+	if h := snap.Histograms[obs.SpanMetric(obs.SpanRepair)]; h.N != res.Size {
+		t.Errorf("repair spans %d, want one per slot (%d)", h.N, res.Size)
+	}
+	if h := snap.Histograms[obs.SpanMetric(obs.SpanCheckpointWrite)]; h.N != res.Size {
+		t.Errorf("checkpoint.write spans %d, want one per slot (%d)", h.N, res.Size)
+	}
+
+	// The /runs assembly over these gauges: healthy lag is zero.
+	st := obs.RunStatusFrom(snap)
+	if st.CheckpointLag != 0 {
+		t.Errorf("checkpoint lag %d after a clean run, want 0", st.CheckpointLag)
+	}
+	if st.TagsRead != int64(res.TotalRead) {
+		t.Errorf("RunStatus.TagsRead = %d, want %d", st.TagsRead, res.TotalRead)
+	}
+}
+
+// TestResumeSeedsProgressGauges: a resumed run must come up with the gauges
+// already at the restored position, not at the -1 sentinels.
+func TestResumeSeedsProgressGauges(t *testing.T) {
+	build := func() (*MCSResult, *checkpoint.MCSState, error) {
+		sys := smallSystem(t, 43, 20, 150)
+		g := graph.FromSystem(sys)
+		path := filepath.Join(t.TempDir(), "a.ckpt")
+		w, err := checkpoint.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := RunMCS(sys, NewGrowth(g, 1.25), MCSOptions{Checkpoint: w})
+		w.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := checkpoint.LoadMCS(path)
+		return res, st, err
+	}
+	full, st, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Slots) < 2 {
+		t.Skipf("degenerate run: %d slots", len(st.Slots))
+	}
+	// Truncate to half the history and resume with a registry attached.
+	st.Slots = st.Slots[:len(st.Slots)/2]
+	reg := obs.NewRegistry()
+	sys := smallSystem(t, 43, 20, 150)
+	g := graph.FromSystem(sys)
+	res, err := ResumeMCS(sys, NewGrowth(g, 1.25), MCSOptions{Metrics: reg}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != full.Size || res.TotalRead != full.TotalRead {
+		t.Fatalf("resumed run diverged: %d/%d vs %d/%d", res.Size, res.TotalRead, full.Size, full.TotalRead)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["mcs.checkpoint.restored"]; got != 1 {
+		t.Errorf("mcs.checkpoint.restored = %d, want 1", got)
+	}
+	if got := snap.Gauges["mcs.tags.read"]; got != float64(res.TotalRead) {
+		t.Errorf("mcs.tags.read = %v, want %d", got, res.TotalRead)
+	}
+}
+
+// TestDistributedElectionSpans: MCSOptions.Metrics reaches the protocol
+// scheduler through SetMetrics, timing one election per OneShot call.
+func TestDistributedElectionSpans(t *testing.T) {
+	sys := smallSystem(t, 31, 16, 120)
+	g := graph.FromSystem(sys)
+	reg := obs.NewRegistry()
+	res, err := RunMCS(sys, NewDistributed(g, 1.25), MCSOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Snapshot().Histograms[obs.SpanMetric(obs.SpanElection)]
+	if h.N != res.Size {
+		t.Errorf("election spans %d, want one per slot (%d)", h.N, res.Size)
+	}
+}

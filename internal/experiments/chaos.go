@@ -105,6 +105,7 @@ func ablChaos(cfg Config) (*FigureResult, error) {
 					MaxSlots: 500,
 					Faults:   faults,
 					Tracer:   tr,
+					Metrics:  cfg.Metrics,
 				})
 				if err != nil {
 					// Retry-exhausted protocol failures are data, not run

@@ -72,6 +72,14 @@ type Config struct {
 	// via obs.WithRun so a single trace file stays attributable.
 	Tracer obs.Tracer
 
+	// Metrics, when non-nil, receives live driver telemetry from every run
+	// (progress gauges, per-phase span histograms; see core.MCSOptions
+	// .Metrics) — the registry the `rfidsim -http` telemetry server scrapes.
+	// The registry is safe for the harness's parallel trials; counters and
+	// histograms aggregate across them, while the progress gauges are
+	// last-write-wins and so reflect *some* in-flight run at each instant.
+	Metrics *obs.Registry
+
 	// Checkpoint, when non-nil, makes the sweep durable at cell
 	// granularity: every completed (figure, x, trial) cell is appended to
 	// the stream, and cells already recorded there are replayed into the
@@ -363,6 +371,7 @@ func runTrial(def figureDef, cfg Config, x float64, trial int, fixedR, fixedr fl
 		case "mcs":
 			res, err := core.RunMCS(sys, sched, core.MCSOptions{
 				Tracer:         tr,
+				Metrics:        cfg.Metrics,
 				SlotDeadline:   cfg.SlotDeadline,
 				SlotPollBudget: cfg.SlotPollBudget,
 			})

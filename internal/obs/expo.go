@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format rendered by WriteExposition (format version 0.0.4).
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteExposition renders the snapshot in the Prometheus text exposition
+// format, one `# TYPE` header per metric family followed by its samples.
+// Registry names use dots ("mcs.slots.truncated"); exposition names must
+// match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid character becomes an
+// underscore. Counters and gauges map 1:1. A Histogram is a Welford
+// accumulator, not a bucketed distribution, so it is exported as a summary
+// (<name>_sum, <name>_count — enough for rate() of means) plus companion
+// gauges <name>_min, <name>_max, <name>_mean and <name>_stddev.
+//
+// Output is deterministic: families render in kind-then-name order, and two
+// registry names that sanitize to the same exposition name keep only the
+// first (sorted) one.
+func (s Snapshot) WriteExposition(w io.Writer) error {
+	seen := map[string]bool{}
+	// claim reserves a family name (and, for summaries, its _sum/_count
+	// sample names); a collision drops the later family entirely rather
+	// than emitting a duplicate TYPE line, which scrapers reject.
+	claim := func(names ...string) bool {
+		for _, n := range names {
+			if seen[n] {
+				return false
+			}
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+		return true
+	}
+
+	for _, name := range s.CounterNames() {
+		n := SanitizeMetricName(name)
+		if !claim(n) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.GaugeNames() {
+		n := SanitizeMetricName(name)
+		if !claim(n) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, formatSample(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.HistogramNames() {
+		n := SanitizeMetricName(name)
+		if !claim(n, n+"_sum", n+"_count") {
+			continue
+		}
+		h := s.Histograms[name]
+		sum := h.Mean * float64(h.N)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_sum %s\n%s_count %d\n",
+			n, n, formatSample(sum), n, h.N); err != nil {
+			return err
+		}
+		for _, companion := range []struct {
+			suffix string
+			v      float64
+		}{
+			{"min", h.Min}, {"max", h.Max}, {"mean", h.Mean}, {"stddev", h.Std},
+		} {
+			cn := n + "_" + companion.suffix
+			if !claim(cn) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", cn, cn, formatSample(companion.v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SanitizeMetricName maps a registry metric name onto the exposition
+// charset: characters outside [a-zA-Z0-9_:] become underscores, and a name
+// whose first character is a digit gains an underscore prefix. An empty
+// name becomes "_".
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatSample renders a float the way the exposition format expects;
+// strconv already yields the spec's "NaN", "+Inf" and "-Inf" spellings.
+func formatSample(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

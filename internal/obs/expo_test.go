@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	expoTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	expoSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*) (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|-?[0-9]\.[0-9]+|NaN|[+-]Inf)$`)
+)
+
+// validateExposition is a strict checker of the subset of the Prometheus
+// text format WriteExposition emits: every line is a TYPE header or a
+// bare-name sample, every sample belongs to the family most recently
+// declared (allowing the summary's _sum/_count and companion suffixes via
+// their own TYPE lines), and no family is declared twice.
+func validateExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := map[string]string{}
+	samples := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		if l == "" {
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			m := expoTypeRe.FindStringSubmatch(l)
+			if m == nil {
+				t.Fatalf("line %d: malformed comment/TYPE line %q", line, l)
+			}
+			if _, dup := types[m[1]]; dup {
+				t.Fatalf("line %d: family %q declared twice", line, m[1])
+			}
+			types[m[1]] = m[2]
+			continue
+		}
+		m := expoSampleRe.FindStringSubmatch(l)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample line %q", line, l)
+		}
+		name := m[1]
+		family := name
+		if types[family] == "" {
+			// summary samples carry the family name plus _sum/_count
+			for _, suf := range []string{"_sum", "_count"} {
+				if strings.HasSuffix(name, suf) && types[strings.TrimSuffix(name, suf)] == "summary" {
+					family = strings.TrimSuffix(name, suf)
+				}
+			}
+		}
+		if types[family] == "" {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", line, name)
+		}
+		samples[name] = m[2]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestWriteExpositionValidAndComplete(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mcs.slots.truncated").Add(7)
+	reg.Counter("events.slot_executed").Add(42)
+	reg.Gauge("mcs.slot.current").Set(41)
+	reg.Gauge("checkpoint.last_slot").Set(40)
+	for i := 1; i <= 4; i++ {
+		reg.Histogram("span.solve.seconds").Observe(float64(i) * 0.5)
+	}
+
+	var b strings.Builder
+	if err := reg.Snapshot().WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := validateExposition(t, b.String())
+
+	want := map[string]string{
+		"mcs_slots_truncated":      "7",
+		"events_slot_executed":     "42",
+		"mcs_slot_current":         "41",
+		"checkpoint_last_slot":     "40",
+		"span_solve_seconds_sum":   "5",
+		"span_solve_seconds_count": "4",
+		"span_solve_seconds_min":   "0.5",
+		"span_solve_seconds_max":   "2",
+		"span_solve_seconds_mean":  "1.25",
+	}
+	for name, v := range want {
+		if samples[name] != v {
+			t.Errorf("%s = %q, want %q (all: %v)", name, samples[name], v, samples)
+		}
+	}
+	if _, ok := samples["span_solve_seconds_stddev"]; !ok {
+		t.Error("no stddev companion gauge")
+	}
+}
+
+func TestWriteExpositionEmptySnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := (Snapshot{}).WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", b.String())
+	}
+}
+
+func TestWriteExpositionEmptyHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("span.repair.seconds") // created, never observed
+	var b strings.Builder
+	if err := reg.Snapshot().WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := validateExposition(t, b.String())
+	if samples["span_repair_seconds_count"] != "0" {
+		t.Errorf("empty histogram count %q, want 0", samples["span_repair_seconds_count"])
+	}
+}
+
+func TestWriteExpositionNameCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(1)
+	reg.Counter("a_b").Add(2)
+	var b strings.Builder
+	if err := reg.Snapshot().WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The validator fails on duplicate TYPE declarations; reaching here
+	// means one family survived. Sorted order makes "a.b" the winner.
+	samples := validateExposition(t, b.String())
+	if samples["a_b"] != "1" {
+		t.Errorf("collision winner a_b=%q, want the first sorted name's value 1", samples["a_b"])
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"mcs.slot.current", "mcs_slot_current"},
+		{"span.checkpoint.write.seconds", "span_checkpoint_write_seconds"},
+		{"already_fine:colon", "already_fine:colon"},
+		{"events.run-completed", "events_run_completed"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"héllo", "h_llo"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFormatSampleSpecials pins the exposition spellings of the special
+// values: "+Inf", "-Inf" and "NaN" — exactly strconv's output, checked here
+// so a formatting refactor cannot silently drift off-spec.
+func TestFormatSampleSpecials(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	}
+	for _, c := range cases {
+		if got := formatSample(c.v); got != c.want {
+			t.Errorf("formatSample(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := formatSample(math.NaN()); got != "NaN" {
+		t.Errorf("formatSample(NaN) = %q, want NaN", got)
+	}
+	if !expoSampleRe.MatchString("x " + formatSample(math.Inf(1))) {
+		t.Error("validator rejects +Inf samples")
+	}
+}

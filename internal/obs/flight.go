@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FlightRecorder is a fixed-capacity ring-buffer Tracer: it retains the last
+// n events and forgets older ones, so a multi-hour run can keep a post-mortem
+// trace in a few hundred kilobytes of memory. Compose it with Tee to record
+// alongside a full JSONL sink, and dump it:
+//
+//   - on demand, through Events/WriteJSONL/DumpFile (the /debug/flight
+//     endpoint of the telemetry server, see Handler);
+//   - automatically on a degraded or incomplete run_completed event, when an
+//     auto-dump path is configured (AutoDump);
+//   - on panic, via `defer rec.DumpOnPanic(path)` or an explicit DumpFile in
+//     a recover block (the rfidsched supervisor archives one dump per
+//     crashed attempt).
+//
+// Like every Tracer it is pure observation — recording changes no engine
+// decision, so seeded runs stay bit-identical with the recorder attached.
+// All methods are safe for concurrent use.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	buf      []Event // ring storage; len grows to cap, then wraps
+	next     int     // overwrite position once full
+	dropped  int64   // events overwritten since creation
+	autoPath string  // dump target for bad run_completed events ("" = off)
+	err      error   // first dump error (sticky)
+}
+
+// DefaultFlightCapacity is the ring size NewFlightRecorder falls back to for
+// non-positive capacities.
+const DefaultFlightCapacity = 512
+
+// NewFlightRecorder builds a recorder retaining the last n events (n <= 0
+// means DefaultFlightCapacity).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Tracer: append the event, evicting the oldest once the
+// ring is full. A run_completed event with cause "degraded" or "incomplete"
+// triggers an automatic dump when AutoDump configured one.
+func (f *FlightRecorder) Emit(e Event) {
+	f.mu.Lock()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, e)
+	} else {
+		f.buf[f.next] = e
+		f.next = (f.next + 1) % len(f.buf)
+		f.dropped++
+	}
+	auto := ""
+	if e.Type == RunCompleted && (e.Cause == "degraded" || e.Cause == "incomplete") {
+		auto = f.autoPath
+	}
+	f.mu.Unlock()
+	if auto != "" {
+		f.DumpFile(auto)
+	}
+}
+
+// AutoDump arms (path != "") or disarms (path == "") the automatic dump
+// taken when a run completes degraded or incomplete. Each triggering run
+// overwrites the file — the dump describes the most recent bad run.
+func (f *FlightRecorder) AutoDump(path string) {
+	f.mu.Lock()
+	f.autoPath = path
+	f.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int { return cap(f.buf) }
+
+// Len returns how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// Dropped returns how many events have been evicted by ring wrap — the
+// count of history the recorder no longer holds.
+func (f *FlightRecorder) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// WriteJSONL writes the retained events to w as JSON lines, oldest first —
+// the same format a JSONL tracer produces, so every trace consumer
+// (ReadSummary, `rfidsim -fig trace-report`) accepts a flight dump. A dump
+// may begin mid-run where the ring wrapped; ReadSummary tolerates the
+// missing prefix.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range f.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("obs: flight dump: %w", err)
+		}
+	}
+	return nil
+}
+
+// DumpFile writes the retained events to path, truncating any previous
+// dump. The first error is remembered (see Err) so fire-and-forget dump
+// sites — panic handlers, the auto-dump trigger — stay one-liners.
+func (f *FlightRecorder) DumpFile(path string) error {
+	err := f.dumpFile(path)
+	if err != nil {
+		f.mu.Lock()
+		if f.err == nil {
+			f.err = err
+		}
+		f.mu.Unlock()
+	}
+	return err
+}
+
+func (f *FlightRecorder) dumpFile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	if err := f.WriteJSONL(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// Err returns the first dump error, if any.
+func (f *FlightRecorder) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// DumpOnPanic dumps the flight record to path if the calling goroutine is
+// panicking, then re-panics with the original value. Use it as a deferred
+// call bracketing the run:
+//
+//	defer rec.DumpOnPanic("crash.flight.jsonl")
+//
+// When no panic is in flight it does nothing, so the happy path pays only
+// the deferred call.
+func (f *FlightRecorder) DumpOnPanic(path string) {
+	if r := recover(); r != nil {
+		f.DumpFile(path)
+		panic(r)
+	}
+}

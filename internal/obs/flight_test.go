@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRetainsLastN(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for slot := 0; slot < 10; slot++ {
+		f.Emit(EvSlotExecuted(slot, []int{slot}, 1))
+	}
+	if f.Len() != 4 || f.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", f.Len(), f.Cap())
+	}
+	if f.Dropped() != 6 {
+		t.Errorf("dropped %d, want 6", f.Dropped())
+	}
+	ev := f.Events()
+	for i, e := range ev {
+		if want := 6 + i; e.T != want {
+			t.Errorf("event %d has slot %d, want %d (oldest-first window)", i, e.T, want)
+		}
+	}
+}
+
+func TestFlightRecorderBelowCapacityKeepsAll(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Emit(EvSlotPlanned(0, "alg", []int{1}))
+	f.Emit(EvSlotExecuted(0, []int{1}, 3))
+	if got := f.Events(); len(got) != 2 || got[0].Type != SlotPlanned || got[1].Type != SlotExecuted {
+		t.Errorf("unexpected window %+v", got)
+	}
+	if f.Dropped() != 0 {
+		t.Errorf("dropped %d below capacity", f.Dropped())
+	}
+}
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	if got := NewFlightRecorder(0).Cap(); got != DefaultFlightCapacity {
+		t.Errorf("default capacity %d, want %d", got, DefaultFlightCapacity)
+	}
+}
+
+// TestFlightDumpReadableBySummary round-trips a dump through the standard
+// trace summarizer — the format contract behind `rfidsim -fig trace-report`
+// accepting flight records.
+func TestFlightDumpReadableBySummary(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for slot := 0; slot < 5; slot++ {
+		f.Emit(EvSlotPlanned(slot, "alg2", []int{0, 1}))
+		f.Emit(EvSlotExecuted(slot, []int{0, 1}, 2))
+	}
+	f.Emit(EvRunCompleted(5, 10, "alg2", "ok"))
+
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatalf("summarizing flight dump: %v", err)
+	}
+	if sum.Events[SlotExecuted] != 5 || sum.Events[RunCompleted] != 1 {
+		t.Errorf("summary miscounted: %+v", sum.Events)
+	}
+}
+
+func TestFlightRecorderAutoDumpOnBadRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	f := NewFlightRecorder(8)
+	f.AutoDump(path)
+
+	f.Emit(EvSlotExecuted(0, []int{1}, 2))
+	f.Emit(EvRunCompleted(1, 2, "alg", "ok"))
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("healthy run triggered an auto dump (stat err: %v)", err)
+	}
+
+	f.Emit(EvRunCompleted(1, 2, "alg", "degraded"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("degraded run left no dump: %v", err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 3 {
+		t.Errorf("dump has %d lines, want 3", lines)
+	}
+	if f.Err() != nil {
+		t.Errorf("unexpected sticky error: %v", f.Err())
+	}
+}
+
+func TestFlightRecorderAutoDumpOnIncompleteRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	f := NewFlightRecorder(8)
+	f.AutoDump(path)
+	f.Emit(EvRunCompleted(100, 7, "alg", "incomplete"))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("incomplete run left no dump: %v", err)
+	}
+}
+
+func TestFlightRecorderDumpErrorSticky(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Emit(EvSlotExecuted(0, nil, 0))
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "f.jsonl")
+	if err := f.DumpFile(bad); err == nil {
+		t.Fatal("dump into a missing directory succeeded")
+	}
+	if f.Err() == nil {
+		t.Error("dump error not retained")
+	}
+}
+
+func TestFlightRecorderDumpOnPanic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.jsonl")
+	f := NewFlightRecorder(8)
+	f.Emit(EvSlotExecuted(3, []int{2}, 1))
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("DumpOnPanic swallowed the panic")
+			} else if r != "boom" {
+				t.Errorf("panic value changed to %v", r)
+			}
+		}()
+		defer f.DumpOnPanic(path)
+		panic("boom")
+	}()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("panic left no dump: %v", err)
+	}
+	if !strings.Contains(string(data), `"slot_executed"`) {
+		t.Errorf("dump missing the recorded event:\n%s", data)
+	}
+}
+
+func TestFlightRecorderDumpOnPanicNoopWithoutPanic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never.jsonl")
+	f := NewFlightRecorder(4)
+	func() { defer f.DumpOnPanic(path) }()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("dump written without a panic (stat err: %v)", err)
+	}
+}
+
+// TestFlightRecorderComposesWithTee checks the recorder slots into the
+// standard fan-out: a full sink and the ring both see every event.
+func TestFlightRecorderComposesWithTee(t *testing.T) {
+	full := &Collector{}
+	ring := NewFlightRecorder(2)
+	tr := Tee(full, ring)
+	for slot := 0; slot < 5; slot++ {
+		tr.Emit(EvSlotExecuted(slot, nil, 1))
+	}
+	if got := len(full.Events()); got != 5 {
+		t.Errorf("full sink saw %d events, want 5", got)
+	}
+	if got := ring.Events(); len(got) != 2 || got[0].T != 3 || got[1].T != 4 {
+		t.Errorf("ring window %+v, want slots 3,4", got)
+	}
+}

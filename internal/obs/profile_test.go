@@ -52,3 +52,41 @@ func TestStartProfilesBadPath(t *testing.T) {
 		t.Error("no error for uncreatable cpu profile path")
 	}
 }
+
+// TestStartProfilesBadMemPath: an uncreatable heap-profile path must surface
+// from stop(), not silently drop the profile.
+func TestStartProfilesBadMemPath(t *testing.T) {
+	stop, err := StartProfiles("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("no error for uncreatable heap profile path")
+	}
+	if err := stop(); err != nil {
+		t.Errorf("second stop must be a no-op even after a failure: %v", err)
+	}
+}
+
+// TestStartProfilesWhileCPUProfileActive: pprof allows one CPU profile at a
+// time, so a second StartProfiles must fail cleanly — and must not kill the
+// first profile, which still stops and writes normally.
+func TestStartProfilesWhileCPUProfileActive(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "cpu1.pprof")
+	stop, err := StartProfiles(first, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	second := filepath.Join(dir, "cpu2.pprof")
+	if _, err := StartProfiles(second, ""); err == nil {
+		t.Error("second concurrent CPU profile started without error")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first profile could not stop after the failed second start: %v", err)
+	}
+	if fi, err := os.Stat(first); err != nil || fi.Size() == 0 {
+		t.Errorf("first profile lost: %v", err)
+	}
+}

@@ -168,3 +168,56 @@ func TestMetricsTracerAggregates(t *testing.T) {
 		t.Errorf("election.messages = %+v", h)
 	}
 }
+
+// TestHistogramObserveRacesMergeAndSnapshot hammers one histogram with
+// concurrent Observes while Merge folds shards into the same registry and
+// Snapshot reads it — the exact interleaving a live /metrics scrape of a
+// parallel sweep produces. Run under -race this is the data-race proof; the
+// final count is also checked so no observation is lost.
+func TestHistogramObserveRacesMergeAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		writers   = 4
+		perWriter = 2000
+		merges    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := reg.Histogram("race.hist")
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < merges; i++ {
+			shard := NewRegistry()
+			shard.Histogram("race.hist").Observe(1)
+			shard.Counter("race.count").Inc()
+			reg.Merge(shard)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < merges; i++ {
+			snap := reg.Snapshot()
+			if h := snap.Histograms["race.hist"]; h.N < 0 {
+				t.Error("negative histogram count")
+			}
+		}
+	}()
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got := snap.Histograms["race.hist"].N; got != writers*perWriter+merges {
+		t.Errorf("histogram N = %d, want %d (lost observations)", got, writers*perWriter+merges)
+	}
+	if got := snap.Counters["race.count"]; got != merges {
+		t.Errorf("merged counter = %d, want %d", got, merges)
+	}
+}

@@ -35,10 +35,12 @@ type RunSummary struct {
 	ReportedTags  int
 }
 
-// SlotDetail is one reconstructed slot of a single-run trace.
+// SlotDetail is one reconstructed slot of a single-run trace. Planned is -1
+// when the trace window opens mid-slot and the slot_planned event fell off
+// the front (a flight-recorder ring dump) — unknown, not zero readers.
 type SlotDetail struct {
 	Slot     int
-	Planned  int // readers the scheduler proposed
+	Planned  int // readers the scheduler proposed; -1 = not in the window
 	Active   int // readers that actually activated
 	TagsRead int
 	Failed   int // activations lost to faults
@@ -55,8 +57,12 @@ type TraceSummary struct {
 	RoundsPerElect  HistSnapshot
 
 	// Slots is the per-slot reconstruction, kept only while the trace
-	// stays single-run and within maxSlotDetail slots.
+	// stays single-run and within maxSlotDetail slots of SlotBase.
+	// SlotBase is the first slot number seen: 0 for a full trace, higher
+	// for a mid-run window such as a flight-recorder dump, whose ring
+	// retains only the tail of the run.
 	Slots          []SlotDetail
+	SlotBase       int
 	SlotsTruncated bool
 
 	lines int
@@ -73,6 +79,7 @@ func ReadSummary(r io.Reader) (*TraceSummary, error) {
 		FailuresByCause: map[string]int{},
 		DropsByCause:    map[string]int{},
 		Runs:            map[string]*RunSummary{},
+		SlotBase:        -1, // unset until the first slot event
 	}
 	var tagsPerSlot, roundsPerElect stats.Acc
 	dec := json.NewDecoder(r)
@@ -138,6 +145,9 @@ func ReadSummary(r io.Reader) (*TraceSummary, error) {
 		// meaningful for a single run.
 		s.Slots, s.SlotsTruncated = nil, true
 	}
+	if s.SlotBase < 0 {
+		s.SlotBase = 0
+	}
 	return s, nil
 }
 
@@ -151,16 +161,22 @@ func (s *TraceSummary) run(id string) *RunSummary {
 }
 
 // slot returns the detail row for a slot, growing the table as needed (and
-// abandoning detail once the cap is passed — aggregates stay exact).
+// abandoning detail once the cap is passed — aggregates stay exact). Rows
+// are indexed relative to the first slot seen, so a flight-recorder dump
+// whose window opens deep into a run still gets full per-slot detail.
 func (s *TraceSummary) slot(i int) *SlotDetail {
-	if i < 0 || i >= maxSlotDetail {
+	if s.SlotBase < 0 {
+		s.SlotBase = i
+	}
+	idx := i - s.SlotBase
+	if idx < 0 || idx >= maxSlotDetail {
 		s.SlotsTruncated = true
 		return &SlotDetail{} // discarded scratch row
 	}
-	for len(s.Slots) <= i {
-		s.Slots = append(s.Slots, SlotDetail{Slot: len(s.Slots)})
+	for len(s.Slots) <= idx {
+		s.Slots = append(s.Slots, SlotDetail{Slot: s.SlotBase + len(s.Slots), Planned: -1})
 	}
-	return &s.Slots[i]
+	return &s.Slots[idx]
 }
 
 // RunIDs returns the run identifiers, sorted.
@@ -260,7 +276,15 @@ func (s *TraceSummary) Write(w io.Writer) error {
 	}
 
 	if len(s.Runs) == 1 && len(s.Slots) > 0 {
-		if err := p("\nper-slot detail\n  %-6s %8s %8s %6s %8s %s\n",
+		if err := p("\nper-slot detail\n"); err != nil {
+			return err
+		}
+		if s.SlotBase > 0 {
+			if err := p("  (mid-run window: trace opens at slot %d — a flight-recorder dump\n   retains only the most recent events)\n", s.SlotBase); err != nil {
+				return err
+			}
+		}
+		if err := p("  %-6s %8s %8s %6s %8s %s\n",
 			"slot", "planned", "active", "tags", "failed", "note"); err != nil {
 			return err
 		}
@@ -269,8 +293,12 @@ func (s *TraceSummary) Write(w io.Writer) error {
 			if d.Fallback {
 				note = "fallback"
 			}
-			if err := p("  %-6d %8d %8d %6d %8d %s\n",
-				d.Slot, d.Planned, d.Active, d.TagsRead, d.Failed, note); err != nil {
+			planned := "-" // slot_planned fell off the front of the ring
+			if d.Planned >= 0 {
+				planned = fmt.Sprintf("%d", d.Planned)
+			}
+			if err := p("  %-6d %8s %8d %6d %8d %s\n",
+				d.Slot, planned, d.Active, d.TagsRead, d.Failed, note); err != nil {
 				return err
 			}
 		}

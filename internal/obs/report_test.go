@@ -147,3 +147,52 @@ func TestSlotDetailCap(t *testing.T) {
 		t.Errorf("aggregates must stay exact past the cap: %+v", r)
 	}
 }
+
+// TestReadSummaryFlightDumpWindow feeds a flight-recorder dump to the
+// summarizer: the ring wrapped mid-run, so the window opens at a high slot
+// number and the first slot is missing its slot_planned prefix.
+func TestReadSummaryFlightDumpWindow(t *testing.T) {
+	rec := NewFlightRecorder(5)
+	rec.Emit(EvSlotPlanned(999, "Alg2-Growth", []int{9})) // evicted by the ring
+	for slot := 1000; slot < 1003; slot++ {
+		rec.Emit(EvSlotPlanned(slot, "Alg2-Growth", []int{1, 2}))
+		rec.Emit(EvSlotExecuted(slot, []int{1, 2}, 5))
+	}
+	// Capacity 5 of 7 emits: the ring holds slot 1000's executed event
+	// onward — slot 999 entirely and slot 1000's planned event are gone.
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SlotBase != 1000 {
+		t.Errorf("SlotBase = %d, want 1000", s.SlotBase)
+	}
+	if len(s.Slots) != 3 {
+		t.Fatalf("detail rows = %d, want 3", len(s.Slots))
+	}
+	if d := s.Slots[0]; d.Slot != 1000 || d.Planned != -1 || d.Active != 2 || d.TagsRead != 5 {
+		t.Errorf("wrapped first slot wrong: %+v", d)
+	}
+	if d := s.Slots[1]; d.Slot != 1001 || d.Planned != 2 {
+		t.Errorf("intact slot wrong: %+v", d)
+	}
+	if s.SlotsTruncated {
+		t.Error("a small window must not report truncation")
+	}
+
+	var out bytes.Buffer
+	if err := s.Write(&out); err != nil {
+		t.Fatal(err)
+	}
+	rep := out.String()
+	if !strings.Contains(rep, "mid-run window: trace opens at slot 1000") {
+		t.Errorf("report does not flag the mid-run window:\n%s", rep)
+	}
+	if !strings.Contains(rep, "  1000          -        2") {
+		t.Errorf("missing-planned slot not rendered as '-':\n%s", rep)
+	}
+}

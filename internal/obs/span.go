@@ -1,0 +1,64 @@
+package obs
+
+import "time"
+
+// The span taxonomy of the scheduling stack (DESIGN.md §13). Each name keys
+// one per-phase duration histogram, "span.<name>.seconds":
+//
+//	solve             one OneShot scheduler call inside the MCS driver loop
+//	repair            the fault-repair work of one slot (down-mask refresh,
+//	                  executable split, stall fallback)
+//	election          one full distributed coordinator-election protocol run
+//	checkpoint.write  one durable slot-record append, fsync included
+const (
+	SpanSolve           = "solve"
+	SpanRepair          = "repair"
+	SpanElection        = "election"
+	SpanCheckpointWrite = "checkpoint.write"
+)
+
+// SpanMetric returns the histogram name a span of the given phase feeds.
+func SpanMetric(name string) string { return "span." + name + ".seconds" }
+
+// Span times one phase of work. It is a value, not a pointer: starting a
+// span allocates nothing, and a span started against a nil registry is the
+// zero Span, whose End is a no-op — the same zero-cost off switch as the
+// nil-Tracer convention, so engines call StartSpan/End unconditionally.
+//
+// Spans are pure observation: the measured duration only ever lands in a
+// Histogram, no engine reads it back, so a seeded run is bit-identical with
+// spans enabled or disabled.
+type Span struct {
+	reg   *Registry
+	name  string
+	clock func() time.Time
+	start time.Time
+}
+
+// StartSpan begins timing the named phase against reg using the wall clock.
+// A nil registry returns the zero Span without reading the clock.
+func StartSpan(reg *Registry, name string) Span {
+	return StartSpanClock(reg, name, nil)
+}
+
+// StartSpanClock is StartSpan with an injectable clock, so tests can drive
+// deterministic durations. A nil clock means time.Now.
+func StartSpanClock(reg *Registry, name string, clock func() time.Time) Span {
+	if reg == nil {
+		return Span{}
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return Span{reg: reg, name: name, clock: clock, start: clock()}
+}
+
+// End observes the elapsed phase duration, in seconds, into the span's
+// histogram. End on the zero Span is a no-op. A span may be ended only once;
+// spans are cheap, start a new one per phase instance.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Histogram(SpanMetric(s.name)).Observe(s.clock().Sub(s.start).Seconds())
+}

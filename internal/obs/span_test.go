@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances by step on every reading.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	now := start
+	return func() time.Time {
+		t := now
+		now = now.Add(step)
+		return t
+	}
+}
+
+func TestSpanObservesDeterministicDuration(t *testing.T) {
+	reg := NewRegistry()
+	clock := fakeClock(time.Unix(1000, 0), 250*time.Millisecond)
+	sp := StartSpanClock(reg, SpanSolve, clock)
+	sp.End()
+
+	h := reg.Snapshot().Histograms[SpanMetric(SpanSolve)]
+	if h.N != 1 {
+		t.Fatalf("span histogram has %d samples, want 1", h.N)
+	}
+	if h.Mean != 0.25 {
+		t.Errorf("span duration %v, want 0.25s", h.Mean)
+	}
+}
+
+func TestSpanAccumulatesPerPhase(t *testing.T) {
+	reg := NewRegistry()
+	clock := fakeClock(time.Unix(0, 0), 100*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		StartSpanClock(reg, SpanCheckpointWrite, clock).End()
+	}
+	StartSpanClock(reg, SpanRepair, clock).End()
+
+	snap := reg.Snapshot()
+	if h := snap.Histograms[SpanMetric(SpanCheckpointWrite)]; h.N != 5 {
+		t.Errorf("checkpoint.write has %d samples, want 5", h.N)
+	}
+	if h := snap.Histograms[SpanMetric(SpanRepair)]; h.N != 1 {
+		t.Errorf("repair has %d samples, want 1", h.N)
+	}
+}
+
+func TestSpanNilRegistryIsNoop(t *testing.T) {
+	sp := StartSpan(nil, SpanElection)
+	sp.End() // must not panic
+	var zero Span
+	zero.End() // zero value likewise
+}
+
+func TestSpanWallClockDefault(t *testing.T) {
+	reg := NewRegistry()
+	sp := StartSpan(reg, SpanSolve)
+	sp.End()
+	h := reg.Snapshot().Histograms[SpanMetric(SpanSolve)]
+	if h.N != 1 {
+		t.Fatalf("span histogram has %d samples, want 1", h.N)
+	}
+	if h.Mean < 0 {
+		t.Errorf("wall-clock span measured negative duration %v", h.Mean)
+	}
+}
