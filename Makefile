@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench obsbench wbench wbench-check psbench psbench-check fuzz check
+.PHONY: build test vet race bench obsbench wbench wbench-check psbench psbench-check fuzz lint check
 
 build:
 	$(GO) build ./...
@@ -50,11 +50,22 @@ psbench:
 psbench-check:
 	$(GO) run ./cmd/psbench -check -baseline BENCH_parallel.json -o BENCH_parallel_fresh.json
 
-# fuzz is a bounded smoke run of the checkpoint-decoder fuzzer: 30 seconds is
-# enough to shake out parser panics on torn/bit-rotted streams without
-# stalling CI. Raise -fuzztime locally when hunting a specific corruption.
+# fuzz is a bounded smoke run of the two attacker-facing parsers: the
+# checkpoint decoder (torn/bit-rotted resume streams) and the /v1/schedule
+# request decoder (malformed JSON, NaN/Inf coordinates, negative radii —
+# must 400, never panic). 30 seconds each shakes out shallow parser panics
+# without stalling CI. Raise -fuzztime locally when hunting a specific bug.
 fuzz:
 	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/checkpoint
+	$(GO) test -fuzz=FuzzDecodeScheduleRequest -fuzztime=30s ./internal/serve
+
+# lint runs the static analyzers CI enforces. Neither tool ships with the
+# toolchain; install them once with:
+#   go install honnef.co/go/tools/cmd/staticcheck@2024.1.1
+#   go install golang.org/x/vuln/cmd/govulncheck@v1.1.3
+lint:
+	staticcheck ./...
+	govulncheck ./...
 
 # check is the full pre-merge gate: compile, static analysis, and the whole
 # test suite under the race detector (the fault-injection layers lean on

@@ -1,0 +1,124 @@
+// Command rfidserved runs the scheduling service: a long-lived HTTP/JSON
+// daemon that accepts deployment specs (or rfidgen-style generator
+// parameters) and returns one-shot MWFS or full MCS schedules, with a
+// sharded work queue, an LRU schedule cache, single-flight deduplication
+// of identical in-flight requests, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	rfidserved -addr 127.0.0.1:9290
+//	rfidserved -addr :9290 -shards 8 -workers 2 -queue 128 -cache 512
+//	rfidserved -addr :9290 -ckpt-dir /var/lib/rfidserved
+//
+// Endpoints:
+//
+//	POST /v1/schedule   solve a deployment (sync; "async": true for 202+poll)
+//	GET  /v1/jobs/{id}  job status and result by fingerprint
+//	GET  /metrics       Prometheus text exposition (queue/cache/solver series)
+//	GET  /runs          JSON progress of the currently running MCS jobs
+//	GET  /healthz       liveness; /readyz flips to 503 while draining
+//	GET  /debug/pprof/  live profiling
+//
+// On SIGTERM (or SIGINT) the daemon stops admitting work — new schedule
+// requests get 503, /readyz goes not-ready — finishes every job already
+// queued or in flight (waiters receive their responses), then exits 0.
+// With -ckpt-dir, MCS progress is additionally durable per slot: a job cut
+// off by -drain-timeout (or a crash) leaves a checkpoint behind that the
+// next process resumes bit-identically on the same request. See DESIGN.md
+// §14 and the README "Running the scheduling service" walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rfidsched/internal/obs"
+	"rfidsched/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable entry point; stop, when non-nil, triggers the same
+// graceful drain a SIGTERM does (the CLI tests use it in place of signals).
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("rfidserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:9290", "listen address (host:port; :0 picks a free port)")
+		shards       = fs.Int("shards", 4, "work-queue shards (fingerprint-hashed)")
+		workers      = fs.Int("workers", 2, "solver workers per shard")
+		queueDepth   = fs.Int("queue", 64, "per-shard queue capacity (full shard returns 429)")
+		cacheEntries = fs.Int("cache", 256, "LRU schedule-cache capacity in entries")
+		drainTO      = fs.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on SIGTERM before giving up")
+		ckptDir      = fs.String("ckpt-dir", "", "directory for durable per-job MCS checkpoints (enables resume across restarts)")
+		maxReaders   = fs.Int("max-readers", 0, "admission cap on readers per request (0 = default)")
+		maxTags      = fs.Int("max-tags", 0, "admission cap on tags per request (0 = default)")
+		maxBody      = fs.Int64("max-body", 0, "request body size cap in bytes (0 = default 32MiB)")
+		maxWorkers   = fs.Int("max-workers", 0, "cap on per-request solver workers (0 = NumCPU)")
+		maxDeadline  = fs.Duration("max-deadline", 0, "cap on per-request slot deadlines (0 = default 10s)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "rfidserved: %v\n", err)
+			return 1
+		}
+	}
+
+	srv := serve.NewServer(serve.Options{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		CheckpointDir:   *ckptDir,
+		MaxBody:         *maxBody,
+		Limits: serve.Limits{
+			MaxReaders:      *maxReaders,
+			MaxTags:         *maxTags,
+			MaxWorkers:      *maxWorkers,
+			MaxSlotDeadline: *maxDeadline,
+		},
+	})
+
+	// obs.Serve binds the listener and reports the resolved address before
+	// returning, so ":0" is printable and the process is curl-able the
+	// moment the log line appears.
+	httpSrv, err := obs.ServeHandler(*addr, srv.Handler())
+	if err != nil {
+		fmt.Fprintf(stderr, "rfidserved: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rfidserved: listening on http://%s/ (%d shards x %d workers, queue %d, cache %d)\n",
+		httpSrv.Addr, *shards, *workers, *queueDepth, *cacheEntries)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stderr, "rfidserved: received %v, draining\n", s)
+	case <-stop:
+		fmt.Fprintln(stderr, "rfidserved: stop requested, draining")
+	}
+
+	// Drain order matters: refuse new work and finish what was admitted
+	// (sync waiters get their responses over the still-open connections),
+	// then close the listener.
+	if err := srv.Drain(*drainTO); err != nil {
+		fmt.Fprintf(stderr, "rfidserved: %v\n", err)
+		httpSrv.Close()
+		return 1
+	}
+	httpSrv.Close()
+	fmt.Fprintln(stderr, "rfidserved: drained, exiting")
+	return 0
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer lets the test read the daemon's stdout while run() is still
+// writing to it from another goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on http://([^/]+)/`)
+
+// TestRunServeAndDrain boots the daemon on an ephemeral port, solves one
+// request over real HTTP, then asks for a graceful stop and expects a clean
+// exit with the drain message — the same lifecycle the service-smoke CI job
+// drives via SIGTERM.
+func TestRunServeAndDrain(t *testing.T) {
+	stdout := &lockedBuffer{}
+	stderr := &lockedBuffer{}
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-shards", "2", "-workers", "1", "-cache", "8"},
+			stdout, stderr, stop)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body := `{"generator": {"seed": 5, "readers": 8, "tags": 40, "side": 40, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`
+	resp, err := http.Post("http://"+addr+"/v1/schedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/schedule: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/schedule: status %d, body %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), `"verified": true`) {
+		t.Errorf("response not verified: %s", b)
+	}
+
+	close(stop)
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Errorf("exit code = %d, want 0; stderr=%q", c, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after stop")
+	}
+	if !strings.Contains(stderr.String(), "drained, exiting") {
+		t.Errorf("stderr missing drain message: %q", stderr.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw, nil); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "flag") {
+		t.Errorf("stderr missing flag usage: %q", errw.String())
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", "definitely not an address"}, &out, &errw, nil); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr=%q", code, errw.String())
+	}
+}

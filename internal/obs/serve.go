@@ -157,11 +157,20 @@ type Server struct {
 // listener is bound, so the endpoints are reachable immediately — callers
 // start it before kicking off the run they want observed.
 func Serve(addr string, opts ServeOptions) (*Server, error) {
+	return ServeHandler(addr, Handler(opts))
+}
+
+// ServeHandler is Serve for an arbitrary handler: bind addr, serve h in a
+// background goroutine, return once the listener is bound with the resolved
+// address. Services that mount their own routes on top of the telemetry mux
+// (rfidserved wraps Handler with /v1/*) use this to get the same
+// bind-then-report lifecycle the telemetry server has.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(opts)}
+	srv := &http.Server{Handler: h}
 	go func() {
 		// ErrServerClosed on Close is the expected shutdown path; any other
 		// serve error has no caller left to report to.

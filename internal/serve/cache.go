@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"rfidsched/internal/obs"
+)
+
+// Cache is the LRU schedule cache: fingerprint → solved Result. Hits,
+// misses and evictions are counted in the obs Registry ("serve.cache.*")
+// and the live entry count is exported as a gauge, so /metrics shows the
+// cache working (or thrashing) next to the queue gauges.
+//
+// Results are stored by pointer and must be treated as immutable once
+// cached — every reader of a hit sees the same object. The server encodes
+// them straight to JSON and never mutates them.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Fingerprint]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	entries                 *obs.Gauge
+}
+
+type cacheEntry struct {
+	fp  Fingerprint
+	res *Result
+}
+
+// NewCache builds a cache holding at most capacity schedules (minimum 1)
+// and registers its counters in reg.
+func NewCache(capacity int, reg *obs.Registry) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache{
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[Fingerprint]*list.Element),
+		hits:      reg.Counter("serve.cache.hits"),
+		misses:    reg.Counter("serve.cache.misses"),
+		evictions: reg.Counter("serve.cache.evictions"),
+		entries:   reg.Gauge("serve.cache.entries"),
+	}
+	c.entries.Set(0)
+	return c
+}
+
+// Get returns the cached result for fp, promoting it to most recently used.
+func (c *Cache) Get(fp Fingerprint) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores (or refreshes) the result for fp, evicting the least recently
+// used entry past capacity.
+func (c *Cache) Put(fp Fingerprint, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[fp] = c.ll.PushFront(&cacheEntry{fp: fp, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).fp)
+		c.evictions.Inc()
+	}
+	c.entries.Set(float64(c.ll.Len()))
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

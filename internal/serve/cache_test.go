@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"rfidsched/internal/obs"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(2, reg)
+	fps := make([]Fingerprint, 3)
+	for i := range fps {
+		fps[i][0] = byte(i + 1)
+	}
+	r := func(i int) *Result { return &Result{Fingerprint: fps[i].String()} }
+
+	c.Put(fps[0], r(0))
+	c.Put(fps[1], r(1))
+	if _, ok := c.Get(fps[0]); !ok {
+		t.Fatal("fp0 evicted below capacity")
+	}
+	// fp0 is now most recent; inserting fp2 must evict fp1.
+	c.Put(fps[2], r(2))
+	if _, ok := c.Get(fps[1]); ok {
+		t.Error("fp1 survived past capacity despite being least recently used")
+	}
+	if _, ok := c.Get(fps[0]); !ok {
+		t.Error("fp0 evicted despite recent use")
+	}
+	if _, ok := c.Get(fps[2]); !ok {
+		t.Error("fp2 missing right after insert")
+	}
+	if got := reg.Counter("serve.cache.evictions").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+
+	// Refreshing an existing key must not grow the cache.
+	c.Put(fps[0], r(0))
+	if c.Len() != 2 {
+		t.Errorf("len after refresh = %d, want 2", c.Len())
+	}
+}
+
+// TestCacheHitBitIdentical is the cache-correctness property test: for
+// every algorithm, and for solver worker counts 1 and 4, a cache hit must
+// return a schedule bit-identical to the cold solve — and the cold solves
+// themselves must agree across worker counts (the parallel-determinism
+// contract the cache's worker-free fingerprint relies on).
+func TestCacheHitBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-algorithm solve matrix")
+	}
+	algorithms := []string{"alg1", "alg2", "alg3", "ghc", "colorwave", "random", "exact"}
+	gen := `{"seed": 9, "readers": 10, "tags": 60, "side": 45, "lambdaR": 12, "lambdar": 5}`
+	for _, alg := range algorithms {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			var reference string
+			for _, workers := range []int{1, 4} {
+				body := fmt.Sprintf(`{"generator": %s, "algorithm": %q, "seed": 7, "workers": %d}`, gen, alg, workers)
+
+				_, ts := newTestServer(t, Options{})
+				status, b := postSchedule(t, ts, body)
+				if status != http.StatusOK {
+					t.Fatalf("cold solve (workers=%d): status %d, body %s", workers, status, b)
+				}
+				cold := decodeResponse(t, b)
+				if cold.Cached {
+					t.Fatalf("cold solve (workers=%d) claims cached", workers)
+				}
+
+				status, b = postSchedule(t, ts, body)
+				if status != http.StatusOK {
+					t.Fatalf("warm solve (workers=%d): status %d, body %s", workers, status, b)
+				}
+				warm := decodeResponse(t, b)
+				if !warm.Cached {
+					t.Fatalf("warm solve (workers=%d) missed the cache", workers)
+				}
+
+				coldJSON, _ := json.Marshal(cold.Result)
+				warmJSON, _ := json.Marshal(warm.Result)
+				if string(coldJSON) != string(warmJSON) {
+					t.Fatalf("workers=%d: cache hit differs from cold solve:\n%s\n%s", workers, coldJSON, warmJSON)
+				}
+				if reference == "" {
+					reference = string(coldJSON)
+				} else if string(coldJSON) != reference {
+					t.Fatalf("cold solves differ across worker counts:\n%s\n%s", reference, coldJSON)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"rfidsched/internal/deploy"
+)
+
+// decodeTestRequest runs a JSON body through the production decoder with
+// small limits, failing the test on rejection.
+func decodeTestRequest(t *testing.T, body string) (*Request, *deploy.Deployment) {
+	t.Helper()
+	req, dep, err := DecodeRequest(strings.NewReader(body), testLimits())
+	if err != nil {
+		t.Fatalf("DecodeRequest(%s): %v", body, err)
+	}
+	return req, dep
+}
+
+func testLimits() Limits {
+	return Limits{MaxReaders: 100, MaxTags: 2000, MaxWorkers: 8}
+}
+
+func fpOf(t *testing.T, body string) Fingerprint {
+	t.Helper()
+	req, dep := decodeTestRequest(t, body)
+	return FingerprintRequest(req, dep)
+}
+
+const fpBaseBody = `{
+  "generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5},
+  "algorithm": "alg2"
+}`
+
+// TestFingerprintSensitivity: every scheduling-relevant field change must
+// move the fingerprint; every irrelevant knob must not.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpOf(t, fpBaseBody)
+
+	relevant := map[string]string{
+		"algorithm": `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "ghc"}`,
+		"rho":       `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "rho": 1.5}`,
+		"mode":      `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "mode": "oneshot"}`,
+		"slotPolls": `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "slot_polls": 100}`,
+		"maxSlots":  `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "max_slots": 7}`,
+		"genSeed":   `{"generator": {"seed": 12, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`,
+		"readers":   `{"generator": {"seed": 11, "readers": 11, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`,
+		"tags":      `{"generator": {"seed": 11, "readers": 10, "tags": 61, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`,
+	}
+	for name, body := range relevant {
+		if fpOf(t, body) == base {
+			t.Errorf("%s: scheduling-relevant change did not move the fingerprint", name)
+		}
+	}
+
+	irrelevant := map[string]string{
+		"workers":  `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "workers": 4}`,
+		"async":    `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "async": true}`,
+		"noCache":  `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "no_cache": true}`,
+		"deadline": `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "deadline_ms": 500}`,
+		// rho is canonicalized to 0 for algorithms that ignore it, so a ghc
+		// request with and without rho collide (both differ from base,
+		// which is alg2).
+	}
+	for name, body := range irrelevant {
+		if fpOf(t, body) != base {
+			t.Errorf("%s: irrelevant knob moved the fingerprint", name)
+		}
+	}
+
+	// Canonicalization: rho on an algorithm that ignores it collapses.
+	a := fpOf(t, `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "ghc", "rho": 2.5}`)
+	b := fpOf(t, `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "ghc"}`)
+	if a != b {
+		t.Errorf("rho moved the fingerprint of a ghc request, which ignores it")
+	}
+	// Likewise seed on a deterministic algorithm.
+	c := fpOf(t, `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "seed": 999}`)
+	if c != base {
+		t.Errorf("seed moved the fingerprint of an alg2 request, which ignores it")
+	}
+	// Default materialization: rho omitted and rho explicitly 1.25 collide.
+	d := fpOf(t, `{"generator": {"seed": 11, "readers": 10, "tags": 60, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "rho": 1.25}`)
+	if d != base {
+		t.Errorf("explicit default rho moved the fingerprint")
+	}
+}
+
+// TestFingerprintGeneratorInlineEquivalence: a generator spec and the
+// deployment it expands to must share a fingerprint — the cache must not
+// distinguish how the geometry arrived.
+func TestFingerprintGeneratorInlineEquivalence(t *testing.T) {
+	req, dep := decodeTestRequest(t, fpBaseBody)
+	genFP := FingerprintRequest(req, dep)
+
+	var sb strings.Builder
+	if err := dep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	inlineBody := `{"deployment": ` + sb.String() + `, "algorithm": "alg2"}`
+	if got := fpOf(t, inlineBody); got != genFP {
+		t.Errorf("inline deployment fingerprint %s != generator fingerprint %s", got, genFP)
+	}
+}
+
+// TestFingerprintGeometrySensitivity: nudging any coordinate or radius of
+// the resolved deployment moves the fingerprint.
+func TestFingerprintGeometrySensitivity(t *testing.T) {
+	req, dep := decodeTestRequest(t, fpBaseBody)
+	base := FingerprintRequest(req, dep)
+
+	mutations := []struct {
+		name string
+		f    func(d *deploy.Deployment)
+	}{
+		{"readerX", func(d *deploy.Deployment) { d.Readers[3].X += 1e-9 }},
+		{"readerY", func(d *deploy.Deployment) { d.Readers[0].Y -= 0.5 }},
+		{"interferenceR", func(d *deploy.Deployment) { d.Readers[5].InterferenceR += 1 }},
+		{"interrogationR", func(d *deploy.Deployment) { d.Readers[5].InterrogationR -= 0.25 }},
+		{"tagX", func(d *deploy.Deployment) { d.Tags[17].X += 1e-12 }},
+		{"tagY", func(d *deploy.Deployment) { d.Tags[59].Y += 3 }},
+		{"dropTag", func(d *deploy.Deployment) { d.Tags = d.Tags[:len(d.Tags)-1] }},
+		{"dropReader", func(d *deploy.Deployment) { d.Readers = d.Readers[:len(d.Readers)-1] }},
+	}
+	for _, m := range mutations {
+		_, mut := decodeTestRequest(t, fpBaseBody) // fresh copy
+		m.f(mut)
+		if FingerprintRequest(req, mut) == base {
+			t.Errorf("%s: geometry change did not move the fingerprint", m.name)
+		}
+	}
+
+	// Comment and Side are serialization metadata, not geometry.
+	_, mut := decodeTestRequest(t, fpBaseBody)
+	mut.Comment = "annotated"
+	mut.Side = 1234
+	if FingerprintRequest(req, mut) != base {
+		t.Errorf("deployment metadata (comment/side) moved the fingerprint")
+	}
+}
+
+func TestFingerprintParseRoundTrip(t *testing.T) {
+	fp := fpOf(t, fpBaseBody)
+	got, ok := ParseFingerprint(fp.String())
+	if !ok || got != fp {
+		t.Fatalf("ParseFingerprint(%q) = %v, %v", fp.String(), got, ok)
+	}
+	if _, ok := ParseFingerprint("zz"); ok {
+		t.Error("ParseFingerprint accepted junk")
+	}
+	if _, ok := ParseFingerprint(fp.String()[:40]); ok {
+		t.Error("ParseFingerprint accepted a truncated id")
+	}
+}
+
+func TestFingerprintShardStable(t *testing.T) {
+	fp := fpOf(t, fpBaseBody)
+	for _, n := range []int{0, 1, 4, 7} {
+		s := fp.Shard(n)
+		if s != fp.Shard(n) {
+			t.Fatalf("shard not stable at n=%d", n)
+		}
+		if n > 1 && (s < 0 || s >= n) {
+			t.Fatalf("shard %d out of range for n=%d", s, n)
+		}
+		if n <= 1 && s != 0 {
+			t.Fatalf("shard = %d for n=%d, want 0", s, n)
+		}
+	}
+}

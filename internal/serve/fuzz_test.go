@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeScheduleRequest hardens the one parser in the service that
+// faces attacker-grade input: the /v1/schedule request decoder. Whatever
+// the bytes — malformed JSON, NaN/Inf smuggled through exponents, negative
+// radii, generator bombs — the decoder must return a clean BadRequestError
+// or a request satisfying every admission invariant; it must never panic
+// and never let non-finite geometry or cap-busting sizes through. Accepted
+// requests must also fingerprint deterministically (the cache key cannot
+// depend on decode order or hidden state).
+func FuzzDecodeScheduleRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json at all`,
+		`{"generator": {"seed": 3, "readers": 12, "tags": 80, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`,
+		`{"generator": {"readers": 5, "tags": 5}, "algorithm": "colorwave", "seed": 9, "mode": "oneshot"}`,
+		`{"deployment": {"readers": [{"x": 1, "y": 2, "interferenceRadius": 4, "interrogationRadius": 2}], "tags": [{"x": 1, "y": 1}]}}`,
+		`{"deployment": {"readers": [{"x": NaN, "y": 0, "interferenceRadius": 3, "interrogationRadius": 1}], "tags": []}}`,
+		`{"deployment": {"readers": [{"x": 1e999, "y": 0, "interferenceRadius": 3, "interrogationRadius": 1}], "tags": []}}`,
+		`{"deployment": {"readers": [{"x": 0, "y": 0, "interferenceRadius": -3, "interrogationRadius": 1}], "tags": []}}`,
+		`{"deployment": {"readers": [{"x": 0, "y": 0, "interferenceRadius": 1, "interrogationRadius": 3}], "tags": []}}`,
+		`{"deployment": {"readers": [], "tags": [{"x": 1e999, "y": -1e999}]}}`,
+		`{"generator": {"readers": 1000000000, "tags": 1000000000}}`,
+		`{"generator": {"readers": -5, "tags": -5}}`,
+		`{"generator": {"readers": 5, "tags": 5, "side": -10}}`,
+		`{"generator": {"readers": 5, "tags": 5, "lambdaR": 1e999}}`,
+		`{"generator": {"readers": 5, "tags": 5, "layout": "orbital"}}`,
+		`{"generator": {"readers": 5, "tags": 5}, "rho": 0.1, "algorithm": "alg3"}`,
+		`{"generator": {"readers": 5, "tags": 5}, "workers": -1}`,
+		`{"generator": {"readers": 5, "tags": 5}, "deadline_ms": -7}`,
+		`{"generator": {"readers": 5, "tags": 5}, "slot_polls": 2, "max_slots": 3}`,
+		`{"generator": {"readers": 5, "tags": 5}} trailing`,
+		`{"generator": {"readers": 5, "tags": 5}, "unknown_field": 1}`,
+		`{"algorithm": "alg2"}`,
+		`[1, 2, 3]`,
+		`"just a string"`,
+		`{"deployment": {"readers": [{"x": 5e-324, "y": 1.7976931348623157e308, "interferenceRadius": 2, "interrogationRadius": 2}], "tags": []}, "mode": "oneshot"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	// Tiny caps keep the harness fast even when the mutator finds a big
+	// valid generator spec.
+	lim := Limits{MaxReaders: 40, MaxTags: 200, MaxWorkers: 4}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, dep, err := DecodeRequest(bytes.NewReader(data), lim)
+		if err != nil {
+			if !IsBadRequest(err) {
+				t.Fatalf("decoder error is not a BadRequestError: %v", err)
+			}
+			return
+		}
+		// Accepted: the admission invariants must hold.
+		if len(dep.Readers) == 0 || len(dep.Readers) > lim.MaxReaders || len(dep.Tags) > lim.MaxTags {
+			t.Fatalf("accepted deployment busts caps: %d readers, %d tags", len(dep.Readers), len(dep.Tags))
+		}
+		for i, r := range dep.Readers {
+			for _, v := range []float64{r.X, r.Y, r.InterferenceR, r.InterrogationR} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted reader %d carries non-finite value %v", i, v)
+				}
+			}
+			if r.InterrogationR <= 0 || r.InterferenceR < r.InterrogationR {
+				t.Fatalf("accepted reader %d violates radius invariants (R=%v, r=%v)", i, r.InterferenceR, r.InterrogationR)
+			}
+		}
+		for i, tg := range dep.Tags {
+			if math.IsNaN(tg.X) || math.IsInf(tg.X, 0) || math.IsNaN(tg.Y) || math.IsInf(tg.Y, 0) {
+				t.Fatalf("accepted tag %d carries non-finite position (%v, %v)", i, tg.X, tg.Y)
+			}
+		}
+		if req.Workers < 0 || req.Workers > lim.MaxWorkers || req.SlotPolls < 0 || req.DeadlineMS < 0 || req.MaxSlots < 0 {
+			t.Fatalf("accepted request busts knob bounds: %+v", req)
+		}
+		// The geometry must be buildable: model.NewSystem re-validates.
+		if _, err := buildSystem(dep); err != nil {
+			t.Fatalf("accepted deployment rejected by the model: %v", err)
+		}
+		// Fingerprinting is total and deterministic on accepted requests.
+		if FingerprintRequest(req, dep) != FingerprintRequest(req, dep) {
+			t.Fatal("fingerprint not deterministic")
+		}
+	})
+}

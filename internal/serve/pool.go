@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/obs"
+)
+
+// Job states reported by /v1/jobs/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Job is one admitted scheduling problem flowing through the queue. A job
+// is the single-flight unit: every concurrent request with the same
+// fingerprint attaches to the same Job and waits on its done channel; the
+// solve happens exactly once.
+type Job struct {
+	FP  Fingerprint
+	Req *Request
+	Dep *deploy.Deployment
+
+	done chan struct{} // closed when the job reaches done/failed
+
+	mu     sync.Mutex
+	status string
+	res    *Result
+	err    error
+}
+
+func newJob(fp Fingerprint, req *Request, dep *deploy.Deployment) *Job {
+	return &Job{FP: fp, Req: req, Dep: dep, done: make(chan struct{}), status: JobQueued}
+}
+
+// Done returns the channel closed on completion.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the job's current state.
+func (j *Job) Status() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Outcome returns the result and error once the job is finished; before
+// that both are nil.
+func (j *Job) Outcome() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = JobRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Result, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.status = JobFailed
+	} else {
+		j.status = JobDone
+	}
+	j.res, j.err = res, err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Pool errors surfaced to the HTTP layer as backpressure statuses.
+var (
+	// ErrQueueFull means the job's shard is at capacity — HTTP 429.
+	ErrQueueFull = errors.New("serve: shard queue full")
+	// ErrDraining means the pool stopped accepting work — HTTP 503.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// pool is the sharded work queue and its bounded worker set. A job's shard
+// is a pure function of its fingerprint (Fingerprint.Shard), so identical
+// instances queue behind each other instead of racing across shards, and
+// each shard's channel capacity is the admission-control backpressure knob:
+// a full shard rejects instead of buffering without bound.
+type pool struct {
+	shards   []chan *Job
+	solve    func(*Job)
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	depth    atomic.Int64 // queued but not yet picked up
+	gauge    *obs.Gauge   // "serve.queue.depth"
+	inflight *obs.Gauge   // "serve.jobs.inflight"
+}
+
+// newPool starts workersPerShard workers per shard, each draining only its
+// own shard channel (capacity queueDepth).
+func newPool(shards, workersPerShard, queueDepth int, reg *obs.Registry, solve func(*Job)) *pool {
+	if shards < 1 {
+		shards = 1
+	}
+	if workersPerShard < 1 {
+		workersPerShard = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &pool{
+		shards:   make([]chan *Job, shards),
+		solve:    solve,
+		gauge:    reg.Gauge("serve.queue.depth"),
+		inflight: reg.Gauge("serve.jobs.inflight"),
+	}
+	p.gauge.Set(0)
+	p.inflight.Set(0)
+	var running atomic.Int64
+	for i := range p.shards {
+		ch := make(chan *Job, queueDepth)
+		p.shards[i] = ch
+		for w := 0; w < workersPerShard; w++ {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				for j := range ch {
+					p.gauge.Set(float64(p.depth.Add(-1)))
+					p.inflight.Set(float64(running.Add(1)))
+					p.solve(j)
+					p.inflight.Set(float64(running.Add(-1)))
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// enqueue admits a job to its shard, or rejects it with the backpressure
+// error the HTTP layer maps to 429/503. The mutex serializes the closed
+// check against drain's channel close, so enqueue never sends on a closed
+// channel.
+func (p *pool) enqueue(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.shards[j.FP.Shard(len(p.shards))] <- j:
+		p.gauge.Set(float64(p.depth.Add(1)))
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// drain closes intake and blocks until every queued and in-flight job has
+// completed. Queued jobs still run — a drain finishes the work it admitted;
+// it only refuses new work.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, ch := range p.shards {
+			close(ch)
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,380 @@
+// Package serve turns the scheduling library into a long-running
+// scheduling-as-a-service daemon: an HTTP/JSON front end that accepts
+// deployment specs (or rfidgen-style generator parameters), funnels them
+// through a sharded work queue into a bounded worker pool, and returns
+// one-shot MWFS or full MCS schedules. Identical requests are collapsed
+// twice — in flight by single-flight deduplication and across time by an
+// LRU schedule cache keyed by a canonical deployment fingerprint — so the
+// recurring re-scheduling workload of a dense deployment (tag churn,
+// energy re-planning) costs one solve, not one per client. See DESIGN.md
+// §14 for the architecture.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/geom"
+	"rfidsched/internal/model"
+)
+
+// Algorithms the service accepts, matching the rfidsched CLI names.
+const (
+	AlgPTAS        = "alg1"
+	AlgGrowth      = "alg2"
+	AlgDistributed = "alg3"
+	AlgGHC         = "ghc"
+	AlgColorwave   = "colorwave"
+	AlgRandom      = "random"
+	AlgExact       = "exact"
+)
+
+// Request modes.
+const (
+	ModeMCS     = "mcs"     // full covering schedule (default)
+	ModeOneShot = "oneshot" // a single slot's scheduling set
+)
+
+// DefaultMaxSlots is the normalized MCS slot cap: requests that leave
+// MaxSlots at 0 are canonicalized to this value (the core driver's own
+// default), so "unset" and "explicitly the default" share a fingerprint.
+const DefaultMaxSlots = 100000
+
+// DefaultRho is the growth threshold applied when an alg2/alg3 request
+// leaves rho unset, matching the rfidsched CLI default.
+const DefaultRho = 1.25
+
+// Limits is the admission-control envelope the decoder enforces before any
+// solving work happens. The zero value means "use DefaultLimits".
+type Limits struct {
+	// MaxReaders and MaxTags bound the deployment size a single request may
+	// submit (inline or via generator), capping per-job memory.
+	MaxReaders int
+	MaxTags    int
+	// MaxWorkers caps the per-request solver worker count; requests asking
+	// for more are clamped, not rejected (results are bit-identical at any
+	// worker count).
+	MaxWorkers int
+	// MaxSlotDeadline caps the per-slot wall-clock budget a request may
+	// claim; longer asks are clamped.
+	MaxSlotDeadline time.Duration
+}
+
+// DefaultLimits returns the daemon's default admission envelope: an order
+// of magnitude above the paper's 50x1200 evaluation scale, solver workers
+// capped at the machine, per-slot wall budgets at 10s.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxReaders:      2000,
+		MaxTags:         100000,
+		MaxWorkers:      runtime.NumCPU(),
+		MaxSlotDeadline: 10 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxReaders <= 0 {
+		l.MaxReaders = d.MaxReaders
+	}
+	if l.MaxTags <= 0 {
+		l.MaxTags = d.MaxTags
+	}
+	if l.MaxWorkers <= 0 {
+		l.MaxWorkers = d.MaxWorkers
+	}
+	if l.MaxSlotDeadline <= 0 {
+		l.MaxSlotDeadline = d.MaxSlotDeadline
+	}
+	return l
+}
+
+// Generator mirrors the rfidgen CLI parameters: instead of shipping the
+// whole deployment, a client may ask the service to draw it (the paper's
+// Section VI setting and the layout variants).
+type Generator struct {
+	Seed         uint64  `json:"seed"`
+	Readers      int     `json:"readers"`
+	Tags         int     `json:"tags"`
+	Side         float64 `json:"side"`
+	LambdaR      float64 `json:"lambdaR"`
+	LambdaSmallR float64 `json:"lambdar"`
+	Layout       string  `json:"layout,omitempty"`
+}
+
+// Request is the /v1/schedule request body. Exactly one of Deployment and
+// Generator must be set.
+type Request struct {
+	// Deployment is an inline deployment in the rfidgen JSON format.
+	Deployment *deploy.Deployment `json:"deployment,omitempty"`
+	// Generator asks the service to draw the deployment instead.
+	Generator *Generator `json:"generator,omitempty"`
+
+	Algorithm string `json:"algorithm,omitempty"` // default alg2
+	Mode      string `json:"mode,omitempty"`      // "mcs" (default) or "oneshot"
+
+	// Rho is the growth threshold for alg2/alg3 (default 1.25, must be >1).
+	// Ignored (and canonicalized to 0) for every other algorithm.
+	Rho float64 `json:"rho,omitempty"`
+	// Seed feeds the randomized algorithms (colorwave, random); ignored and
+	// canonicalized to 0 for the deterministic ones.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Workers is the solver worker count (parsearch pool); clamped to the
+	// server's MaxWorkers. Not part of the fingerprint: schedules are
+	// bit-identical at any worker count (DESIGN.md §11).
+	Workers int `json:"workers,omitempty"`
+
+	// DeadlineMS bounds each slot's solve in wall-clock milliseconds (the
+	// anytime contract; truncated slots still activate a feasible set).
+	// Wall-clock truncation is not deterministic, so requests carrying a
+	// deadline bypass the schedule cache.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// SlotPolls is the deterministic per-slot poll budget — the reproducible
+	// alternative to DeadlineMS. Scheduling-relevant, so it is part of the
+	// fingerprint and cacheable.
+	SlotPolls int `json:"slot_polls,omitempty"`
+	// MaxSlots caps the schedule length (0 = the driver default).
+	MaxSlots int `json:"max_slots,omitempty"`
+
+	// Async makes POST /v1/schedule return 202 with the job id immediately;
+	// poll /v1/jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+	// NoCache skips the cache lookup, forcing a fresh solve (the result is
+	// still stored). In-flight identical requests still coalesce.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// BadRequestError marks client errors (HTTP 400) as opposed to solver or
+// infrastructure failures (HTTP 5xx).
+type BadRequestError struct{ msg string }
+
+func (e *BadRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &BadRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsBadRequest reports whether err is a client-side request error.
+func IsBadRequest(err error) bool {
+	var b *BadRequestError
+	return errors.As(err, &b)
+}
+
+// DecodeRequest parses and validates a /v1/schedule body. The returned
+// request is normalized (defaults applied, irrelevant knobs canonicalized)
+// and its deployment resolved — generator specs are expanded into concrete
+// reader/tag records — so it is ready to fingerprint and solve. Every
+// rejection is a BadRequestError; the decoder never panics, whatever the
+// bytes (the FuzzDecodeScheduleRequest target enforces this).
+func DecodeRequest(r io.Reader, lim Limits) (*Request, *deploy.Deployment, error) {
+	lim = lim.withDefaults()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, badRequestf("decode request: %v", err)
+	}
+	// Trailing garbage after the JSON document is a malformed request, not
+	// something to silently ignore.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, nil, badRequestf("decode request: trailing data after JSON body")
+	}
+	dep, err := req.normalize(lim)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, dep, nil
+}
+
+// normalize validates the request against the limits, applies defaults,
+// canonicalizes fields irrelevant to the chosen algorithm/mode (so
+// equivalent requests share a fingerprint), and resolves the deployment.
+func (req *Request) normalize(lim Limits) (*deploy.Deployment, error) {
+	if req.Algorithm == "" {
+		req.Algorithm = AlgGrowth
+	}
+	switch req.Algorithm {
+	case AlgPTAS, AlgGrowth, AlgDistributed, AlgGHC, AlgColorwave, AlgRandom, AlgExact:
+	default:
+		return nil, badRequestf("unknown algorithm %q", req.Algorithm)
+	}
+	if req.Mode == "" {
+		req.Mode = ModeMCS
+	}
+	if req.Mode != ModeMCS && req.Mode != ModeOneShot {
+		return nil, badRequestf("unknown mode %q (want %q or %q)", req.Mode, ModeMCS, ModeOneShot)
+	}
+
+	switch req.Algorithm {
+	case AlgGrowth, AlgDistributed:
+		if req.Rho == 0 {
+			req.Rho = DefaultRho
+		}
+		if math.IsNaN(req.Rho) || math.IsInf(req.Rho, 0) || req.Rho <= 1 {
+			return nil, badRequestf("rho = %v, need a finite value > 1", req.Rho)
+		}
+	default:
+		req.Rho = 0
+	}
+	if req.Algorithm != AlgColorwave && req.Algorithm != AlgRandom {
+		req.Seed = 0
+	}
+
+	if req.Workers < 0 {
+		return nil, badRequestf("workers = %d, need >= 0", req.Workers)
+	}
+	if req.Workers > lim.MaxWorkers {
+		req.Workers = lim.MaxWorkers
+	}
+	if req.DeadlineMS < 0 {
+		return nil, badRequestf("deadline_ms = %d, need >= 0", req.DeadlineMS)
+	}
+	if maxMS := lim.MaxSlotDeadline.Milliseconds(); req.DeadlineMS > maxMS {
+		req.DeadlineMS = maxMS
+	}
+	if req.SlotPolls < 0 {
+		return nil, badRequestf("slot_polls = %d, need >= 0", req.SlotPolls)
+	}
+	if req.MaxSlots < 0 {
+		return nil, badRequestf("max_slots = %d, need >= 0", req.MaxSlots)
+	}
+	if req.Mode == ModeMCS && req.MaxSlots == 0 {
+		req.MaxSlots = DefaultMaxSlots
+	}
+	if req.Mode == ModeOneShot {
+		req.MaxSlots = 0 // meaningless for a single slot
+	}
+
+	switch {
+	case req.Deployment != nil && req.Generator != nil:
+		return nil, badRequestf("request carries both a deployment and a generator; send exactly one")
+	case req.Deployment != nil:
+		if err := validateDeployment(req.Deployment, lim); err != nil {
+			return nil, err
+		}
+		return req.Deployment, nil
+	case req.Generator != nil:
+		dep, err := expandGenerator(req.Generator, lim)
+		if err != nil {
+			return nil, err
+		}
+		return dep, nil
+	default:
+		return nil, badRequestf("request carries neither a deployment nor a generator")
+	}
+}
+
+// Cacheable reports whether the (normalized) request's result may be served
+// from and stored into the schedule cache: only wall-clock deadlines make a
+// solve non-reproducible.
+func (req *Request) Cacheable() bool { return req.DeadlineMS == 0 }
+
+// validateDeployment enforces the model's geometric invariants on an inline
+// deployment before it gets near model.NewSystem: finite coordinates
+// everywhere, positive interrogation radii, interference >= interrogation.
+// (NewSystem re-checks readers; tags it trusts, so the NaN/Inf tag check
+// here is load-bearing.)
+func validateDeployment(d *deploy.Deployment, lim Limits) error {
+	if len(d.Readers) == 0 {
+		return badRequestf("deployment has no readers")
+	}
+	if len(d.Readers) > lim.MaxReaders {
+		return badRequestf("deployment has %d readers, server cap is %d", len(d.Readers), lim.MaxReaders)
+	}
+	if len(d.Tags) > lim.MaxTags {
+		return badRequestf("deployment has %d tags, server cap is %d", len(d.Tags), lim.MaxTags)
+	}
+	for i, r := range d.Readers {
+		if !geom.Pt(r.X, r.Y).IsFinite() {
+			return badRequestf("reader %d has non-finite position (%v, %v)", i, r.X, r.Y)
+		}
+		if math.IsNaN(r.InterrogationR) || r.InterrogationR <= 0 {
+			return badRequestf("reader %d has non-positive interrogation radius %v", i, r.InterrogationR)
+		}
+		if math.IsNaN(r.InterferenceR) || math.IsInf(r.InterferenceR, 0) || math.IsInf(r.InterrogationR, 0) {
+			return badRequestf("reader %d has non-finite radius (R=%v, r=%v)", i, r.InterferenceR, r.InterrogationR)
+		}
+		if r.InterferenceR < r.InterrogationR {
+			return badRequestf("reader %d has interference radius %v < interrogation radius %v",
+				i, r.InterferenceR, r.InterrogationR)
+		}
+	}
+	for i, t := range d.Tags {
+		if !geom.Pt(t.X, t.Y).IsFinite() {
+			return badRequestf("tag %d has non-finite position (%v, %v)", i, t.X, t.Y)
+		}
+	}
+	return nil
+}
+
+// expandGenerator draws the deployment a generator spec describes, after
+// validating the spec against both deploy's own rules and the server caps.
+func expandGenerator(g *Generator, lim Limits) (*deploy.Deployment, error) {
+	cfg := deploy.Config{
+		Seed:       g.Seed,
+		NumReaders: g.Readers,
+		NumTags:    g.Tags,
+		Side:       g.Side,
+		LambdaR:    g.LambdaR, LambdaSmallR: g.LambdaSmallR,
+	}
+	if cfg.Side == 0 {
+		cfg.Side = 100
+	}
+	if cfg.LambdaR == 0 {
+		cfg.LambdaR = 12
+	}
+	if cfg.LambdaSmallR == 0 {
+		cfg.LambdaSmallR = 5
+	}
+	switch g.Layout {
+	case "", "uniform":
+		cfg.Layout = deploy.Uniform
+	case "clustered":
+		cfg.Layout = deploy.Clustered
+	case "aisles":
+		cfg.Layout = deploy.Aisles
+	case "hotspot":
+		cfg.Layout = deploy.Hotspot
+	case "grid":
+		cfg.Layout = deploy.GridReaders
+	default:
+		return nil, badRequestf("unknown layout %q", g.Layout)
+	}
+	if math.IsNaN(cfg.Side) || math.IsInf(cfg.Side, 0) ||
+		math.IsNaN(cfg.LambdaR) || math.IsInf(cfg.LambdaR, 0) ||
+		math.IsNaN(cfg.LambdaSmallR) || math.IsInf(cfg.LambdaSmallR, 0) {
+		return nil, badRequestf("generator parameters must be finite")
+	}
+	if cfg.NumReaders > lim.MaxReaders {
+		return nil, badRequestf("generator asks for %d readers, server cap is %d", cfg.NumReaders, lim.MaxReaders)
+	}
+	if cfg.NumTags > lim.MaxTags {
+		return nil, badRequestf("generator asks for %d tags, server cap is %d", cfg.NumTags, lim.MaxTags)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	sys, err := deploy.Generate(cfg)
+	if err != nil {
+		return nil, badRequestf("generate deployment: %v", err)
+	}
+	return deploy.ToDeployment(sys), nil
+}
+
+// buildSystem constructs the live system for a resolved deployment,
+// classifying failures as client errors (geometry the model rejects).
+func buildSystem(dep *deploy.Deployment) (*model.System, error) {
+	sys, err := dep.ToSystem()
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,51 @@
+package serve
+
+// Result is the solved, verified answer to a schedule request — the unit
+// the cache stores and every transport (sync response, async job poll,
+// cache hit) serves identically. Determinism contract: for a cacheable
+// request, the Result of a cold solve, a cache hit, and a merged
+// single-flight wait are bit-identical, at any solver worker count
+// (the cache property tests enforce this).
+type Result struct {
+	// Fingerprint is the canonical instance id (hex SHA-256); also the job
+	// id under /v1/jobs/.
+	Fingerprint string `json:"fingerprint"`
+	// Algorithm is the scheduler's own name ("Alg2-Growth", ...), not the
+	// request alias.
+	Algorithm string `json:"algorithm"`
+	Mode      string `json:"mode"`
+
+	// One-shot mode: the feasible scheduling set and its weight.
+	Active []int `json:"active,omitempty"`
+	Weight int   `json:"weight,omitempty"`
+	// Anytime reports that the one-shot solve was truncated by its budget
+	// and returned the best incumbent (still feasible).
+	Anytime bool `json:"anytime,omitempty"`
+
+	// MCS mode: the covering schedule and the paper's metrics.
+	Slots        int  `json:"slots,omitempty"`
+	Fallbacks    int  `json:"fallbacks,omitempty"`
+	AnytimeSlots int  `json:"anytime_slots,omitempty"`
+	Incomplete   bool `json:"incomplete,omitempty"`
+
+	// TagsRead is the total tags served (MCS) or the tags the one slot
+	// would serve (one-shot).
+	TagsRead int `json:"tags_read"`
+
+	// Verified is set after the schedule passed the independent checker
+	// (internal/verify) — the service never returns an unverified MCS
+	// schedule.
+	Verified bool `json:"verified"`
+	// FeasibleSlots counts slots the checker found pairwise-independent.
+	FeasibleSlots int `json:"feasible_slots,omitempty"`
+
+	// Schedule is the slot-by-slot activation plan (MCS mode).
+	Schedule []ScheduleSlot `json:"schedule,omitempty"`
+}
+
+// ScheduleSlot is one slot of an MCS schedule.
+type ScheduleSlot struct {
+	Active   []int `json:"active"`
+	TagsRead int   `json:"tags_read"`
+	Fallback bool  `json:"fallback,omitempty"`
+}

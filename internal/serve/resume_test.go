@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rfidsched/internal/checkpoint"
+	"rfidsched/internal/core"
+	"rfidsched/internal/graph"
+)
+
+// TestCheckpointResumeAcrossRestart simulates the drain/crash-restart
+// story: a previous process left a durable half-finished MCS run under the
+// request's fingerprint in the checkpoint directory. A new server must
+// resume it bit-identically — the response equals a cold solve from a
+// checkpoint-free server — and clean the file up afterwards.
+func TestCheckpointResumeAcrossRestart(t *testing.T) {
+	body := `{"generator": {"seed": 21, "readers": 12, "tags": 90, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`
+	req, dep := decodeTestRequest(t, body)
+	fp := FingerprintRequest(req, dep)
+
+	// Reference: cold solve on a server without checkpointing.
+	_, tsRef := newTestServer(t, Options{})
+	status, b := postSchedule(t, tsRef, body)
+	if status != http.StatusOK {
+		t.Fatalf("reference solve: status %d, body %s", status, b)
+	}
+	refJSON, _ := json.Marshal(decodeResponse(t, b).Result)
+
+	// Fabricate the interrupted run: execute the same instance directly
+	// with a slot cap, writing the durable prefix a dying server would
+	// leave behind. MaxSlots=1 guarantees the checkpoint is a strict
+	// prefix (the reference schedule has >= 2 slots).
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, fp.String()+".ckpt")
+	w, err := checkpoint.Create(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dep.ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.NewGrowth(graph.FromSystem(sys), req.Rho)
+	partial, err := core.RunMCS(sys, sched, core.MCSOptions{
+		MaxSlots: 1, RecordSlots: true, Checkpoint: w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Incomplete {
+		t.Skipf("instance solved in one slot; no prefix to resume")
+	}
+
+	// A fresh server over the same directory must resume, not recompute.
+	s, ts := newTestServer(t, Options{CheckpointDir: dir})
+	status, b = postSchedule(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("resumed solve: status %d, body %s", status, b)
+	}
+	got := decodeResponse(t, b)
+	gotJSON, _ := json.Marshal(got.Result)
+	if string(gotJSON) != string(refJSON) {
+		t.Errorf("resumed result differs from cold solve:\n%s\n%s", gotJSON, refJSON)
+	}
+	if n := counter(s.reg, "serve.resumed"); n != 1 {
+		t.Errorf("serve.resumed = %d, want 1", n)
+	}
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Errorf("checkpoint %s not removed after successful solve (err=%v)", ckptPath, err)
+	}
+}
+
+// TestCheckpointCorruptFallsBack: a garbage checkpoint file must not wedge
+// the fingerprint — the server falls back to a cold solve and still
+// returns the right schedule.
+func TestCheckpointCorruptFallsBack(t *testing.T) {
+	body := `{"generator": {"seed": 22, "readers": 10, "tags": 60, "side": 45, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`
+	req, dep := decodeTestRequest(t, body)
+	fp := FingerprintRequest(req, dep)
+
+	_, tsRef := newTestServer(t, Options{})
+	status, b := postSchedule(t, tsRef, body)
+	if status != http.StatusOK {
+		t.Fatalf("reference solve: status %d, body %s", status, b)
+	}
+	refJSON, _ := json.Marshal(decodeResponse(t, b).Result)
+
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, fp.String()+".ckpt")
+	if err := os.WriteFile(ckptPath, []byte("not a checkpoint stream\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Options{CheckpointDir: dir})
+	status, b = postSchedule(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("solve over corrupt checkpoint: status %d, body %s", status, b)
+	}
+	gotJSON, _ := json.Marshal(decodeResponse(t, b).Result)
+	if string(gotJSON) != string(refJSON) {
+		t.Errorf("fallback result differs from cold solve:\n%s\n%s", gotJSON, refJSON)
+	}
+}
+
+// TestCheckpointMismatchFallsBack: a well-formed checkpoint stream that
+// belongs to a different instance (ResumeMCS rejects its header) also
+// falls back to a cold solve with the correct result.
+func TestCheckpointMismatchFallsBack(t *testing.T) {
+	body := `{"generator": {"seed": 23, "readers": 10, "tags": 60, "side": 45, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`
+	req, dep := decodeTestRequest(t, body)
+	fp := FingerprintRequest(req, dep)
+
+	_, tsRef := newTestServer(t, Options{})
+	status, b := postSchedule(t, tsRef, body)
+	if status != http.StatusOK {
+		t.Fatalf("reference solve: status %d, body %s", status, b)
+	}
+	refJSON, _ := json.Marshal(decodeResponse(t, b).Result)
+
+	// A valid stream from a smaller, different deployment, planted under
+	// this request's fingerprint.
+	otherBody := `{"generator": {"seed": 1, "readers": 6, "tags": 30, "side": 30, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2"}`
+	_, otherDep := decodeTestRequest(t, otherBody)
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, fp.String()+".ckpt")
+	w, err := checkpoint.Create(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherSys, err := otherDep.ToSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RunMCS(otherSys, core.NewGrowth(graph.FromSystem(otherSys), 1.25),
+		core.MCSOptions{MaxSlots: 1, Checkpoint: w}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, Options{CheckpointDir: dir})
+	status, b = postSchedule(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("solve over mismatched checkpoint: status %d, body %s", status, b)
+	}
+	gotJSON, _ := json.Marshal(decodeResponse(t, b).Result)
+	if string(gotJSON) != string(refJSON) {
+		t.Errorf("fallback result differs from cold solve:\n%s\n%s", gotJSON, refJSON)
+	}
+	if n := counter(s.reg, "serve.resumed"); n != 1 {
+		t.Errorf("serve.resumed = %d, want 1 (the attempt counts even when it falls back)", n)
+	}
+}

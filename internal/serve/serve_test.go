@@ -1,0 +1,514 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rfidsched/internal/obs"
+)
+
+// newTestServer builds a server with small limits and an httptest front
+// end; the cleanup drains the pool so worker goroutines never outlive the
+// test.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Limits == (Limits{}) {
+		opts.Limits = testLimits()
+	}
+	s := NewServer(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain(10 * time.Second)
+	})
+	return s, ts
+}
+
+func postSchedule(t *testing.T, ts *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/schedule: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.StatusCode, b
+}
+
+func decodeResponse(t *testing.T, b []byte) Response {
+	t.Helper()
+	var r Response
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("decode response %s: %v", b, err)
+	}
+	return r
+}
+
+func counter(reg *obs.Registry, name string) int64 {
+	return reg.Counter(name).Value()
+}
+
+const smallBody = `{
+  "generator": {"seed": 3, "readers": 12, "tags": 80, "side": 50, "lambdaR": 12, "lambdar": 5},
+  "algorithm": "alg2"
+}`
+
+func TestScheduleSolveAndCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	status, b := postSchedule(t, ts, smallBody)
+	if status != http.StatusOK {
+		t.Fatalf("cold solve: status %d, body %s", status, b)
+	}
+	cold := decodeResponse(t, b)
+	if cold.Cached {
+		t.Error("cold solve reported cached=true")
+	}
+	res := cold.Result
+	if res == nil || !res.Verified || res.Slots == 0 || res.TagsRead == 0 {
+		t.Fatalf("cold solve result malformed: %+v", res)
+	}
+	if len(res.Schedule) != res.Slots {
+		t.Fatalf("schedule has %d slots, result claims %d", len(res.Schedule), res.Slots)
+	}
+
+	status, b = postSchedule(t, ts, smallBody)
+	if status != http.StatusOK {
+		t.Fatalf("warm solve: status %d, body %s", status, b)
+	}
+	warm := decodeResponse(t, b)
+	if !warm.Cached {
+		t.Error("second identical request was not a cache hit")
+	}
+	coldJSON, _ := json.Marshal(cold.Result)
+	warmJSON, _ := json.Marshal(warm.Result)
+	if string(coldJSON) != string(warmJSON) {
+		t.Errorf("cache hit result differs from cold solve:\n%s\n%s", coldJSON, warmJSON)
+	}
+	if got := counter(s.reg, "serve.solves"); got != 1 {
+		t.Errorf("serve.solves = %d, want 1", got)
+	}
+	if got := counter(s.reg, "serve.cache.hits"); got != 1 {
+		t.Errorf("serve.cache.hits = %d, want 1", got)
+	}
+}
+
+func TestScheduleBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := map[string]string{
+		"emptyBody":       ``,
+		"notJSON":         `schedule me`,
+		"nanLiteral":      `{"deployment":{"readers":[{"x":NaN,"y":0,"interferenceRadius":3,"interrogationRadius":1}],"tags":[]},"algorithm":"alg2"}`,
+		"negativeRadius":  `{"deployment":{"readers":[{"x":1,"y":1,"interferenceRadius":-5,"interrogationRadius":2}],"tags":[]}}`,
+		"zeroRadius":      `{"deployment":{"readers":[{"x":1,"y":1,"interferenceRadius":4,"interrogationRadius":0}],"tags":[]}}`,
+		"invertedRadii":   `{"deployment":{"readers":[{"x":1,"y":1,"interferenceRadius":1,"interrogationRadius":4}],"tags":[]}}`,
+		"infViaExponent":  `{"deployment":{"readers":[{"x":1e999,"y":1,"interferenceRadius":4,"interrogationRadius":1}],"tags":[]}}`,
+		"noReaders":       `{"deployment":{"readers":[],"tags":[]}}`,
+		"noSpec":          `{"algorithm":"alg2"}`,
+		"bothSpecs":       `{"deployment":{"readers":[{"x":1,"y":1,"interferenceRadius":4,"interrogationRadius":1}],"tags":[]},"generator":{"readers":5,"tags":5}}`,
+		"badAlgorithm":    `{"generator":{"seed":1,"readers":5,"tags":5},"algorithm":"simulated-annealing"}`,
+		"badMode":         `{"generator":{"seed":1,"readers":5,"tags":5},"mode":"batch"}`,
+		"badRho":          `{"generator":{"seed":1,"readers":5,"tags":5},"algorithm":"alg2","rho":0.5}`,
+		"negativeWorkers": `{"generator":{"seed":1,"readers":5,"tags":5},"workers":-2}`,
+		"negativePolls":   `{"generator":{"seed":1,"readers":5,"tags":5},"slot_polls":-1}`,
+		"negDeadline":     `{"generator":{"seed":1,"readers":5,"tags":5},"deadline_ms":-100}`,
+		"tooManyReaders":  `{"generator":{"seed":1,"readers":5000,"tags":5}}`,
+		"tooManyTags":     `{"generator":{"seed":1,"readers":5,"tags":500000}}`,
+		"badLayout":       `{"generator":{"seed":1,"readers":5,"tags":5,"layout":"orbital"}}`,
+		"unknownField":    `{"generator":{"seed":1,"readers":5,"tags":5},"algoritm":"alg2"}`,
+		"trailingGarbage": `{"generator":{"seed":1,"readers":5,"tags":5}}{"again":true}`,
+		"genReaders0":     `{"generator":{"seed":1,"readers":0,"tags":5}}`,
+	}
+	for name, body := range cases {
+		status, b := postSchedule(t, ts, body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400), body %s", name, status, b)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(b, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body not JSON {error}: %s", name, b)
+		}
+	}
+}
+
+func TestScheduleMethodAndJobsRouting(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/schedule: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/not-a-fingerprint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad job id: status %d, want 400", resp.StatusCode)
+	}
+
+	unknown := strings.Repeat("ab", 32)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// Telemetry fallthrough: the obs endpoints are mounted under the same
+	// handler.
+	for _, path := range []string{"/metrics", "/runs", "/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"generator": {"seed": 5, "readers": 10, "tags": 50, "side": 40, "lambdaR": 12, "lambdar": 5}, "algorithm": "ghc", "async": true}`
+	status, b := postSchedule(t, ts, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("async submit: status %d, body %s", status, b)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(b, &jr); err != nil || jr.Job == "" {
+		t.Fatalf("async submit body: %s", b)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + jr.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(jb, &jr); err != nil {
+			t.Fatalf("poll body %s: %v", jb, err)
+		}
+		if jr.Status == JobDone {
+			if jr.Result == nil || !jr.Result.Verified {
+				t.Fatalf("done job carries no verified result: %s", jb)
+			}
+			break
+		}
+		if jr.Status == JobFailed {
+			t.Fatalf("job failed: %s", jr.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", jr.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSingleFlight holds the one solve of N concurrent identical requests
+// at the gate until all stragglers have attached, then asserts exactly one
+// solve happened and every waiter got the same bit-identical result.
+func TestSingleFlight(t *testing.T) {
+	const n = 5
+	release := make(chan struct{})
+	running := make(chan struct{}, n)
+	s, ts := newTestServer(t, Options{})
+	s.solveGate = func(*Job) {
+		running <- struct{}{}
+		<-release
+	}
+
+	select {
+	case <-running:
+		t.Fatal("solve before any request")
+	default:
+	}
+
+	var wg sync.WaitGroup
+	results := make([]string, n)
+	errs := make([]error, n)
+	kick := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-kick
+			status, b := postScheduleQuiet(ts, smallBody)
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", status, b)
+				return
+			}
+			var r Response
+			if err := json.Unmarshal(b, &r); err != nil {
+				errs[i] = err
+				return
+			}
+			j, _ := json.Marshal(r.Result)
+			results[i] = string(j)
+		}(i)
+	}
+	close(kick)
+
+	// The first request reaches the gate; the rest must observe the pending
+	// job and merge. Wait for the merge counter so the release below cannot
+	// race a straggler into a cache hit (which would also be fine, but then
+	// the assertion "merged = n-1" would flake).
+	<-running
+	waitCounter(t, s.reg, "serve.singleflight.merged", n-1)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Errorf("request %d result differs from request 0", i)
+		}
+	}
+	if got := counter(s.reg, "serve.solves"); got != 1 {
+		t.Errorf("serve.solves = %d, want exactly 1 for %d concurrent identical requests", got, n)
+	}
+	if got := counter(s.reg, "serve.singleflight.merged"); got != n-1 {
+		t.Errorf("serve.singleflight.merged = %d, want %d", got, n-1)
+	}
+}
+
+func postScheduleQuiet(ts *httptest.Server, body string) (int, []byte) {
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+func waitCounter(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(reg, name) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d (timed out)", name, counter(reg, name), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueBackpressure fills the single shard (depth 1, one gated worker)
+// and asserts the overflow request is rejected with 429.
+func TestQueueBackpressure(t *testing.T) {
+	// Buffered token gate: each solve consumes one token; the test releases
+	// a surplus once the backpressure assertions are done, so cleanup's
+	// Drain always terminates.
+	release := make(chan struct{}, 16)
+	running := make(chan struct{}, 16)
+	s, ts := newTestServer(t, Options{Shards: 1, WorkersPerShard: 1, QueueDepth: 1})
+	s.solveGate = func(*Job) {
+		running <- struct{}{}
+		<-release
+	}
+
+	asyncBody := func(seed int) string {
+		return fmt.Sprintf(`{"generator": {"seed": %d, "readers": 8, "tags": 30, "side": 40, "lambdaR": 12, "lambdar": 5}, "algorithm": "ghc", "async": true}`, seed)
+	}
+	// Job A occupies the worker (wait until it is truly running, not queued).
+	if status, b := postSchedule(t, ts, asyncBody(1)); status != http.StatusAccepted {
+		t.Fatalf("job A: status %d, body %s", status, b)
+	}
+	<-running
+	// Job B fills the queue slot.
+	if status, b := postSchedule(t, ts, asyncBody(2)); status != http.StatusAccepted {
+		t.Fatalf("job B: status %d, body %s", status, b)
+	}
+	// Job C overflows.
+	status, b := postSchedule(t, ts, asyncBody(3))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("job C: status %d (want 429), body %s", status, b)
+	}
+	if got := counter(s.reg, "serve.rejected.queue_full"); got != 1 {
+		t.Errorf("serve.rejected.queue_full = %d, want 1", got)
+	}
+	// A rejected fingerprint must not wedge: after capacity frees up the
+	// same request is admitted.
+	for i := 0; i < cap(release); i++ {
+		release <- struct{}{}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, _ = postSchedule(t, ts, asyncBody(3))
+		if status == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job C never admitted after drain: status %d", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrain: while one job is gated in flight, Drain must flip readiness
+// and refuse new work, then complete once the job finishes — and the
+// in-flight waiter still gets its 200.
+func TestDrain(t *testing.T) {
+	release := make(chan struct{})
+	running := make(chan struct{}, 1)
+	s, ts := newTestServer(t, Options{})
+	s.solveGate = func(*Job) {
+		running <- struct{}{}
+		<-release
+	}
+
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	inflight := make(chan outcome, 1)
+	go func() {
+		st, b := postScheduleQuiet(ts, smallBody)
+		inflight <- outcome{st, b}
+	}()
+	<-running
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(30 * time.Second) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused while draining.
+	status, b := postSchedule(t, ts, `{"generator": {"seed": 99, "readers": 8, "tags": 30, "side": 40, "lambdaR": 12, "lambdar": 5}}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d (want 503), body %s", status, b)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain: status %d, want 503", resp.StatusCode)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v with a job still gated", err)
+	default:
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	out := <-inflight
+	if out.status != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d, body %s", out.status, out.body)
+	}
+	r := decodeResponse(t, out.body)
+	if r.Result == nil || !r.Result.Verified {
+		t.Fatalf("drained job returned unverified result: %s", out.body)
+	}
+}
+
+// TestDrainTimeout: a drain that cannot finish reports the timeout instead
+// of hanging.
+func TestDrainTimeout(t *testing.T) {
+	release := make(chan struct{})
+	running := make(chan struct{}, 1)
+	s, ts := newTestServer(t, Options{})
+	s.solveGate = func(*Job) {
+		running <- struct{}{}
+		<-release
+	}
+	go postScheduleQuiet(ts, smallBody)
+	<-running
+	if err := s.Drain(50 * time.Millisecond); err == nil {
+		t.Fatal("Drain returned nil with a job wedged at the gate")
+	}
+	close(release)
+}
+
+// TestOneShotMode exercises mode=oneshot including the anytime flag under a
+// deterministic poll budget.
+func TestOneShotMode(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"generator": {"seed": 3, "readers": 12, "tags": 80, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "mode": "oneshot"}`
+	status, b := postSchedule(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("oneshot: status %d, body %s", status, b)
+	}
+	r := decodeResponse(t, b)
+	if r.Result.Mode != ModeOneShot || !r.Result.Verified {
+		t.Fatalf("oneshot result malformed: %+v", r.Result)
+	}
+	if len(r.Result.Active) == 0 || r.Result.Weight <= 0 {
+		t.Fatalf("oneshot returned empty set on a coverable deployment: %+v", r.Result)
+	}
+	if len(r.Result.Schedule) != 0 || r.Result.Slots != 0 {
+		t.Errorf("oneshot result carries MCS fields: %+v", r.Result)
+	}
+}
+
+// TestDeadlineCappedMCS: a deterministic per-slot poll budget yields an
+// anytime (truncated) yet complete, verified schedule.
+func TestDeadlineCappedMCS(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"generator": {"seed": 3, "readers": 12, "tags": 80, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "slot_polls": 1}`
+	status, b := postSchedule(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("budgeted mcs: status %d, body %s", status, b)
+	}
+	r := decodeResponse(t, b)
+	if !r.Result.Verified {
+		t.Fatal("budgeted schedule not verified")
+	}
+	if r.Result.AnytimeSlots == 0 {
+		t.Error("slot_polls=1 produced no anytime slots")
+	}
+	if r.Result.Incomplete {
+		t.Error("budgeted schedule incomplete — the stall guard should force completion")
+	}
+}
+
+// TestWallDeadlineBypassesCache: requests carrying a wall-clock deadline
+// must not be served from (or stored into) the schedule cache.
+func TestWallDeadlineBypassesCache(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	body := `{"generator": {"seed": 3, "readers": 12, "tags": 80, "side": 50, "lambdaR": 12, "lambdar": 5}, "algorithm": "alg2", "deadline_ms": 5000}`
+	for i := 0; i < 2; i++ {
+		status, b := postSchedule(t, ts, body)
+		if status != http.StatusOK {
+			t.Fatalf("deadline request %d: status %d, body %s", i, status, b)
+		}
+		if decodeResponse(t, b).Cached {
+			t.Fatalf("deadline request %d served from cache", i)
+		}
+	}
+	if got := counter(s.reg, "serve.solves"); got != 2 {
+		t.Errorf("serve.solves = %d, want 2 (no caching across wall-deadline requests)", got)
+	}
+	if got := s.cache.Len(); got != 0 {
+		t.Errorf("cache holds %d entries after uncacheable requests, want 0", got)
+	}
+}

@@ -1,0 +1,576 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfidsched/internal/baseline"
+	"rfidsched/internal/checkpoint"
+	"rfidsched/internal/core"
+	"rfidsched/internal/deploy"
+	"rfidsched/internal/graph"
+	"rfidsched/internal/model"
+	"rfidsched/internal/obs"
+	"rfidsched/internal/randx"
+	"rfidsched/internal/verify"
+)
+
+// Options configures a Server. Zero fields take the documented defaults.
+type Options struct {
+	// Shards is the number of queue shards (default 4).
+	Shards int
+	// WorkersPerShard is the solver worker count per shard (default 2).
+	WorkersPerShard int
+	// QueueDepth is each shard's channel capacity; a full shard returns
+	// HTTP 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU schedule cache (default 256).
+	CacheEntries int
+	// Limits is the admission envelope (DefaultLimits when zero).
+	Limits Limits
+	// MaxBody caps the request body in bytes (default 32 MiB).
+	MaxBody int64
+	// CheckpointDir, when set, makes cacheable MCS jobs durable: each run
+	// appends a per-slot checkpoint to <dir>/<fingerprint>.ckpt, a job found
+	// mid-flight on disk (a previous process died or was drained out) is
+	// resumed bit-identically instead of recomputed, and the file is removed
+	// once the result is safely in the cache and response.
+	CheckpointDir string
+	// Metrics receives the service and solver telemetry; a fresh registry
+	// is created when nil.
+	Metrics *obs.Registry
+	// RetainJobs bounds the finished-job index served by /v1/jobs
+	// (default 1024).
+	RetainJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.WorkersPerShard <= 0 {
+		o.WorkersPerShard = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 32 << 20
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 1024
+	}
+	o.Limits = o.Limits.withDefaults()
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	return o
+}
+
+// Server is the scheduling service: HTTP front end, sharded queue, worker
+// pool, schedule cache, single-flight index. Create with NewServer, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	opts  Options
+	reg   *obs.Registry
+	cache *Cache
+	pool  *pool
+
+	mu       sync.Mutex
+	pending  map[Fingerprint]*Job // queued or running
+	finished map[Fingerprint]*Job // completed, retained for /v1/jobs
+	order    []Fingerprint        // finished eviction order (FIFO)
+
+	draining atomic.Bool
+
+	// solveGate, when set, is called at the top of every solve — a test
+	// hook that lets the single-flight and drain tests hold a job in the
+	// "running" state deterministically.
+	solveGate func(*Job)
+}
+
+// NewServer builds the service and starts its worker pool.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		reg:      opts.Metrics,
+		pending:  make(map[Fingerprint]*Job),
+		finished: make(map[Fingerprint]*Job),
+	}
+	s.cache = NewCache(opts.CacheEntries, s.reg)
+	s.pool = newPool(opts.Shards, opts.WorkersPerShard, opts.QueueDepth, s.reg, s.runJob)
+	// Touch the counters the smoke tests scrape so they exist (as zeros)
+	// from the first request on.
+	for _, name := range []string{
+		"serve.requests", "serve.solves", "serve.singleflight.merged",
+		"serve.rejected.queue_full", "serve.rejected.draining",
+		"serve.jobs.done", "serve.jobs.failed", "serve.resumed",
+	} {
+		s.reg.Counter(name)
+	}
+	return s
+}
+
+// Metrics returns the registry backing the service telemetry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the service down: new schedule requests are
+// refused with 503 (and /readyz flips to 503 for load balancers), while
+// every already-admitted job — queued or in flight — runs to completion,
+// its waiters receiving normal responses. Drain returns nil once the pool
+// is empty, or an error if that takes longer than timeout; with a
+// CheckpointDir configured, any MCS progress is durable on disk either
+// way, so a supervisor may exit and restart without losing work.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pool.drain()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("serve: drain timed out after %v with jobs still in flight", timeout)
+	}
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/schedule   solve (sync by default, 202 + job id with async)
+//	GET  /v1/jobs/{id}  job status / result by fingerprint
+//	(everything else)   the obs telemetry endpoints: /metrics, /runs,
+//	                    /healthz, /readyz (503 while draining),
+//	                    /debug/pprof/
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.Handle("/", obs.Handler(obs.ServeOptions{
+		Registry: s.reg,
+		Ready:    func() bool { return !s.draining.Load() },
+	}))
+	return mux
+}
+
+// Response is the /v1/schedule (and completed /v1/jobs) response envelope.
+// Result is identical bit-for-bit whether it came from a cold solve, the
+// cache, or a merged in-flight request — only the envelope's Cached flag
+// differs.
+type Response struct {
+	Cached bool    `json:"cached"`
+	Result *Result `json:"result"`
+}
+
+// JobResponse is the /v1/jobs/{id} (and async 202) envelope.
+type JobResponse struct {
+	Job    string  `json:"job"`
+	Status string  `json:"status"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.reg.Counter("serve.requests").Inc()
+	if s.draining.Load() {
+		s.reg.Counter("serve.rejected.draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	req, dep, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBody), s.opts.Limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp := FingerprintRequest(req, dep)
+
+	if req.Cacheable() && !req.NoCache {
+		if res, ok := s.cache.Get(fp); ok {
+			writeJSON(w, http.StatusOK, Response{Cached: true, Result: res})
+			return
+		}
+	}
+
+	job, created := s.attach(fp, req, dep)
+	if created {
+		if err := s.pool.enqueue(job); err != nil {
+			s.detach(fp)
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				s.reg.Counter("serve.rejected.queue_full").Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "shard queue full, retry later")
+			default:
+				s.reg.Counter("serve.rejected.draining").Inc()
+				writeError(w, http.StatusServiceUnavailable, "server is draining")
+			}
+			return
+		}
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, JobResponse{Job: fp.String(), Status: job.Status()})
+		return
+	}
+
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client went away; the job keeps running (other waiters, the
+		// cache, and /v1/jobs still want the result).
+		return
+	}
+	res, jerr := job.Outcome()
+	if jerr != nil {
+		status := http.StatusInternalServerError
+		if IsBadRequest(jerr) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, jerr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, Response{Cached: false, Result: res})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	fp, ok := ParseFingerprint(id)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "job id must be a 64-char hex fingerprint")
+		return
+	}
+	s.mu.Lock()
+	job := s.pending[fp]
+	if job == nil {
+		job = s.finished[fp]
+	}
+	s.mu.Unlock()
+	if job != nil {
+		resp := JobResponse{Job: id, Status: job.Status()}
+		if res, err := job.Outcome(); err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Result = res
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// The job index is bounded; fall back to the cache so a long-finished
+	// fingerprint still resolves.
+	if res, ok := s.cache.Get(fp); ok {
+		writeJSON(w, http.StatusOK, JobResponse{Job: id, Status: JobDone, Result: res})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job")
+}
+
+// attach returns the in-flight job for fp, creating it if none exists.
+// The second return reports creation: exactly one caller per fingerprint
+// generation creates (and must enqueue) the job; everyone else merges onto
+// it — the single-flight guarantee.
+func (s *Server) attach(fp Fingerprint, req *Request, dep *deploy.Deployment) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if job, ok := s.pending[fp]; ok {
+		s.reg.Counter("serve.singleflight.merged").Inc()
+		return job, false
+	}
+	job := newJob(fp, req, dep)
+	s.pending[fp] = job
+	return job, true
+}
+
+// detach removes a job that never ran (its enqueue was rejected).
+func (s *Server) detach(fp Fingerprint) {
+	s.mu.Lock()
+	delete(s.pending, fp)
+	s.mu.Unlock()
+}
+
+// runJob is the worker-pool entry point: solve once, publish to the cache,
+// move the job from the pending (single-flight) index to the bounded
+// finished index, and wake every waiter.
+func (s *Server) runJob(job *Job) {
+	job.setRunning()
+	if s.solveGate != nil {
+		s.solveGate(job)
+	}
+	s.reg.Counter("serve.solves").Inc()
+	res, err := s.solveJob(job)
+	if err == nil && job.Req.Cacheable() {
+		s.cache.Put(job.FP, res)
+	}
+	if err != nil {
+		s.reg.Counter("serve.jobs.failed").Inc()
+	} else {
+		s.reg.Counter("serve.jobs.done").Inc()
+	}
+
+	s.mu.Lock()
+	delete(s.pending, job.FP)
+	if _, dup := s.finished[job.FP]; !dup {
+		s.order = append(s.order, job.FP)
+	}
+	s.finished[job.FP] = job
+	for len(s.order) > s.opts.RetainJobs {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.finished, evict)
+	}
+	s.mu.Unlock()
+
+	job.finish(res, err)
+}
+
+// solveJob executes one scheduling problem end to end: build the system,
+// construct the scheduler, run the one-shot solve or the full MCS driver
+// (with durable checkpoint/resume when configured), and verify the answer
+// against the independent checker before anyone sees it.
+func (s *Server) solveJob(job *Job) (*Result, error) {
+	req := job.Req
+	sys, err := buildSystem(job.Dep)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := newScheduler(req, sys)
+	if err != nil {
+		return nil, err
+	}
+	if req.Mode == ModeOneShot {
+		return s.solveOneShot(job, sys, sched)
+	}
+	return s.solveMCS(job, sys, sched)
+}
+
+// newScheduler mirrors the rfidsched CLI's algorithm table on a normalized
+// request.
+func newScheduler(req *Request, sys *model.System) (model.OneShotScheduler, error) {
+	switch req.Algorithm {
+	case AlgPTAS:
+		return core.NewPTAS(), nil
+	case AlgGrowth:
+		return core.NewGrowth(graph.FromSystem(sys), req.Rho), nil
+	case AlgDistributed:
+		return core.NewDistributed(graph.FromSystem(sys), req.Rho), nil
+	case AlgGHC:
+		return baseline.GHC{}, nil
+	case AlgColorwave:
+		return baseline.NewColorwave(graph.FromSystem(sys), req.Seed), nil
+	case AlgRandom:
+		rng := randx.New(req.Seed)
+		return &baseline.Random{Next: rng.Intn}, nil
+	case AlgExact:
+		return &baseline.Exact{}, nil
+	default:
+		// normalize() already rejected unknown names; a miss here is a bug.
+		return nil, fmt.Errorf("serve: unhandled algorithm %q", req.Algorithm)
+	}
+}
+
+// requireFeasible mirrors the CLI's verification policy: the paper's
+// algorithms (and the exact baseline) must emit pairwise-independent slots;
+// the heuristic baselines are only held to the physical accounting rules.
+func requireFeasible(alg string) bool {
+	switch alg {
+	case AlgPTAS, AlgGrowth, AlgDistributed, AlgExact:
+		return true
+	}
+	return false
+}
+
+// solveOneShot answers a single-slot request: one feasible scheduling set
+// maximizing weight, under the request's deadline if any.
+func (s *Server) solveOneShot(job *Job, sys *model.System, sched model.OneShotScheduler) (*Result, error) {
+	req := job.Req
+	if req.Workers != 0 {
+		if sw, ok := sched.(interface{ SetWorkers(int) }); ok {
+			sw.SetWorkers(req.Workers)
+		}
+	}
+	if ds, ok := sched.(core.DeadlineSetter); ok {
+		switch {
+		case req.SlotPolls > 0:
+			ds.SetDeadline(core.NewPollBudget(req.SlotPolls))
+		case req.DeadlineMS > 0:
+			ds.SetDeadline(core.NewDeadline(time.Duration(req.DeadlineMS) * time.Millisecond))
+		}
+	}
+	span := obs.StartSpan(s.reg, obs.SpanSolve)
+	X, err := sched.OneShot(sys)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s one-shot: %w", sched.Name(), err)
+	}
+	if requireFeasible(req.Algorithm) && !sys.IsFeasible(X) {
+		return nil, fmt.Errorf("serve: %s produced an infeasible one-shot set %v", sched.Name(), X)
+	}
+	anytime := false
+	if ar, ok := sched.(core.AnytimeReporter); ok {
+		anytime = ar.Anytime()
+	}
+	res := &Result{
+		Fingerprint: job.FP.String(),
+		Algorithm:   sched.Name(),
+		Mode:        ModeOneShot,
+		Active:      canonInts(X),
+		Weight:      sys.Weight(X),
+		TagsRead:    len(sys.Covered(X, nil)),
+		Anytime:     anytime,
+		Verified:    sys.IsFeasible(X) || !requireFeasible(req.Algorithm),
+	}
+	return res, nil
+}
+
+// solveMCS runs the full covering-schedule driver, resuming from a durable
+// checkpoint when one is on disk for this fingerprint (left by a drained or
+// crashed predecessor), and re-verifies the schedule with internal/verify
+// before returning it.
+func (s *Server) solveMCS(job *Job, sys *model.System, sched model.OneShotScheduler) (*Result, error) {
+	req := job.Req
+	opts := core.MCSOptions{
+		MaxSlots:       req.MaxSlots,
+		RecordSlots:    true,
+		SolverWorkers:  req.Workers,
+		SlotPollBudget: req.SlotPolls,
+		Metrics:        s.reg,
+	}
+	if req.DeadlineMS > 0 {
+		opts.SlotDeadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+
+	// verifySys stays pristine: verify.Schedule replays the result against
+	// the same initial read state the run started from.
+	verifySys := sys.Clone()
+
+	var ckptPath string
+	var state *checkpoint.MCSState
+	if s.opts.CheckpointDir != "" && req.Cacheable() {
+		ckptPath = filepath.Join(s.opts.CheckpointDir, job.FP.String()+".ckpt")
+		if st, err := checkpoint.LoadMCS(ckptPath); err == nil {
+			// A durable prefix from a previous life of this fingerprint:
+			// resume instead of recomputing. The fingerprint pins the exact
+			// deployment, algorithm and knobs, so the header always matches.
+			state = st
+		}
+		w, err := checkpoint.Create(ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: checkpoint %s: %w", ckptPath, err)
+		}
+		opts.Checkpoint = w
+		defer w.Close()
+	}
+
+	var mcsRes *core.MCSResult
+	var err error
+	if state != nil {
+		s.reg.Counter("serve.resumed").Inc()
+		mcsRes, err = core.ResumeMCS(sys, sched, opts, state)
+		if err != nil {
+			// A stale or corrupt checkpoint must not wedge the fingerprint
+			// forever: fall back to a cold solve on fresh state. The half-
+			// written resume stream is truncated by re-creating the writer.
+			sys = verifySys.Clone()
+			if sched, err = newScheduler(req, sys); err != nil {
+				return nil, err
+			}
+			if opts.Checkpoint != nil {
+				_ = opts.Checkpoint.Close()
+				w, cerr := checkpoint.Create(ckptPath)
+				if cerr != nil {
+					return nil, fmt.Errorf("serve: checkpoint %s: %w", ckptPath, cerr)
+				}
+				opts.Checkpoint = w
+				defer w.Close()
+			}
+			mcsRes, err = core.RunMCS(sys, sched, opts)
+		}
+	} else {
+		mcsRes, err = core.RunMCS(sys, sched, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", sched.Name(), err)
+	}
+
+	rep, err := verify.Schedule(verifySys, mcsRes, verify.Options{RequireFeasible: requireFeasible(req.Algorithm)})
+	if err != nil {
+		return nil, fmt.Errorf("serve: schedule failed verification: %w", err)
+	}
+	if ckptPath != "" {
+		// The schedule is solved, verified, and about to be cached; the
+		// durable intermediate state has served its purpose.
+		_ = os.Remove(ckptPath)
+	}
+
+	res := &Result{
+		Fingerprint:   job.FP.String(),
+		Algorithm:     mcsRes.Algorithm,
+		Mode:          ModeMCS,
+		Slots:         mcsRes.Size,
+		TagsRead:      mcsRes.TotalRead,
+		Fallbacks:     mcsRes.Fallbacks,
+		AnytimeSlots:  mcsRes.AnytimeSlots,
+		Incomplete:    mcsRes.Incomplete,
+		Verified:      true,
+		FeasibleSlots: rep.FeasibleSlots,
+		Schedule:      make([]ScheduleSlot, len(mcsRes.Slots)),
+	}
+	for i, sl := range mcsRes.Slots {
+		res.Schedule[i] = ScheduleSlot{
+			Active:   canonInts(sl.Active),
+			TagsRead: sl.TagsRead,
+			Fallback: sl.Fallback,
+		}
+	}
+	return res, nil
+}
+
+// canonInts normalizes a possibly-nil reader set to an empty slice so the
+// JSON form is always an array, never null.
+func canonInts(x []int) []int {
+	if x == nil {
+		return []int{}
+	}
+	return x
+}
