@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench obsbench wbench wbench-check psbench psbench-check fuzz lint check
+.PHONY: build test vet race bench obsbench wbench wbench-check psbench psbench-check corebench corebench-check fuzz lint check
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,21 @@ psbench:
 # where no speedup is physically possible.
 psbench-check:
 	$(GO) run ./cmd/psbench -check -baseline BENCH_parallel.json -o BENCH_parallel_fresh.json
+
+# corebench re-archives the geometry-core construction and pooling speedups
+# (frozen pre-CSR builders vs NewSystem/WarmAdjacency/pooled clones) into
+# BENCH_core.json. The high iteration count tightens the best-of estimate;
+# rerun and commit when internal/model construction or the benchmark
+# changes.
+corebench:
+	$(GO) run ./cmd/corebench -iters 1000 -o BENCH_core.json
+
+# corebench-check is the CI geometry-core gate: re-measure the construction,
+# clone-pooling, and zero-alloc gates and fail on regression beyond 15% of
+# the committed (margin-shaved) baseline. Auto-skips on runners with fewer
+# than 2 CPUs, where timing ratios on a shared core gate noise, not code.
+corebench-check:
+	$(GO) run ./cmd/corebench -check -baseline BENCH_core.json -tolerance 0.15 -o BENCH_core_fresh.json
 
 # fuzz is a bounded smoke run of the two attacker-facing parsers: the
 # checkpoint decoder (torn/bit-rotted resume streams) and the /v1/schedule

@@ -124,7 +124,7 @@ func (h *gainHeap) Pop() any {
 // ghcLazy is the lazy-queue implementation; see the GHC doc comment.
 func ghcLazy(sys *model.System) ([]int, error) {
 	n := sys.NumReaders()
-	eval := model.NewWeightEval(sys)
+	eval := model.NewPooledWeightEval(sys)
 	defer eval.Close()
 
 	cached := make([]int, n)    // current exact gain per candidate

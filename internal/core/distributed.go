@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"rfidsched/internal/distnet"
 	"rfidsched/internal/fault"
@@ -189,7 +189,7 @@ func (d *Distributed) OneShot(sys *model.System) ([]int, error) {
 			X = append(X, id)
 		}
 	}
-	sort.Ints(X)
+	slices.Sort(X)
 	if d.Tracer != nil {
 		// Emitted before the Strict feasibility check: the election did
 		// complete, even when it decided a dependent set the check rejects.
@@ -392,7 +392,7 @@ func (nd *alg3Node) computeResult() resultMsg {
 	for v := range nd.knownRed {
 		committed = append(committed, v)
 	}
-	sort.Ints(committed)
+	slices.Sort(committed)
 	opts := mwfs.Options{MaxNodes: nd.solverNodes, Independent: indep, Context: committed}
 
 	cur := mwfs.Solve(nd.sys, []int{nd.id}, opts)
@@ -442,6 +442,6 @@ func (nd *alg3Node) localBall(adj map[int][]int, r int) []int {
 			}
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }

@@ -195,7 +195,7 @@ func (e ExactMCS) solve(sys *model.System, dl *Deadline) (int, bool, error) {
 		work := base
 		if workers >= 2 {
 			if workSys[w] == nil {
-				workSys[w] = base.Clone()
+				workSys[w] = base.ClonePooled()
 			}
 			work = workSys[w]
 		}
@@ -209,6 +209,11 @@ func (e ExactMCS) solve(sys *model.System, dl *Deadline) (int, bool, error) {
 			}
 		}
 	})
+	for _, ws := range workSys {
+		if ws != nil {
+			ws.Release()
+		}
+	}
 
 	if timedOut.Load() {
 		return ub, false, nil

@@ -146,7 +146,7 @@ func (gr *Growth) OneShot(sys *model.System) ([]int, error) {
 // is an O(Δ) pop/push instead of a full O(|X|·deg) recompute.
 func pruneByWeight(sys *model.System, X []int) []int {
 	cur := append([]int(nil), X...)
-	eval := model.NewWeightEval(sys)
+	eval := model.NewPooledWeightEval(sys)
 	defer eval.Close()
 	for _, v := range cur {
 		eval.Add(v)

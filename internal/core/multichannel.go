@@ -59,17 +59,25 @@ func (m MultiChannel) OneShot(sys *model.System) (Assignment, error) {
 	})
 
 	var plan Assignment
-	perChannel := make([][]int, c)
+	// Per-channel independence is a word-AND against the channel's member
+	// bitset — same verdicts as the pairwise Independent loop, one test per
+	// 64 members.
+	conf, confW := sys.ConflictBits()
+	chBits := make([][]uint64, c)
+	for ch := range chBits {
+		chBits[ch] = make([]uint64, confW)
+	}
 	curW := 0
 	for _, v := range order {
 		if single[v] == 0 {
 			break // nothing below can add weight either
 		}
+		row := conf[v*confW : (v+1)*confW]
 		bestCh, bestW := -1, curW
 		for ch := 0; ch < c; ch++ {
 			ok := true
-			for _, u := range perChannel[ch] {
-				if !sys.Independent(u, v) {
+			for k, wd := range row {
+				if wd&chBits[ch][k] != 0 {
 					ok = false
 					break
 				}
@@ -88,7 +96,7 @@ func (m MultiChannel) OneShot(sys *model.System) (Assignment, error) {
 		if bestCh >= 0 {
 			plan.Readers = append(plan.Readers, v)
 			plan.Channels = append(plan.Channels, bestCh)
-			perChannel[bestCh] = append(perChannel[bestCh], v)
+			chBits[bestCh][uint(v)>>6] |= 1 << (uint(v) & 63)
 			curW = bestW
 		}
 	}

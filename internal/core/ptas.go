@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"strconv"
 
 	"rfidsched/internal/geom"
@@ -161,7 +161,7 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 			// Weight evaluation mutates System-owned scratch, so each pool
 			// worker scores on a private clone (shared immutable geometry).
 			if clones[w] == nil {
-				clones[w] = sys.Clone()
+				clones[w] = sys.ClonePooled()
 			}
 			wsys = clones[w]
 		}
@@ -175,6 +175,11 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 		set := dp.solve(pl.rootKeys[tk.root], nil)
 		results[t] = rootResult{set: set, evals: dp.evals, timedOut: dp.timedOut}
 	})
+	for _, c := range clones {
+		if c != nil {
+			c.Release()
+		}
+	}
 
 	// Deterministic merge: union each shifting's roots in task order (their
 	// interrogation regions are disjoint, weights additive), augment, then
@@ -202,7 +207,7 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 			p.LastShift = [2]int{pl.grid.R, pl.grid.S}
 		}
 	}
-	sort.Ints(best)
+	slices.Sort(best)
 	return best, nil
 }
 
@@ -214,10 +219,16 @@ func (p *PTAS) OneShot(sys *model.System) ([]int, error) {
 // sits on the hot path of every driver.
 func augmentFeasible(sys *model.System, X []int) []int {
 	in := make([]bool, sys.NumReaders())
-	eval := model.NewWeightEval(sys)
+	eval := model.NewPooledWeightEval(sys)
 	defer eval.Close()
+	// Feasibility against the working set is a word-AND over the conflict
+	// bitsets (identical verdicts to the pairwise Independent loop), so each
+	// candidate probe is O(n/64) instead of O(|cur|) predicate calls.
+	conf, confW := sys.ConflictBits()
+	curBits := make([]uint64, confW)
 	for _, v := range X {
 		in[v] = true
+		curBits[uint(v)>>6] |= 1 << (uint(v) & 63)
 		eval.Add(v)
 	}
 	cur := append([]int(nil), X...)
@@ -228,9 +239,10 @@ func augmentFeasible(sys *model.System, X []int) []int {
 			if in[v] {
 				continue
 			}
+			row := conf[v*confW : (v+1)*confW]
 			feasible := true
-			for _, u := range cur {
-				if !sys.Independent(u, v) {
+			for k, wd := range row {
+				if wd&curBits[k] != 0 {
 					feasible = false
 					break
 				}
@@ -247,6 +259,7 @@ func augmentFeasible(sys *model.System, X []int) []int {
 		}
 		cur = append(cur, bestV)
 		in[bestV] = true
+		curBits[uint(bestV)>>6] |= 1 << (uint(bestV) & 63)
 		eval.Add(bestV)
 		curW = bestW
 	}
@@ -330,11 +343,11 @@ func newShiftPlan(inst *ptasInstance, grid geom.ShiftGrid, lambda int) *shiftPla
 	for kk := range roots {
 		pl.rootKeys = append(pl.rootKeys, kk)
 	}
-	sort.Slice(pl.rootKeys, func(a, b int) bool {
-		if pl.rootKeys[a].ix != pl.rootKeys[b].ix {
-			return pl.rootKeys[a].ix < pl.rootKeys[b].ix
+	slices.SortFunc(pl.rootKeys, func(a, b sqKey) int {
+		if a.ix != b.ix {
+			return a.ix - b.ix
 		}
-		return pl.rootKeys[a].iy < pl.rootKeys[b].iy
+		return a.iy - b.iy
 	})
 	return pl
 }
@@ -426,7 +439,7 @@ func (dp *ptasDP) solve(key sqKey, ctx []int) []int {
 		cand := append([]int(nil), chosen...)
 		if len(children) > 0 {
 			inner := append(append([]int(nil), ctx...), chosen...)
-			sort.Ints(inner)
+			slices.Sort(inner)
 			for _, ck := range children {
 				childCtx := dp.filterIntersecting(inner, ck)
 				cand = append(cand, dp.solve(ck, childCtx)...)

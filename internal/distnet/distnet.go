@@ -18,7 +18,7 @@ package distnet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"rfidsched/internal/fault"
@@ -195,7 +195,7 @@ func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 			}(id)
 		}
 		wg.Wait()
-		sort.Slice(results, func(a, b int) bool { return results[a].id < results[b].id })
+		slices.SortFunc(results, func(a, b result) int { return a.id - b.id })
 
 		next := make([][]Message, len(nodes))
 		for _, id := range stragglers {
@@ -256,7 +256,7 @@ func (n *Network) Run(nodes []Node, maxRounds int) (*Stats, error) {
 			if len(box) < 2 {
 				continue
 			}
-			sort.SliceStable(box, func(a, b int) bool { return box[a].From < box[b].From })
+			slices.SortStableFunc(box, func(a, b Message) int { return a.From - b.From })
 			if plan != nil && plan.Reordered(round) {
 				perm := plan.Perm(len(box))
 				shuffled := make([]Message, len(box))

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"rfidsched/internal/anticollision"
@@ -149,7 +149,7 @@ func ablationSweep(cfg Config, sweep []float64, title, xlabel, ylabel string,
 			accs[label][r.x].Add(v)
 		}
 	}
-	sort.Strings(labels)
+	slices.Sort(labels)
 
 	out := &FigureResult{ID: title, Title: title, XLabel: xlabel, YLabel: ylabel}
 	for _, label := range labels {

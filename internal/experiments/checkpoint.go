@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"sync"
 
 	"rfidsched/internal/checkpoint"
@@ -110,7 +110,7 @@ func OpenSweepCheckpoint(path string, cfg Config, resume bool) (*SweepCheckpoint
 	for k := range sc.done {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		if err := w.Append(KindSweepCell, sc.done[k]); err != nil {
 			w.Close()
@@ -186,7 +186,7 @@ func (sc *SweepCheckpoint) record(figure string, x float64, trial int, vals map[
 	for lbl := range vals {
 		labels = append(labels, lbl)
 	}
-	sort.Strings(labels)
+	slices.Sort(labels)
 	cell := SweepCell{Figure: figure, X: x, Trial: trial}
 	for _, lbl := range labels {
 		cell.Samples = append(cell.Samples, SweepSample{Label: lbl, V: vals[lbl]})

@@ -20,7 +20,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -310,7 +310,7 @@ func RunFigure(id string, cfg Config) (*FigureResult, error) {
 		for x := range accs[alg] {
 			xs = append(xs, x)
 		}
-		sort.Float64s(xs)
+		slices.Sort(xs)
 		for _, x := range xs {
 			a := accs[alg][x]
 			ser.Points = append(ser.Points, Point{X: x, Mean: a.Mean(), CI95: a.CI95(), N: a.N()})

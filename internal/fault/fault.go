@@ -23,7 +23,7 @@ package fault
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"rfidsched/internal/randx"
 )
@@ -239,7 +239,7 @@ func (s Scenario) Compile(n int) (*Plan, error) {
 	}
 	for _, spans := range [][][]span{p.crash, p.straggle} {
 		for _, l := range spans {
-			sort.Slice(l, func(a, b int) bool { return l[a].at < l[b].at })
+			slices.SortFunc(l, func(a, b span) int { return a.at - b.at })
 		}
 	}
 	return p, nil
@@ -370,7 +370,7 @@ func SampleNodes(n, k int, seed uint64) []int {
 	}
 	perm := randx.New(seed).Perm(n)
 	out := append([]int(nil), perm[:k]...)
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -8,17 +8,26 @@ import "math"
 // construction O(n + m) for the deployments used in the paper instead of
 // O(n*m).
 //
+// Buckets are stored flat in CSR form — one offsets array plus one packed
+// index array, filled by a counting pass and a scatter pass — so building
+// the grid performs a constant number of allocations regardless of the cell
+// count, and a query walks contiguous memory instead of chasing per-bucket
+// slice headers. Within a bucket, point indices are ascending (the scatter
+// pass visits points in index order).
+//
 // The grid is built once and then read-only, so it is safe for concurrent
 // queries.
 type SpatialGrid struct {
-	cell   float64
-	minX   float64
-	minY   float64
-	cols   int
-	rows   int
-	points []Point
-	// buckets[row*cols+col] lists the indices of points in that cell.
-	buckets [][]int32
+	cell    float64
+	invCell float64 // 1/cell; multiplication is measurably cheaper than division on the hot query path
+	minX    float64
+	minY    float64
+	cols    int
+	rows    int
+	points  []Point
+	// Bucket b holds point indices dat[off[b]:off[b+1]].
+	off []int32
+	dat []int32
 }
 
 // NewSpatialGrid indexes pts with the given cell size. Cell size must be
@@ -28,28 +37,58 @@ func NewSpatialGrid(pts []Point, cell float64) *SpatialGrid {
 	if cell <= 0 {
 		cell = 1
 	}
-	g := &SpatialGrid{cell: cell, points: pts}
+	g := &SpatialGrid{cell: cell, invCell: 1 / cell, points: pts}
 	if len(pts) == 0 {
 		g.cols, g.rows = 1, 1
-		g.buckets = make([][]int32, 1)
+		g.off = make([]int32, 2)
 		return g
 	}
-	minX, minY := math.Inf(1), math.Inf(1)
-	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	for _, p := range pts {
-		minX = math.Min(minX, p.X)
-		minY = math.Min(minY, p.Y)
-		maxX = math.Max(maxX, p.X)
-		maxY = math.Max(maxY, p.Y)
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts[1:] {
+		if p.X < minX {
+			minX = p.X
+		} else if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		} else if p.Y > maxY {
+			maxY = p.Y
+		}
 	}
 	g.minX, g.minY = minX, minY
-	g.cols = int((maxX-minX)/cell) + 1
-	g.rows = int((maxY-minY)/cell) + 1
-	g.buckets = make([][]int32, g.cols*g.rows)
+	g.cols = int((maxX-minX)*g.invCell) + 1
+	g.rows = int((maxY-minY)*g.invCell) + 1
+
+	// Counting pass: cell of each point, bucket sizes; scatter pass using
+	// off[c] itself as the write cursor — after the scatter each off[c] has
+	// advanced to the start of bucket c+1, so one overlapping copy shifts
+	// the table into place (same idiom as the model package's CSR
+	// transpose). No separate cursor array.
+	nb := g.cols * g.rows
+	cells := make([]int32, len(pts))
+	g.off = make([]int32, nb+1)
 	for i, p := range pts {
 		c := g.cellIndex(p)
-		g.buckets[c] = append(g.buckets[c], int32(i))
+		cells[i] = int32(c)
+		g.off[c]++
 	}
+	sum := int32(0)
+	for b := 0; b < nb; b++ {
+		cnt := g.off[b]
+		g.off[b] = sum
+		sum += cnt
+	}
+	g.off[nb] = sum
+	g.dat = make([]int32, len(pts))
+	for i := range pts {
+		c := cells[i]
+		g.dat[g.off[c]] = int32(i)
+		g.off[c]++
+	}
+	copy(g.off[1:], g.off[:nb])
+	g.off[0] = 0
 	return g
 }
 
@@ -57,8 +96,8 @@ func NewSpatialGrid(pts []Point, cell float64) *SpatialGrid {
 func (g *SpatialGrid) Len() int { return len(g.points) }
 
 func (g *SpatialGrid) cellIndex(p Point) int {
-	col := int((p.X - g.minX) / g.cell)
-	row := int((p.Y - g.minY) / g.cell)
+	col := int((p.X - g.minX) * g.invCell)
+	row := int((p.Y - g.minY) * g.invCell)
 	if col < 0 {
 		col = 0
 	} else if col >= g.cols {
@@ -79,27 +118,67 @@ func (g *SpatialGrid) QueryDisk(d Disk, dst []int32) []int32 {
 	if len(g.points) == 0 {
 		return dst
 	}
-	c0 := int(math.Floor((d.Center.X - d.R - g.minX) / g.cell))
-	c1 := int(math.Floor((d.Center.X + d.R - g.minX) / g.cell))
-	r0 := int(math.Floor((d.Center.Y - d.R - g.minY) / g.cell))
-	r1 := int(math.Floor((d.Center.Y + d.R - g.minY) / g.cell))
-	if c0 < 0 {
-		c0 = 0
-	}
-	if r0 < 0 {
-		r0 = 0
-	}
-	if c1 >= g.cols {
-		c1 = g.cols - 1
-	}
-	if r1 >= g.rows {
-		r1 = g.rows - 1
-	}
+	c0, c1, r0, r1 := g.cellRange(d.Center.X-d.R, d.Center.X+d.R, d.Center.Y-d.R, d.Center.Y+d.R)
 	rr := d.R * d.R
+	// Cell-level pruning on the slightly EXPANDED cell rectangle — a
+	// superset of where the bucket's points can lie, since cellIndex rounds
+	// (p-min)*invCell and a point may sit a few ULPs outside its nominal
+	// cell. If the expanded rect is entirely outside the disk the bucket
+	// contributes nothing; if it is entirely inside, every bucket member is
+	// in the disk and is appended wholesale. Cells straddling the boundary
+	// fall through to the exact per-point Dist2 test, so the result set is
+	// identical to the plain scan.
+	eps := g.cell * 1e-9
+	cx, cy := d.Center.X, d.Center.Y
 	for row := r0; row <= r1; row++ {
 		base := row * g.cols
+		y0 := g.minY + float64(row)*g.cell
+		y1 := y0 + g.cell
 		for col := c0; col <= c1; col++ {
-			for _, idx := range g.buckets[base+col] {
+			b := base + col
+			bucket := g.dat[g.off[b]:g.off[b+1]]
+			// The rect tests below cost ~a dozen flops; for sparse buckets
+			// the plain point scan is cheaper than deciding whether to
+			// skip it.
+			if len(bucket) < 12 {
+				for _, idx := range bucket {
+					if g.points[idx].Dist2(d.Center) <= rr {
+						dst = append(dst, idx)
+					}
+				}
+				continue
+			}
+			x0 := g.minX + float64(col)*g.cell
+			x1 := x0 + g.cell
+			// Nearest distance from center to the expanded cell rect.
+			nx, ny := 0.0, 0.0
+			if cx < x0-eps {
+				nx = x0 - eps - cx
+			} else if cx > x1+eps {
+				nx = cx - x1 - eps
+			}
+			if cy < y0-eps {
+				ny = y0 - eps - cy
+			} else if cy > y1+eps {
+				ny = cy - y1 - eps
+			}
+			if nx*nx+ny*ny > rr {
+				continue
+			}
+			// Farthest distance from center to the expanded cell rect.
+			fx := cx - x0 + eps
+			if x1+eps-cx > fx {
+				fx = x1 + eps - cx
+			}
+			fy := cy - y0 + eps
+			if y1+eps-cy > fy {
+				fy = y1 + eps - cy
+			}
+			if fx*fx+fy*fy <= rr {
+				dst = append(dst, bucket...)
+				continue
+			}
+			for _, idx := range bucket {
 				if g.points[idx].Dist2(d.Center) <= rr {
 					dst = append(dst, idx)
 				}
@@ -115,10 +194,30 @@ func (g *SpatialGrid) QueryRect(r Rect, dst []int32) []int32 {
 	if len(g.points) == 0 {
 		return dst
 	}
-	c0 := int(math.Floor((r.Min.X - g.minX) / g.cell))
-	c1 := int(math.Floor((r.Max.X - g.minX) / g.cell))
-	r0 := int(math.Floor((r.Min.Y - g.minY) / g.cell))
-	r1 := int(math.Floor((r.Max.Y - g.minY) / g.cell))
+	c0, c1, r0, r1 := g.cellRange(r.Min.X, r.Max.X, r.Min.Y, r.Max.Y)
+	for row := r0; row <= r1; row++ {
+		base := row * g.cols
+		for col := c0; col <= c1; col++ {
+			b := base + col
+			for _, idx := range g.dat[g.off[b]:g.off[b+1]] {
+				if r.Contains(g.points[idx]) {
+					dst = append(dst, idx)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// cellRange clamps the cell rectangle covering [x0,x1]×[y0,y1]. The same
+// monotone coordinate-to-cell mapping is used here and in cellIndex, so any
+// point whose coordinates fall inside the queried box is inside the scanned
+// cell range regardless of floating-point rounding at cell boundaries.
+func (g *SpatialGrid) cellRange(x0, x1, y0, y1 float64) (c0, c1, r0, r1 int) {
+	c0 = int(math.Floor((x0 - g.minX) * g.invCell))
+	c1 = int(math.Floor((x1 - g.minX) * g.invCell))
+	r0 = int(math.Floor((y0 - g.minY) * g.invCell))
+	r1 = int(math.Floor((y1 - g.minY) * g.invCell))
 	if c0 < 0 {
 		c0 = 0
 	}
@@ -131,15 +230,5 @@ func (g *SpatialGrid) QueryRect(r Rect, dst []int32) []int32 {
 	if r1 >= g.rows {
 		r1 = g.rows - 1
 	}
-	for row := r0; row <= r1; row++ {
-		base := row * g.cols
-		for col := c0; col <= c1; col++ {
-			for _, idx := range g.buckets[base+col] {
-				if r.Contains(g.points[idx]) {
-					dst = append(dst, idx)
-				}
-			}
-		}
-	}
-	return dst
+	return c0, c1, r0, r1
 }

@@ -1,6 +1,6 @@
 package geom
 
-import "sort"
+import "slices"
 
 // KDTree is a 2-d tree over a fixed point set — the alternative spatial
 // index to SpatialGrid. The grid wins on uniform paper-scale deployments;
@@ -43,14 +43,21 @@ func (t *KDTree) build(lo, hi, axis int) {
 	mid := (lo + hi) / 2
 	seg := t.idx[lo:hi]
 	nth := mid - lo
-	// Partial selection sort of the median via sort.Slice on the segment:
-	// simple and fine for a build-once structure.
-	sort.Slice(seg, func(a, b int) bool {
-		pa, pb := t.points[seg[a]], t.points[seg[b]]
-		if axis == 0 {
-			return pa.X < pb.X
+	// Full sort of the segment to place the median: simple and fine for a
+	// build-once structure.
+	slices.SortFunc(seg, func(a, b int32) int {
+		pa, pb := t.points[a], t.points[b]
+		ka, kb := pa.X, pb.X
+		if axis == 1 {
+			ka, kb = pa.Y, pb.Y
 		}
-		return pa.Y < pb.Y
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		}
+		return 0
 	})
 	_ = nth
 	t.build(lo, mid, 1-axis)

@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"rfidsched/internal/model"
@@ -50,7 +51,7 @@ func New(n int, edges [][2]int) (*Graph, error) {
 		g.m++
 	}
 	for _, l := range g.adj {
-		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		slices.Sort(l)
 	}
 	return g, nil
 }

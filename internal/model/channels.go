@@ -53,12 +53,13 @@ func (s *System) channeled(X []int, channel []int, dst []int32, collect bool) (i
 		clean[v] = ok
 	}
 
+	s.ensureWeightScratch()
 	s.touched = s.touched[:0]
 	for _, v := range X {
 		if v < 0 || v >= len(s.readers) {
 			continue
 		}
-		for _, t := range s.tagsOf[v] {
+		for _, t := range s.tagsOf.row(v) {
 			if s.coverCount[t] == 0 {
 				s.touched = append(s.touched, t)
 			}

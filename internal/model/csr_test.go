@@ -1,0 +1,142 @@
+package model
+
+import (
+	"testing"
+
+	"rfidsched/internal/geom"
+	"rfidsched/internal/randx"
+)
+
+// Differential tests for the CSR geometry core: every flattened relation and
+// the independence bitsets must match the frozen pre-CSR construction
+// (reference.go) element for element, on every construction strategy (brute
+// pairwise scan, spatial grid, kd-tree).
+
+// genSpreadSystem builds a random deployment of n readers and m tags whose
+// interference radii span [base, base*spread] — spread > adjRadiusSpread
+// steers buildInterAdj onto the kd-tree path; with spread ~1 the size picks
+// the strategy (brute below adjBruteReaders, plane sweep up to
+// adjSweepReaders, spatial grid beyond).
+func genSpreadSystem(seed uint64, n, m int, spread float64) ([]Reader, []Tag, *System) {
+	rng := randx.New(seed)
+	readers := make([]Reader, n)
+	for i := range readers {
+		R := 2 + rng.Float64()*4
+		if i == 0 && spread > 1 {
+			R *= spread
+		}
+		readers[i] = Reader{
+			Pos:            geom.Pt(rng.Float64()*80, rng.Float64()*80),
+			InterferenceR:  R,
+			InterrogationR: 0.3*R + rng.Float64()*0.7*R,
+		}
+	}
+	tags := make([]Tag, m)
+	for i := range tags {
+		tags[i] = Tag{Pos: geom.Pt(rng.Float64()*80, rng.Float64()*80)}
+	}
+	sys, err := NewSystem(readers, tags)
+	if err != nil {
+		panic(err)
+	}
+	return readers, tags, sys
+}
+
+func rowsEqual(t *testing.T, what string, u int, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s[%d]: got %v want %v", what, u, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: got %v want %v", what, u, got, want)
+		}
+	}
+}
+
+func checkAgainstReference(t *testing.T, readers []Reader, tags []Tag, sys *System) {
+	t.Helper()
+	ref := BuildReferenceAdjacency(readers, tags)
+	for u := 0; u < sys.NumReaders(); u++ {
+		rowsEqual(t, "tagsOf", u, sys.TagsOf(u), ref.TagsOf[u])
+	}
+	for tt := 0; tt < sys.NumTags(); tt++ {
+		rowsEqual(t, "readersOf", tt, sys.ReadersOf(tt), ref.ReadersOf[tt])
+	}
+	out, in := sys.interAdj()
+	cov := sys.coverageAdj()
+	for u := 0; u < sys.NumReaders(); u++ {
+		rowsEqual(t, "interOut", u, out.row(u), ref.InterOut[u])
+		rowsEqual(t, "interIn", u, in.row(u), ref.InterIn[u])
+		rowsEqual(t, "covAdj", u, cov.row(u), ref.CovAdj[u])
+		rowsEqual(t, "nbr", u, sys.CouplingNeighbors(u), ref.Nbr[u])
+	}
+	// Independence bitsets against the pairwise geometric definition.
+	for u := 0; u < sys.NumReaders(); u++ {
+		for v := 0; v < sys.NumReaders(); v++ {
+			want := u != v && !readers[u].Interferes(readers[v]) && !readers[v].Interferes(readers[u])
+			if got := sys.Independent(u, v); got != want {
+				t.Fatalf("Independent(%d,%d) = %v, geometric definition says %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCSRMatchesReferenceBrutePath(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		n := 4 + int(seed)*5 // all below adjBruteReaders
+		readers, tags, sys := genSpreadSystem(seed, n, 150, 1)
+		checkAgainstReference(t, readers, tags, sys)
+	}
+}
+
+func TestCSRMatchesReferenceSweepPath(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		readers, tags, sys := genSpreadSystem(seed, adjBruteReaders+40, 300, 1)
+		checkAgainstReference(t, readers, tags, sys)
+	}
+}
+
+func TestCSRMatchesReferenceGridPath(t *testing.T) {
+	readers, tags, sys := genSpreadSystem(3, adjSweepReaders+60, 300, 1)
+	checkAgainstReference(t, readers, tags, sys)
+}
+
+func TestCSRMatchesReferenceKDTreePath(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		// One giant radius forces max/median past adjRadiusSpread.
+		readers, tags, sys := genSpreadSystem(seed, adjBruteReaders+40, 300, 4*adjRadiusSpread)
+		checkAgainstReference(t, readers, tags, sys)
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	// transposeCSR on a hand-built relation: rows must come out ascending.
+	c := csr{off: []int32{0, 2, 2, 5}, dat: []int32{1, 0, 2, 0, 1}}
+	tr := transposeCSR(c, 3)
+	want := [][]int32{{0, 2}, {0, 2}, {2}}
+	for i, w := range want {
+		rowsEqual(t, "transpose", i, tr.row(i), w)
+	}
+}
+
+func TestIsFeasibleBitsetSemantics(t *testing.T) {
+	_, _, sys := genSpreadSystem(7, 30, 100, 1)
+	if sys.IsFeasible([]int{-1, -1}) {
+		t.Fatal("duplicate out-of-range entries must be infeasible, not panic")
+	}
+	if sys.IsFeasible([]int{3, 3}) {
+		t.Fatal("duplicate reader must be infeasible")
+	}
+	if !sys.IsFeasible(nil) {
+		t.Fatal("empty set must be feasible")
+	}
+	// Cross-check every pair against the pairwise definition.
+	for u := 0; u < sys.NumReaders(); u++ {
+		for v := u + 1; v < sys.NumReaders(); v++ {
+			if got, want := sys.IsFeasible([]int{u, v}), sys.Independent(u, v); got != want {
+				t.Fatalf("IsFeasible({%d,%d}) = %v, Independent = %v", u, v, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package model
+
+import (
+	"sync"
+	"testing"
+
+	"rfidsched/internal/randx"
+)
+
+// Allocation-regression tests: the hot query paths must be allocation-free
+// at steady state, and the pooled clone/eval paths must stay within a fixed
+// bound once their pools are warm. These are the machine-checked half of the
+// corebench gates.
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race instrumentation")
+	}
+	_, _, sys := genSpreadSystem(11, 60, 400, 1)
+	sys.WarmAdjacency()
+	X := []int{1, 4, 9, 17, 23, 42}
+
+	if a := testing.AllocsPerRun(100, func() { sys.Weight(X) }); a != 0 {
+		t.Errorf("System.Weight allocates %v per op at steady state, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { sys.Collisions(X) }); a != 0 {
+		t.Errorf("System.Collisions allocates %v per op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { sys.IsFeasible(X) }); a != 0 {
+		t.Errorf("System.IsFeasible allocates %v per op, want 0", a)
+	}
+
+	eval := NewWeightEval(sys)
+	defer eval.Close()
+	for _, v := range X {
+		eval.Add(v)
+	}
+	// Warm once so activeList reaches its steady capacity.
+	eval.Add(50)
+	eval.Remove(50)
+	if a := testing.AllocsPerRun(100, func() { eval.Add(50); eval.Remove(50) }); a != 0 {
+		t.Errorf("WeightEval Add/Remove allocates %v per op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { eval.MarginalGain(50) }); a != 0 {
+		t.Errorf("WeightEval.MarginalGain allocates %v per op, want 0", a)
+	}
+}
+
+func TestPooledCloneAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race instrumentation")
+	}
+	_, _, sys := genSpreadSystem(13, 60, 400, 1)
+	sys.WarmAdjacency()
+	// Warm the pools.
+	c := sys.ClonePooled()
+	e := NewPooledWeightEval(c)
+	e.Close()
+	c.Release()
+
+	// sync.Pool puts may allocate a per-P slot container on first use, so the
+	// bound is a small constant rather than exactly zero; the point of the
+	// gate is that the O(readers+tags) buffer allocations of a fresh Clone
+	// and NewWeightEval are gone.
+	if a := testing.AllocsPerRun(200, func() {
+		c := sys.ClonePooled()
+		c.Release()
+	}); a > 1 {
+		t.Errorf("pooled Clone/Release allocates %v per op, want <= 1", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		c := sys.ClonePooled()
+		e := NewPooledWeightEval(c)
+		e.Add(3)
+		_ = e.Weight()
+		e.Close()
+		c.Release()
+	}); a > 2 {
+		t.Errorf("pooled clone+eval cycle allocates %v per op, want <= 2", a)
+	}
+}
+
+// A pooled clone must behave exactly like a fresh Clone regardless of what
+// the previous tenant of its buffers did.
+func TestClonePooledMatchesClone(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		_, _, sys := genSpreadSystem(seed, 40, 250, 1)
+		rng := randx.New(seed * 977)
+
+		// Dirty a pooled clone with read/down churn, then release it.
+		dirty := sys.ClonePooled()
+		for i := 0; i < 30; i++ {
+			dirty.MarkRead(int(rng.Intn(dirty.NumTags())))
+		}
+		dirty.SetReaderDown(int(rng.Intn(dirty.NumReaders())), true)
+		dirty.Release()
+
+		// Mutate the source, then clone both ways: the recycled buffers must
+		// carry none of the dirty tenant's state.
+		for i := 0; i < 20; i++ {
+			sys.MarkRead(int(rng.Intn(sys.NumTags())))
+		}
+		sys.SetReaderDown(int(rng.Intn(sys.NumReaders())), true)
+
+		fresh := sys.Clone()
+		pooled := sys.ClonePooled()
+		X := genSet(sys, seed)
+		if fw, pw := fresh.Weight(X), pooled.Weight(X); fw != pw {
+			t.Fatalf("seed %d: pooled clone weight %d != fresh clone weight %d", seed, pw, fw)
+		}
+		if fresh.UnreadCount() != pooled.UnreadCount() ||
+			fresh.DownReaders() != pooled.DownReaders() ||
+			fresh.UnreadCoverableCount() != pooled.UnreadCoverableCount() {
+			t.Fatalf("seed %d: pooled clone state diverges from fresh clone", seed)
+		}
+		for v := 0; v < sys.NumReaders(); v++ {
+			if fresh.SingletonWeight(v) != pooled.SingletonWeight(v) {
+				t.Fatalf("seed %d: SingletonWeight(%d) diverges", seed, v)
+			}
+		}
+		pooled.Release()
+	}
+}
+
+// A pooled evaluator must report the same weights as a fresh one across a
+// random op sequence, including after recycling.
+func TestPooledWeightEvalMatchesFresh(t *testing.T) {
+	_, _, sys := genSpreadSystem(21, 35, 200, 1)
+	for round := 0; round < 4; round++ {
+		rng := randx.New(uint64(round) * 1337)
+		fresh := NewWeightEval(sys)
+		pooled := NewPooledWeightEval(sys)
+		for i := 0; i < 200; i++ {
+			v := int(rng.Intn(sys.NumReaders()))
+			if rng.Bool(0.5) {
+				fresh.Add(v)
+				pooled.Add(v)
+			} else {
+				fresh.Remove(v)
+				pooled.Remove(v)
+			}
+			if fresh.Weight() != pooled.Weight() {
+				t.Fatalf("round %d op %d: pooled weight %d != fresh %d", round, i, pooled.Weight(), fresh.Weight())
+			}
+			if g := int(rng.Intn(sys.NumReaders())); fresh.MarginalGain(g) != pooled.MarginalGain(g) {
+				t.Fatalf("round %d op %d: MarginalGain diverges", round, i)
+			}
+		}
+		fresh.Close()
+		pooled.Close() // recycles; next round's Get must see zeroed counters
+	}
+}
+
+// Release must refuse clones that still have evaluators attached, and
+// Close/Release must be idempotent.
+func TestPoolOwnershipGuards(t *testing.T) {
+	_, _, sys := genSpreadSystem(31, 20, 80, 1)
+	c := sys.ClonePooled()
+	e := NewPooledWeightEval(c)
+	c.Release() // must refuse: evaluator still attached
+	c2 := sys.ClonePooled()
+	if c2 == c {
+		t.Fatal("Release recycled a clone with a live evaluator")
+	}
+	e.Add(1)
+	if e.Weight() < 0 {
+		t.Fatal("evaluator unusable after refused Release")
+	}
+	e.Close()
+	e.Close() // idempotent
+	c.Release()
+	c.Release() // idempotent
+	c2.Release()
+
+	// The original System is never pooled.
+	sys.Release()
+	if got := sys.ClonePooled(); got == sys {
+		t.Fatal("Release recycled the original System")
+	}
+}
+
+// Pool traffic from many goroutines, each on its own clone: exercised under
+// -race in CI (internal/model is in the race-parallel job).
+func TestPoolConcurrentUse(t *testing.T) {
+	_, _, sys := genSpreadSystem(41, 50, 300, 1)
+	sys.WarmAdjacency()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := randx.New(uint64(g) + 1)
+			for i := 0; i < 50; i++ {
+				c := sys.ClonePooled()
+				e := NewPooledWeightEval(c)
+				for j := 0; j < 20; j++ {
+					v := int(rng.Intn(c.NumReaders()))
+					if rng.Bool(0.5) {
+						e.Add(v)
+					} else {
+						e.Remove(v)
+					}
+					_ = e.Weight()
+				}
+				e.Close()
+				c.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

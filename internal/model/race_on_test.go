@@ -1,0 +1,7 @@
+//go:build race
+
+package model
+
+// raceEnabled skips the allocation-count assertions under the race detector,
+// whose instrumentation allocates on paths that are clean in a normal build.
+const raceEnabled = true

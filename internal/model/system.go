@@ -3,7 +3,6 @@ package model
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"rfidsched/internal/geom"
 )
@@ -17,11 +16,12 @@ type System struct {
 	readers []Reader
 	tags    []Tag
 
-	// tagsOf[i] lists tag indices inside reader i's interrogation region,
-	// sorted ascending. readersOf[t] lists reader indices whose
-	// interrogation region contains tag t, sorted ascending.
-	tagsOf    [][]int32
-	readersOf [][]int32
+	// tagsOf.row(i) lists tag indices inside reader i's interrogation
+	// region, sorted ascending. readersOf.row(t) lists reader indices whose
+	// interrogation region contains tag t, sorted ascending. Both are CSR
+	// relations (one flat backing array each) shared by all clones.
+	tagsOf    csr
+	readersOf csr
 
 	read        []bool
 	unreadCount int
@@ -38,10 +38,17 @@ type System struct {
 	// region, maintained on MarkRead/ResetReads so SingletonWeight is O(1).
 	unreadOf []int32
 
-	// scratch buffers for Weight; see weight.go.
+	// scratch buffers for Weight; see weight.go. clean is the cleanMask
+	// scratch: all-false outside a weightAndCovered/Collisions call, so
+	// Weight allocates nothing at steady state.
 	coverCount []int32
 	coverOwner []int32
 	touched    []int32
+	clean      []bool
+
+	// pooled marks a clone obtained from ClonePooled; Release only recycles
+	// such clones (see pool.go).
+	pooled bool
 
 	// adj caches interference/coverage adjacency shared by all clones (the
 	// geometry is immutable); see weighteval.go.
@@ -60,68 +67,108 @@ type System struct {
 func NewSystem(readers []Reader, tags []Tag) (*System, error) {
 	rs := make([]Reader, len(readers))
 	copy(rs, readers)
-	ts := make([]Tag, len(tags))
-	copy(ts, tags)
 	for i := range rs {
 		rs[i].ID = i
 		if err := rs[i].Validate(); err != nil {
 			return nil, err
 		}
 	}
+	ts := make([]Tag, len(tags))
+	copy(ts, tags)
+	// One pass re-IDs the tags and extracts the grid points — the tag slice
+	// is the hot construction input (tens of KB), so fusing the passes keeps
+	// it in cache.
+	pts := make([]geom.Point, len(ts))
 	for i := range ts {
 		ts[i].ID = i
+		pts[i] = ts[i].Pos
 	}
 
 	s := &System{
 		readers:     rs,
 		tags:        ts,
-		tagsOf:      make([][]int32, len(rs)),
-		readersOf:   make([][]int32, len(ts)),
+		tagsOf:      emptyCSR(len(rs)),
+		readersOf:   emptyCSR(len(ts)),
 		read:        make([]bool, len(ts)),
 		unreadCount: len(ts),
 		unreadOf:    make([]int32, len(rs)),
-		coverCount:  make([]int32, len(ts)),
-		coverOwner:  make([]int32, len(ts)),
-		touched:     make([]int32, 0, len(ts)),
 		adj:         &adjCache{},
 	}
 
 	if len(ts) > 0 {
-		pts := make([]geom.Point, len(ts))
-		for i, t := range ts {
-			pts[i] = t.Pos
-		}
-		cell := medianInterrogation(rs)
+		cell := medianRadius(rs, func(r Reader) float64 { return r.InterrogationR })
 		idx := geom.NewSpatialGrid(pts, cell)
+		// tagsOf rows are filled in reader order straight into the packed
+		// array, in whatever order the grid yields; both relations then come
+		// out ascending through transposition alone (the transpose scatter
+		// scans rows in order, so ITS rows are ascending — transposing twice
+		// sorts every row without a single comparison sort).
+		off := make([]int32, len(rs)+1)
+		dat := make([]int32, 0, len(ts))
 		for i, r := range rs {
-			covered := idx.QueryDisk(r.InterrogationDisk(), nil)
-			sort.Slice(covered, func(a, b int) bool { return covered[a] < covered[b] })
-			s.tagsOf[i] = covered
-			for _, t := range covered {
-				s.readersOf[t] = append(s.readersOf[t], int32(i))
-			}
+			dat = idx.QueryDisk(r.InterrogationDisk(), dat)
+			off[i+1] = int32(len(dat))
 		}
+		s.readersOf = transposeCSR(csr{off: off, dat: dat}, len(ts))
+		s.tagsOf = transposeCSR(s.readersOf, len(rs))
 		for i := range rs {
-			s.unreadOf[i] = int32(len(s.tagsOf[i]))
+			s.unreadOf[i] = int32(s.tagsOf.rowLen(i))
 		}
 	}
 	return s, nil
 }
 
-func medianInterrogation(rs []Reader) float64 {
+// medianRadius returns the median of the given radius over rs, falling back
+// to 1 for degenerate inputs — the cell-size heuristic for both spatial
+// grids (tag coverage uses interrogation radii, reader adjacency uses
+// interference radii).
+func medianRadius(rs []Reader, radius func(Reader) float64) float64 {
 	if len(rs) == 0 {
 		return 1
 	}
 	radii := make([]float64, len(rs))
 	for i, r := range rs {
-		radii[i] = r.InterrogationR
+		radii[i] = radius(r)
 	}
-	sort.Float64s(radii)
-	m := radii[len(radii)/2]
+	m := selectKth(radii, len(radii)/2)
 	if m <= 0 {
 		return 1
 	}
 	return m
+}
+
+// selectKth returns the k-th smallest element of a (0-based), reordering a in
+// place: Hoare quickselect with a middle pivot, expected O(n) versus the full
+// sort it replaced on the construction path. The k-th order statistic is the
+// same value whichever algorithm finds it, so the grid cell sizes — and
+// therefore every derived structure — are unchanged.
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return a[k]
+		}
+	}
+	return a[k]
 }
 
 // NumReaders returns the number of readers.
@@ -144,26 +191,36 @@ func (s *System) Tags() []Tag { return s.tags }
 
 // TagsOf returns the sorted indices of tags inside reader i's interrogation
 // region (read and unread alike). Callers must not mutate the slice.
-func (s *System) TagsOf(i int) []int32 { return s.tagsOf[i] }
+func (s *System) TagsOf(i int) []int32 { return s.tagsOf.row(i) }
 
 // ReadersOf returns the sorted indices of readers covering tag t. Callers
 // must not mutate the slice.
-func (s *System) ReadersOf(t int) []int32 { return s.readersOf[t] }
+func (s *System) ReadersOf(t int) []int32 { return s.readersOf.row(t) }
 
 // Independent reports whether readers i and j are independent (Def. 2).
+// The answer is a word test against the precomputed independence bitsets
+// (built lazily from the interference adjacency, shared by all clones), so
+// feasibility pruning loops pay no distance math.
 func (s *System) Independent(i, j int) bool {
-	return s.readers[i].Independent(s.readers[j])
+	row := s.conflictRow(i)
+	return row[uint(j)>>6]&(1<<(uint(j)&63)) == 0
 }
 
 // IsFeasible reports whether X (reader indices) is a feasible scheduling
-// set: pairwise independent per Definition 2.
+// set: pairwise independent per Definition 2. Each pair costs one word-AND
+// against the conflict bitsets instead of distance math.
 func (s *System) IsFeasible(X []int) bool {
 	for a := 0; a < len(X); a++ {
+		var row []uint64
 		for b := a + 1; b < len(X); b++ {
 			if X[a] == X[b] {
 				return false // duplicate activation is not a set
 			}
-			if !s.Independent(X[a], X[b]) {
+			if row == nil {
+				row = s.conflictRow(X[a])
+			}
+			v := uint(X[b])
+			if row[v>>6]&(1<<(v&63)) != 0 {
 				return false
 			}
 		}
@@ -182,7 +239,7 @@ func (s *System) MarkRead(t int) {
 	if !s.read[t] {
 		s.read[t] = true
 		s.unreadCount--
-		for _, r := range s.readersOf[t] {
+		for _, r := range s.readersOf.row(t) {
 			s.unreadOf[r]--
 		}
 		for _, e := range s.evals {
@@ -198,7 +255,7 @@ func (s *System) ResetReads() {
 	}
 	s.unreadCount = len(s.tags)
 	for i := range s.unreadOf {
-		s.unreadOf[i] = int32(len(s.tagsOf[i]))
+		s.unreadOf[i] = int32(s.tagsOf.rowLen(i))
 	}
 	for _, e := range s.evals {
 		e.onResetReads()
@@ -263,12 +320,12 @@ func (s *System) UnreadCoverableCount() int {
 			continue
 		}
 		if s.downCount == 0 {
-			if len(s.readersOf[t]) > 0 {
+			if s.readersOf.rowLen(t) > 0 {
 				n++
 			}
 			continue
 		}
-		for _, r := range s.readersOf[t] {
+		for _, r := range s.readersOf.row(t) {
 			if !s.down[r] {
 				n++
 				break
@@ -283,7 +340,7 @@ func (s *System) UnreadCoverableCount() int {
 func (s *System) CoverableCount() int {
 	n := 0
 	for t := range s.tags {
-		if len(s.readersOf[t]) > 0 {
+		if s.readersOf.rowLen(t) > 0 {
 			n++
 		}
 	}
@@ -305,9 +362,6 @@ func (s *System) Clone() *System {
 		down:        append([]bool(nil), s.down...),
 		downCount:   s.downCount,
 		unreadOf:    append([]int32(nil), s.unreadOf...),
-		coverCount:  make([]int32, len(s.tags)),
-		coverOwner:  make([]int32, len(s.tags)),
-		touched:     make([]int32, 0, len(s.tags)),
 		adj:         s.adj,
 	}
 	return c

@@ -22,7 +22,23 @@ func (s *System) Covered(X []int, dst []int32) []int32 {
 	return dst
 }
 
+// ensureWeightScratch allocates the Weight scratch buffers on first use.
+// Construction skips them: eval-driven solvers (GHC, the branch-and-bound
+// searches) never call Weight on the base System, so eagerly allocating
+// O(readers+tags) scratch would tax the serve construct path for nothing.
+// The buffers are born zeroed, which is exactly the between-calls invariant
+// the weight paths maintain.
+func (s *System) ensureWeightScratch() {
+	if s.coverCount == nil {
+		s.coverCount = make([]int32, len(s.tags))
+		s.coverOwner = make([]int32, len(s.tags))
+		s.touched = make([]int32, 0, len(s.tags))
+		s.clean = make([]bool, len(s.readers))
+	}
+}
+
 func (s *System) weightAndCovered(X []int, dst []int32, collect bool) (int, []int32) {
+	s.ensureWeightScratch()
 	clean := s.cleanMask(X)
 
 	s.touched = s.touched[:0]
@@ -30,7 +46,7 @@ func (s *System) weightAndCovered(X []int, dst []int32, collect bool) (int, []in
 		if v < 0 || v >= len(s.readers) || s.isDown(v) {
 			continue
 		}
-		for _, t := range s.tagsOf[v] {
+		for _, t := range s.tagsOf.row(v) {
 			if s.coverCount[t] == 0 {
 				s.touched = append(s.touched, t)
 			}
@@ -52,15 +68,19 @@ func (s *System) weightAndCovered(X []int, dst []int32, collect bool) (int, []in
 		}
 		s.coverCount[t] = 0
 	}
+	s.resetClean(X)
 	return w, dst
 }
 
-// cleanMask returns a map-like boolean slice over reader indices marking the
-// readers in X that do NOT suffer RTc: reader v is clean iff no other
-// activated reader u has v inside u's interference disk. Down readers do
-// not transmit, so they are neither clean nor a source of interference.
+// cleanMask fills the System-owned clean scratch over reader indices,
+// marking the readers in X that do NOT suffer RTc: reader v is clean iff no
+// other activated reader u has v inside u's interference disk. Down readers
+// do not transmit, so they are neither clean nor a source of interference.
+// The scratch is all-false between calls — callers must pair every
+// cleanMask with a resetClean(X) once they are done with the mask — which
+// is what keeps Weight allocation-free at steady state.
 func (s *System) cleanMask(X []int) []bool {
-	clean := make([]bool, len(s.readers))
+	clean := s.clean
 	for _, v := range X {
 		if v >= 0 && v < len(s.readers) && !s.isDown(v) {
 			clean[v] = true
@@ -80,6 +100,15 @@ func (s *System) cleanMask(X []int) []bool {
 		}
 	}
 	return clean
+}
+
+// resetClean re-zeroes the cleanMask scratch entries X touched.
+func (s *System) resetClean(X []int) {
+	for _, v := range X {
+		if v >= 0 && v < len(s.readers) {
+			s.clean[v] = false
+		}
+	}
 }
 
 // MarginalWeight returns w(X ∪ {v}) - w(X), the quantity Greedy
@@ -113,6 +142,7 @@ type CollisionStats struct {
 // Collisions classifies the collision outcome of activating X.
 func (s *System) Collisions(X []int) CollisionStats {
 	st := CollisionStats{Activated: len(X)}
+	s.ensureWeightScratch()
 	clean := s.cleanMask(X)
 	for _, v := range X {
 		if v >= 0 && v < len(s.readers) && !s.isDown(v) && !clean[v] {
@@ -125,7 +155,7 @@ func (s *System) Collisions(X []int) CollisionStats {
 		if v < 0 || v >= len(s.readers) || s.isDown(v) {
 			continue
 		}
-		for _, t := range s.tagsOf[v] {
+		for _, t := range s.tagsOf.row(v) {
 			if s.coverCount[t] == 0 {
 				s.touched = append(s.touched, t)
 			}
@@ -143,6 +173,7 @@ func (s *System) Collisions(X []int) CollisionStats {
 		}
 		s.coverCount[t] = 0
 	}
+	s.resetClean(X)
 	return st
 }
 

@@ -155,6 +155,14 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 		ctx:      opts.Context,
 		dl:       opts.Deadline,
 	}
+	if opts.Independent == nil {
+		// Geometric feasibility: word-AND against the precomputed conflict
+		// bitsets instead of the per-member predicate loop. Identical verdicts
+		// (the bitsets are derived from the same Interferes comparisons), so
+		// the search trajectory is unchanged.
+		s.conf, s.confW = sys.ConflictBits()
+		s.curBits = make([]uint64, s.confW)
+	}
 	if opts.BruteForce {
 		s.ctxW = sys.Weight(opts.Context)
 	} else {
@@ -162,7 +170,9 @@ func Solve(sys *model.System, candidates []int, opts Options) Result {
 		// include/backtrack is an O(Δ) push/pop instead of a full recompute
 		// per node. Weights are bit-identical to the brute force
 		// (differentially tested), so the search — and thus Result — is too.
-		s.eval = model.NewWeightEval(sys)
+		// The evaluator is pool-recycled: local MWFS runs once per ball per
+		// slot, and its counter slices dominate the per-call footprint.
+		s.eval = model.NewPooledWeightEval(sys)
 		defer s.eval.Close()
 		for _, c := range opts.Context {
 			s.eval.Add(c)
@@ -181,6 +191,9 @@ type solver struct {
 	sys      *model.System
 	eval     *model.WeightEval // nil on the brute-force path
 	indep    func(u, v int) bool
+	conf     []uint64 // conflict bitsets (nil when Options.Independent overrides)
+	confW    int
+	curBits  []uint64 // bitset mirror of cur, maintained by rec
 	cand     []int
 	suffix   []int
 	cur      []int
@@ -240,15 +253,23 @@ func (s *solver) rec(i, curW int) {
 
 	v := s.cand[i]
 	// Branch 1: include v if feasible with the current set.
-	feasible := true
-	for _, u := range s.cur {
-		if !s.indep(u, v) {
-			feasible = false
-			break
+	var feasible bool
+	if s.conf != nil {
+		feasible = feasibleBits(s.conf, s.confW, v, s.curBits)
+	} else {
+		feasible = true
+		for _, u := range s.cur {
+			if !s.indep(u, v) {
+				feasible = false
+				break
+			}
 		}
 	}
 	if feasible {
 		s.cur = append(s.cur, v)
+		if s.curBits != nil {
+			s.curBits[uint(v)>>6] |= 1 << (uint(v) & 63)
+		}
 		if s.eval != nil {
 			s.eval.Add(v)
 			s.rec(i+1, s.eval.Weight()-s.ctxW)
@@ -256,10 +277,28 @@ func (s *solver) rec(i, curW int) {
 		} else {
 			s.rec(i+1, s.marginal())
 		}
+		if s.curBits != nil {
+			s.curBits[uint(v)>>6] &^= 1 << (uint(v) & 63)
+		}
 		s.cur = s.cur[:len(s.cur)-1]
 	}
 	// Branch 2: exclude v.
 	s.rec(i+1, curW)
+}
+
+// feasibleBits reports whether candidate v is independent from every member
+// of the bitset-mirrored current set: a word-AND of v's conflict row against
+// the set bits. Equivalent to the pairwise Independent loop because the
+// conflict bitsets encode exactly the symmetric Interferes relation (plus the
+// self bit, which also reproduces the duplicate-candidate verdict).
+func feasibleBits(conf []uint64, confW, v int, curBits []uint64) bool {
+	row := conf[v*confW : (v+1)*confW]
+	for k, w := range row {
+		if w&curBits[k] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // insertionSortBy sorts a small slice in place with the given less func;

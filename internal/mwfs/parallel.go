@@ -29,7 +29,7 @@ package mwfs
 // DESIGN.md §11.
 
 import (
-	"sort"
+	"slices"
 
 	"rfidsched/internal/model"
 	"rfidsched/internal/parsearch"
@@ -90,10 +90,14 @@ func solveParallel(sys *model.System, cand, suffix []int, indep func(u, v int) b
 		ctx:    opts.Context,
 		budget: budget,
 	}
+	if opts.Independent == nil {
+		x.conf, x.confW = sys.ConflictBits()
+		x.curBits = make([]uint64, x.confW)
+	}
 	if opts.BruteForce {
 		x.ctxW = sys.Weight(opts.Context)
 	} else {
-		x.eval = model.NewWeightEval(sys)
+		x.eval = model.NewPooledWeightEval(sys)
 		for _, c := range opts.Context {
 			x.eval.Add(c)
 		}
@@ -146,7 +150,7 @@ func solveParallel(sys *model.System, cand, suffix []int, indep func(u, v int) b
 	}
 
 	set := append([]int(nil), best...)
-	sort.Ints(set)
+	slices.Sort(set)
 	return Result{Set: set, Weight: bestW, Exact: !truncated, TimedOut: budget.TimedOut(), Nodes: nodes}
 }
 
@@ -154,15 +158,18 @@ func solveParallel(sys *model.System, cand, suffix []int, indep func(u, v int) b
 // sequence. It mirrors solver.rec exactly on internal nodes; at the split
 // depth it emits a task instead of recursing.
 type expander struct {
-	sys    *model.System
-	eval   *model.WeightEval // nil on the brute-force path
-	indep  func(u, v int) bool
-	cand   []int
-	suffix []int
-	depth  int
-	ctx    []int
-	ctxW   int
-	budget *parsearch.Budget
+	sys     *model.System
+	eval    *model.WeightEval // nil on the brute-force path
+	indep   func(u, v int) bool
+	conf    []uint64 // conflict bitsets (nil when Options.Independent overrides)
+	confW   int
+	curBits []uint64
+	cand    []int
+	suffix  []int
+	depth   int
+	ctx     []int
+	ctxW    int
+	budget  *parsearch.Budget
 
 	cur       []int
 	bestW     int
@@ -200,21 +207,32 @@ func (x *expander) expand(i, curW int) {
 		return
 	}
 	v := x.cand[i]
-	feasible := true
-	for _, u := range x.cur {
-		if !x.indep(u, v) {
-			feasible = false
-			break
+	var feasible bool
+	if x.conf != nil {
+		feasible = feasibleBits(x.conf, x.confW, v, x.curBits)
+	} else {
+		feasible = true
+		for _, u := range x.cur {
+			if !x.indep(u, v) {
+				feasible = false
+				break
+			}
 		}
 	}
 	if feasible {
 		x.cur = append(x.cur, v)
+		if x.curBits != nil {
+			x.curBits[uint(v)>>6] |= 1 << (uint(v) & 63)
+		}
 		if x.eval != nil {
 			x.eval.Add(v)
 			x.expand(i+1, x.eval.Weight()-x.ctxW)
 			x.eval.Remove(v)
 		} else {
 			x.expand(i+1, x.marginal())
+		}
+		if x.curBits != nil {
+			x.curBits[uint(v)>>6] &^= 1 << (uint(v) & 63)
 		}
 		x.cur = x.cur[:len(x.cur)-1]
 	}
@@ -235,6 +253,9 @@ type psolver struct {
 	sys       *model.System
 	eval      *model.WeightEval // nil on the brute-force path
 	indep     func(u, v int) bool
+	conf      []uint64 // conflict bitsets (nil when Options.Independent overrides)
+	confW     int
+	curBits   []uint64
 	cand      []int
 	suffix    []int
 	ctx       []int
@@ -254,8 +275,11 @@ type psolver struct {
 }
 
 func newPSolver(sys *model.System, cand, suffix []int, indep func(u, v int) bool, opts Options, depth int, incumbent *parsearch.Incumbent, budget *parsearch.Budget) *psolver {
+	// Workers draw their private System clone and evaluator from the
+	// geometry's pools: per-solve worker setup stops allocating once the
+	// pools are warm (close() returns both).
 	ps := &psolver{
-		sys:       sys.Clone(),
+		sys:       sys.ClonePooled(),
 		indep:     indep,
 		cand:      cand,
 		suffix:    suffix,
@@ -264,10 +288,14 @@ func newPSolver(sys *model.System, cand, suffix []int, indep func(u, v int) bool
 		incumbent: incumbent,
 		budget:    budget,
 	}
+	if opts.Independent == nil {
+		ps.conf, ps.confW = ps.sys.ConflictBits()
+		ps.curBits = make([]uint64, ps.confW)
+	}
 	if opts.BruteForce {
 		ps.ctxW = ps.sys.Weight(opts.Context)
 	} else {
-		ps.eval = model.NewWeightEval(ps.sys)
+		ps.eval = model.NewPooledWeightEval(ps.sys)
 		for _, c := range opts.Context {
 			ps.eval.Add(c)
 		}
@@ -280,6 +308,7 @@ func (ps *psolver) close() {
 	if ps.eval != nil {
 		ps.eval.Close()
 	}
+	ps.sys.Release()
 }
 
 // solveTask runs the subtree rooted at t: push the prefix, search, pop. The
@@ -295,6 +324,11 @@ func (ps *psolver) solveTask(t task) taskResult {
 	ps.hasBest = false
 	ps.nodes = 0
 	ps.truncated = false
+	if ps.curBits != nil {
+		for _, v := range t.prefix {
+			ps.curBits[uint(v)>>6] |= 1 << (uint(v) & 63)
+		}
+	}
 	if ps.eval != nil {
 		for _, v := range t.prefix {
 			ps.eval.Add(v)
@@ -304,6 +338,11 @@ func (ps *psolver) solveTask(t task) taskResult {
 	if ps.eval != nil {
 		for _, v := range t.prefix {
 			ps.eval.Remove(v)
+		}
+	}
+	if ps.curBits != nil {
+		for _, v := range t.prefix {
+			ps.curBits[uint(v)>>6] &^= 1 << (uint(v) & 63)
 		}
 	}
 	return taskResult{
@@ -344,21 +383,32 @@ func (ps *psolver) rec(i, curW int) {
 		return
 	}
 	v := ps.cand[i]
-	feasible := true
-	for _, u := range ps.cur {
-		if !ps.indep(u, v) {
-			feasible = false
-			break
+	var feasible bool
+	if ps.conf != nil {
+		feasible = feasibleBits(ps.conf, ps.confW, v, ps.curBits)
+	} else {
+		feasible = true
+		for _, u := range ps.cur {
+			if !ps.indep(u, v) {
+				feasible = false
+				break
+			}
 		}
 	}
 	if feasible {
 		ps.cur = append(ps.cur, v)
+		if ps.curBits != nil {
+			ps.curBits[uint(v)>>6] |= 1 << (uint(v) & 63)
+		}
 		if ps.eval != nil {
 			ps.eval.Add(v)
 			ps.rec(i+1, ps.eval.Weight()-ps.ctxW)
 			ps.eval.Remove(v)
 		} else {
 			ps.rec(i+1, ps.marginal())
+		}
+		if ps.curBits != nil {
+			ps.curBits[uint(v)>>6] &^= 1 << (uint(v) & 63)
 		}
 		ps.cur = ps.cur[:len(ps.cur)-1]
 	}

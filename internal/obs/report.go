@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"rfidsched/internal/stats"
 )
@@ -185,7 +185,7 @@ func (s *TraceSummary) RunIDs() []string {
 	for id := range s.Runs {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return ids
 }
 
@@ -208,7 +208,7 @@ func (s *TraceSummary) Write(w io.Writer) error {
 	for t := range s.Events {
 		types = append(types, string(t))
 	}
-	sort.Strings(types)
+	slices.Sort(types)
 	for _, t := range types {
 		if err := p("  %-22s %8d\n", t, s.Events[EventType(t)]); err != nil {
 			return err

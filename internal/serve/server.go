@@ -481,8 +481,11 @@ func (s *Server) solveMCS(job *Job, sys *model.System, sched model.OneShotSchedu
 	}
 
 	// verifySys stays pristine: verify.Schedule replays the result against
-	// the same initial read state the run started from.
-	verifySys := sys.Clone()
+	// the same initial read state the run started from. Pool-recycled:
+	// request churn is the daemon's steady state, and the replay clone is
+	// dropped the moment the response is built.
+	verifySys := sys.ClonePooled()
+	defer verifySys.Release()
 
 	var ckptPath string
 	var state *checkpoint.MCSState

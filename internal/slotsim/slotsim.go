@@ -19,7 +19,7 @@ package slotsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"rfidsched/internal/anticollision"
@@ -274,7 +274,7 @@ func Run(sys *model.System, sched model.OneShotScheduler, cfg Config) (*Result, 
 			for v := range counts {
 				owners = append(owners, v)
 			}
-			sort.Ints(owners)
+			slices.Sort(owners)
 			for _, v := range owners {
 				micro += cfg.Link.Inventory(counts[v], rng).Slots
 			}

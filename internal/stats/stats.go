@@ -6,7 +6,7 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Acc accumulates samples with Welford's online algorithm. The zero value
@@ -111,7 +111,7 @@ func Summarize(xs []float64) Summary {
 		a.Add(x)
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	return Summary{
 		N: a.N(), Mean: a.Mean(), Std: a.Std(), CI95: a.CI95(),
 		Min: a.Min(), Median: quantileSorted(sorted, 0.5), Max: a.Max(),
@@ -125,7 +125,7 @@ func Quantile(xs []float64, q float64) float64 {
 		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	return quantileSorted(sorted, q)
 }
 
