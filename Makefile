@@ -19,9 +19,11 @@ bench: obsbench wbench
 
 # obsbench archives the observability overhead numbers (ns/slot with the
 # tracer nil vs attached) so regressions in the guarded hot paths show up
-# as a diff in BENCH_obs.json.
+# as a diff in BENCH_obs.json. The history gate bounds the per-tick cost of
+# the /history sampler (measured ~3µs; 1ms catches only real regressions,
+# not CI-runner noise).
 obsbench:
-	$(GO) run ./cmd/obsbench -o BENCH_obs.json
+	$(GO) run ./cmd/obsbench -o BENCH_obs.json -history-gate 1000000
 
 # wbench re-archives the incremental weight-engine speedups (brute vs
 # WeightEval ratios) into the committed baseline. Run it when the engine or

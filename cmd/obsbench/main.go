@@ -4,7 +4,9 @@
 // collector, with a JSONL sink, with the flight recorder's ring buffer, and
 // with the metrics registry's progress gauges and phase-span histograms. It
 // also times one Prometheus exposition render of the populated registry —
-// the marginal cost of a /metrics scrape. It writes the numbers as JSON so
+// the marginal cost of a /metrics scrape — and the history store's per-tick
+// Sample cost over the same registry, the steady-state price of /history
+// (gateable in CI with -history-gate). It writes the numbers as JSON so
 // `make bench` can archive them (BENCH_obs.json) and CI can watch the nil
 // path stay within noise of the untraced baseline.
 //
@@ -27,6 +29,7 @@ import (
 	"rfidsched/internal/fault"
 	"rfidsched/internal/graph"
 	"rfidsched/internal/obs"
+	"rfidsched/internal/obs/history"
 )
 
 // result is one tracer configuration's measurement.
@@ -49,6 +52,9 @@ type report struct {
 	OverheadFlight float64  `json:"overhead_flight_pct"` // ring-buffer recorder vs baseline
 	OverheadSpans  float64  `json:"overhead_spans_pct"`  // registry gauges + spans vs baseline
 	ExpositionNs   float64  `json:"exposition_ns"`       // one /metrics render of the populated registry
+	// HistorySampleNs is the mean cost of one history.Store.Sample over the
+	// populated registry — what the background sampler pays per tick.
+	HistorySampleNs float64 `json:"history_sample_ns"`
 }
 
 func main() {
@@ -59,11 +65,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("obsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out     = fs.String("o", "", "output JSON file (default stdout)")
-		readers = fs.Int("readers", 40, "number of readers")
-		tags    = fs.Int("tags", 800, "number of tags")
-		seed    = fs.Uint64("seed", 2011, "deployment seed")
-		iters   = fs.Int("iters", 50, "timed runs per configuration")
+		out      = fs.String("o", "", "output JSON file (default stdout)")
+		readers  = fs.Int("readers", 40, "number of readers")
+		tags     = fs.Int("tags", 800, "number of tags")
+		seed     = fs.Uint64("seed", 2011, "deployment seed")
+		iters    = fs.Int("iters", 50, "timed runs per configuration")
+		histGate = fs.Float64("history-gate", 0, "fail (exit 1) if history_sample_ns exceeds this many ns (0 = no gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -158,6 +165,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	rep.ExpositionNs = float64(time.Since(expoStart).Nanoseconds())
 
+	// The history sampler's per-tick cost over the same populated registry:
+	// the steady-state overhead a service pays for /history. Enough samples
+	// to wrap a small ring, so steady-state (not first-discovery) dominates.
+	store := history.New(metricsReg, history.Options{Capacity: 64})
+	const histIters = 512
+	histStart := time.Now()
+	for i := 0; i < histIters; i++ {
+		store.Sample()
+	}
+	rep.HistorySampleNs = float64(time.Since(histStart).Nanoseconds()) / histIters
+
 	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -175,8 +193,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *out != "" {
-		fmt.Fprintf(stdout, "obsbench: nil overhead %+.1f%%, jsonl %+.1f%%, flight %+.1f%%, spans %+.1f%%, exposition %.0fns (wrote %s)\n",
-			rep.OverheadNil, rep.OverheadJSONL, rep.OverheadFlight, rep.OverheadSpans, rep.ExpositionNs, *out)
+		fmt.Fprintf(stdout, "obsbench: nil overhead %+.1f%%, jsonl %+.1f%%, flight %+.1f%%, spans %+.1f%%, exposition %.0fns, history sample %.0fns (wrote %s)\n",
+			rep.OverheadNil, rep.OverheadJSONL, rep.OverheadFlight, rep.OverheadSpans, rep.ExpositionNs, rep.HistorySampleNs, *out)
+	}
+	if *histGate > 0 && rep.HistorySampleNs > *histGate {
+		fmt.Fprintf(stderr, "obsbench: history sampler %.0fns/sample exceeds gate %.0fns\n", rep.HistorySampleNs, *histGate)
+		return 1
 	}
 	return 0
 }

@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -48,6 +49,7 @@ import (
 	"rfidsched/internal/graph"
 	"rfidsched/internal/model"
 	"rfidsched/internal/obs"
+	"rfidsched/internal/obs/history"
 	"rfidsched/internal/randx"
 	"rfidsched/internal/verify"
 )
@@ -79,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		httpLinger = fs.Duration("http-linger", 0, "keep the telemetry server up this long after the run finishes (for scrapers)")
 		flightCap  = fs.Int("flight", obs.DefaultFlightCapacity, "flight-recorder capacity in events (0 disables it)")
 		flightDump = fs.String("flight-dump", "", "dump the flight record to this JSONL file when a run ends degraded or incomplete")
+		historyIvl = fs.Duration("history", time.Second, "with -http: metric-history sampling interval for /history (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -148,7 +151,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var reg *obs.Registry
 	if *httpAddr != "" {
 		reg = obs.NewRegistry()
-		srv, err := obs.Serve(*httpAddr, obs.ServeOptions{Registry: reg, Flight: flight})
+		// /history samples the registry into the embedded ring store and
+		// /events streams the live trace with the flight window replayed to
+		// each new subscriber — both pure observation, neither touching the
+		// run's results.
+		var hist http.Handler
+		if *historyIvl > 0 {
+			store := history.New(reg, history.Options{Interval: *historyIvl})
+			stopSampler := store.Start()
+			defer stopSampler()
+			hist = store.Handler()
+		}
+		broker := obs.NewSSEBroker(0)
+		broker.SetReplay(flight)
+		tr = obs.Tee(tr, broker)
+		srv, err := obs.Serve(*httpAddr, obs.ServeOptions{
+			Registry: reg, Flight: flight, History: hist, Events: broker,
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "rfidsched: %v\n", err)
 			return 1

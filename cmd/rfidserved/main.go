@@ -16,8 +16,16 @@
 //	GET  /v1/jobs/{id}  job status and result by fingerprint
 //	GET  /metrics       Prometheus text exposition (queue/cache/solver series)
 //	GET  /runs          JSON progress of the currently running MCS jobs
+//	GET  /history       embedded metric history (ring time series; rfidtop's feed)
+//	GET  /events        live SSE stream of trace events (flight-window replay)
 //	GET  /healthz       liveness; /readyz flips to 503 while draining
+//	GET  /debug/flight  JSONL dump of recent events incl. slow-request traces
 //	GET  /debug/pprof/  live profiling
+//
+// Every request carries a trace ID: the client's X-Trace-Id when valid, a
+// generated one otherwise, echoed on the response and stamped on the
+// access-log line, the request_completed event, and (for slow requests)
+// the phase trace in the flight recorder.
 //
 // On SIGTERM (or SIGINT) the daemon stops admitting work — new schedule
 // requests get 503, /readyz goes not-ready — finishes every job already
@@ -32,12 +40,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"rfidsched/internal/obs"
+	"rfidsched/internal/obs/history"
 	"rfidsched/internal/serve"
 )
 
@@ -63,6 +74,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		maxBody      = fs.Int64("max-body", 0, "request body size cap in bytes (0 = default 32MiB)")
 		maxWorkers   = fs.Int("max-workers", 0, "cap on per-request solver workers (0 = NumCPU)")
 		maxDeadline  = fs.Duration("max-deadline", 0, "cap on per-request slot deadlines (0 = default 10s)")
+		accessLog    = fs.Bool("access-log", true, "write one structured JSON line per request to stderr")
+		slowReq      = fs.Duration("slow-request", time.Second, "requests at least this slow log at Warn and tee their phase trace into the flight recorder (0 disables)")
+		flightCap    = fs.Int("flight", obs.DefaultFlightCapacity, "flight-recorder capacity in events, served at /debug/flight and replayed to new /events subscribers (0 disables)")
+		historyIvl   = fs.Duration("history", time.Second, "metric-history sampling interval, served at /history (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +89,29 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		}
 	}
 
+	// Observability wiring: every piece is optional and pure observation —
+	// schedules are bit-identical with all of it on or off. The SSE broker
+	// is always live at /events (idle subscriber cost only); the flight
+	// recorder doubles as its replay window and as the slow-request sink.
+	reg := obs.NewRegistry()
+	var flight *obs.FlightRecorder
+	if *flightCap > 0 {
+		flight = obs.NewFlightRecorder(*flightCap)
+	}
+	broker := obs.NewSSEBroker(0)
+	broker.SetReplay(flight)
+	var logger *slog.Logger
+	if *accessLog {
+		logger = obs.NewJSONLogger(stderr, slog.LevelInfo)
+	}
+	var hist http.Handler
+	if *historyIvl > 0 {
+		store := history.New(reg, history.Options{Interval: *historyIvl})
+		stopSampler := store.Start()
+		defer stopSampler()
+		hist = store.Handler()
+	}
+
 	srv := serve.NewServer(serve.Options{
 		Shards:          *shards,
 		WorkersPerShard: *workers,
@@ -81,6 +119,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		CacheEntries:    *cacheEntries,
 		CheckpointDir:   *ckptDir,
 		MaxBody:         *maxBody,
+		Metrics:         reg,
+		AccessLog:       logger,
+		SlowRequest:     *slowReq,
+		Flight:          flight,
+		Tracer:          broker,
+		History:         hist,
+		Events:          broker,
 		Limits: serve.Limits{
 			MaxReaders:      *maxReaders,
 			MaxTags:         *maxTags,

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -36,6 +37,7 @@ import (
 
 	"rfidsched/internal/experiments"
 	"rfidsched/internal/obs"
+	"rfidsched/internal/obs/history"
 	"rfidsched/internal/parsearch"
 )
 
@@ -69,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		httpAddr   = fs.String("http", "", "serve live telemetry on this address (/metrics, /runs, /healthz, /readyz, /debug/pprof/, /debug/flight)")
 		httpLinger = fs.Duration("http-linger", 0, "keep the telemetry server up this long after the sweep finishes (for scrapers)")
 		flightCap  = fs.Int("flight", 0, "flight-recorder capacity in events (0 = on only with -http, at the default capacity)")
+		historyIvl = fs.Duration("history", time.Second, "with -http: metric-history sampling interval for /history (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -182,7 +185,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Tracer = obs.Tee(cfg.Tracer, flight)
 	}
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, obs.ServeOptions{Registry: reg, Flight: flight})
+		// /history samples the shared registry into the embedded ring store
+		// and /events streams the live trace with the flight window replayed
+		// to late subscribers — both pure observation.
+		var hist http.Handler
+		if *historyIvl > 0 {
+			store := history.New(reg, history.Options{Interval: *historyIvl})
+			stopSampler := store.Start()
+			defer stopSampler()
+			hist = store.Handler()
+		}
+		broker := obs.NewSSEBroker(0)
+		broker.SetReplay(flight)
+		cfg.Tracer = obs.Tee(cfg.Tracer, broker)
+		srv, err := obs.Serve(*httpAddr, obs.ServeOptions{
+			Registry: reg, Flight: flight, History: hist, Events: broker,
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "rfidsim: %v\n", err)
 			return 1

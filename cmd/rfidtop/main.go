@@ -1,0 +1,283 @@
+// Command rfidtop is a terminal dashboard for a running scheduling service
+// (rfidserved, or any process serving the obs telemetry mux with a /history
+// store). It polls /history and /runs and redraws a compact top-style view:
+// request and tags-read rates, queue depth, cache hit ratio, and solve
+// latency, each with a sparkline of the recent window — no external
+// collector, no dependencies, just the process's own embedded metric
+// history.
+//
+// Usage:
+//
+//	rfidtop -addr http://127.0.0.1:9290
+//	rfidtop -addr http://127.0.0.1:9290 -interval 1s -width 60
+//	rfidtop -addr http://127.0.0.1:9290 -frames 1 -plain   # one scripted frame
+//
+// The latency row derives p95 from the mean and standard deviation of the
+// solve-phase histogram under a Gaussian approximation (mean + 1.645σ),
+// and is labeled "~p95" for that reason — the store keeps moments, not
+// quantile sketches.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// historyDoc mirrors the /history document shape rfidtop consumes; absent
+// samples arrive as JSON null and land as NaN via jsonFloat.
+type historyDoc struct {
+	IntervalMS int64     `json:"interval_ms"`
+	Tiers      []tierDoc `json:"tiers"`
+}
+
+type tierDoc struct {
+	IntervalMS int64                  `json:"interval_ms"`
+	TS         []int64                `json:"ts"`
+	Series     map[string][]jsonFloat `json:"series"`
+}
+
+type jsonFloat float64
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// runsDoc mirrors the /runs progress document.
+type runsDoc struct {
+	Slot             int64 `json:"slot"`
+	TagsRead         int64 `json:"tags_read"`
+	CheckpointLag    int64 `json:"checkpoint_lag"`
+	SuperviseAttempt int64 `json:"supervise_attempt"`
+	RunsCompleted    int64 `json:"runs_completed"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rfidtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:9290", "base URL of the service to watch")
+		interval = fs.Duration("interval", 2*time.Second, "poll/redraw cadence")
+		frames   = fs.Int("frames", 0, "frames to draw before exiting (0 = until interrupted)")
+		width    = fs.Int("width", 48, "sparkline width in samples")
+		plain    = fs.Bool("plain", false, "append frames instead of redrawing in place (for logs and scripts)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for n := 0; *frames == 0 || n < *frames; n++ {
+		if n > 0 {
+			select {
+			case <-sig:
+				return 0
+			case <-time.After(*interval):
+			}
+		}
+		frame, err := buildFrame(client, base, *width)
+		if err != nil {
+			fmt.Fprintf(stderr, "rfidtop: %v\n", err)
+			return 1
+		}
+		if !*plain {
+			fmt.Fprint(stdout, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprint(stdout, frame)
+	}
+	return 0
+}
+
+// buildFrame fetches one snapshot pair and renders the dashboard text.
+func buildFrame(client *http.Client, base string, width int) (string, error) {
+	var hist historyDoc
+	if err := fetchJSON(client, fmt.Sprintf("%s/history?tier=0&last=%d", base, width), &hist); err != nil {
+		return "", err
+	}
+	var runs runsDoc
+	if err := fetchJSON(client, base+"/runs", &runs); err != nil {
+		return "", err
+	}
+	if len(hist.Tiers) == 0 {
+		return "", fmt.Errorf("%s/history returned no tiers (history store not enabled?)", base)
+	}
+	tier := hist.Tiers[0]
+	series := func(name string) []float64 {
+		vals := tier.Series[name]
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	secPerSample := float64(tier.IntervalMS) / 1000
+	if secPerSample <= 0 {
+		secPerSample = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "rfidtop — %s  (tier 0, %d samples @ %.1fs)\n\n",
+		base, len(tier.TS), secPerSample)
+
+	reqRate := rate(series("serve.requests"), secPerSample)
+	row(&b, "requests/s", reqRate, "%.1f", last(reqRate))
+
+	tagRate := rate(series("mcs.tags.read"), secPerSample)
+	row(&b, "tags read/s", tagRate, "%.1f", last(tagRate))
+
+	depth := series("serve.queue.depth")
+	row(&b, "queue depth", depth, "%.0f", last(depth))
+
+	ratio := hitRatio(series("serve.cache.hits"), series("serve.cache.misses"))
+	row(&b, "cache hit %", ratio, "%.0f%%", last(ratio))
+
+	mean := series("serve.phase.solve.seconds.mean")
+	std := series("serve.phase.solve.seconds.std")
+	meanMS := scale(mean, 1000)
+	row(&b, "solve ms", meanMS, "%.2f", last(meanMS))
+	if m, s := last(mean), last(std); !math.IsNaN(m) {
+		if math.IsNaN(s) {
+			s = 0
+		}
+		// Gaussian tail approximation over the stored moments. Pad by sample
+		// count, not byte length — sparkline runes are multibyte.
+		fmt.Fprintf(&b, "  %-12s %*s  %.2f\n", "~p95 ms", len(meanMS), "", (m+1.645*s)*1000)
+	}
+
+	fmt.Fprintf(&b, "\nruns: slot=%d tags_read=%d ckpt_lag=%d completed=%d\n",
+		runs.Slot, runs.TagsRead, runs.CheckpointLag, runs.RunsCompleted)
+	return b.String(), nil
+}
+
+// row renders one labeled sparkline line with its current value.
+func row(b *strings.Builder, label string, vals []float64, format string, cur float64) {
+	curStr := "-"
+	if !math.IsNaN(cur) {
+		curStr = fmt.Sprintf(format, cur)
+	}
+	fmt.Fprintf(b, "  %-12s %s  %s\n", label, spark(vals), curStr)
+}
+
+func fetchJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// rate turns a cumulative counter series into a per-second rate series (one
+// shorter). Resets (restarts) clamp to zero instead of going negative.
+func rate(vals []float64, secPerSample float64) []float64 {
+	if len(vals) < 2 {
+		return nil
+	}
+	out := make([]float64, len(vals)-1)
+	for i := 1; i < len(vals); i++ {
+		d := (vals[i] - vals[i-1]) / secPerSample
+		if math.IsNaN(vals[i]) || math.IsNaN(vals[i-1]) {
+			d = math.NaN()
+		} else if d < 0 {
+			d = 0
+		}
+		out[i-1] = d
+	}
+	return out
+}
+
+// hitRatio builds the cumulative cache hit percentage series.
+func hitRatio(hits, misses []float64) []float64 {
+	n := min(len(hits), len(misses))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		total := hits[i] + misses[i]
+		if math.IsNaN(total) || total == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = 100 * hits[i] / total
+	}
+	return out
+}
+
+func scale(vals []float64, by float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v * by
+	}
+	return out
+}
+
+func last(vals []float64) float64 {
+	for i := len(vals) - 1; i >= 0; i-- {
+		if !math.IsNaN(vals[i]) {
+			return vals[i]
+		}
+	}
+	return math.NaN()
+}
+
+// sparkRunes are the classic 8-level block sparkline alphabet.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders a series as a fixed-alphabet sparkline, scaled to its own
+// min..max window; NaN samples render as spaces.
+func spark(vals []float64) string {
+	if len(vals) == 0 {
+		return "(no data)"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo > hi { // all NaN
+		return strings.Repeat(" ", len(vals))
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeService serves canned /history and /runs documents.
+func fakeService(t *testing.T, history, runs string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("tier"); got != "0" {
+			t.Errorf("history request tier = %q, want 0", got)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(history))
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(runs))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const fakeHistory = `{
+  "interval_ms": 1000,
+  "tiers": [{
+    "interval_ms": 1000,
+    "capacity": 8,
+    "samples": 4,
+    "ts": [1000, 2000, 3000, 4000],
+    "series": {
+      "serve.requests": [0, 4, 8, 10],
+      "mcs.tags.read": [null, 50, 120, 200],
+      "serve.queue.depth": [0, 2, 1, 0],
+      "serve.cache.hits": [0, 1, 3, 3],
+      "serve.cache.misses": [1, 1, 1, 2],
+      "serve.phase.solve.seconds.mean": [null, 0.02, 0.025, 0.03],
+      "serve.phase.solve.seconds.std": [null, 0.001, 0.002, 0.002]
+    }
+  }]
+}`
+
+const fakeRuns = `{"slot": 7, "tags_read": 200, "checkpoint_lag": 1, "runs_completed": 3}`
+
+func TestOneFrameAgainstFakeService(t *testing.T) {
+	srv := fakeService(t, fakeHistory, fakeRuns)
+	var out, errb bytes.Buffer
+	code := run([]string{"-addr", srv.URL, "-frames", "1", "-plain"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"requests/s", "tags read/s", "queue depth", "cache hit %",
+		"solve ms", "~p95 ms",
+		"slot=7 tags_read=200 ckpt_lag=1 completed=3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame lacks %q:\n%s", want, got)
+		}
+	}
+	// At least one sparkline glyph must appear.
+	if !strings.ContainsAny(got, string(sparkRunes)) {
+		t.Errorf("frame has no sparkline glyphs:\n%s", got)
+	}
+	// -plain must not emit terminal control sequences.
+	if strings.Contains(got, "\x1b[") {
+		t.Errorf("-plain frame contains ANSI escapes:\n%s", got)
+	}
+}
+
+func TestRunErrorsWithoutHistoryStore(t *testing.T) {
+	srv := fakeService(t, `{"interval_ms": 1000, "tiers": []}`, fakeRuns)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", srv.URL, "-frames", "1"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "history store not enabled") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestRate(t *testing.T) {
+	got := rate([]float64{0, 4, 8, 6}, 2)
+	want := []float64{2, 2, 0} // per-second over 2s samples; reset clamps to 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rate = %v, want %v", got, want)
+		}
+	}
+	if r := rate([]float64{math.NaN(), 4}, 1); !math.IsNaN(r[0]) {
+		t.Fatalf("rate over NaN = %v, want NaN", r)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := spark([]float64{0, 1, 2, 3}); got != "▁▃▅█" {
+		t.Fatalf("spark = %q", got)
+	}
+	if got := spark([]float64{math.NaN(), 5, math.NaN()}); got != " ▁ " {
+		t.Fatalf("spark with NaN = %q", got)
+	}
+	if got := spark([]float64{math.NaN()}); got != " " {
+		t.Fatalf("all-NaN spark = %q", got)
+	}
+	if got := spark(nil); got != "(no data)" {
+		t.Fatalf("empty spark = %q", got)
+	}
+	if got := spark([]float64{7, 7}); got != "▁▁" {
+		t.Fatalf("flat spark = %q", got)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	got := hitRatio([]float64{0, 1, 3}, []float64{0, 1, 1})
+	if !math.IsNaN(got[0]) {
+		t.Fatalf("zero-total ratio = %v, want NaN", got[0])
+	}
+	if got[1] != 50 || got[2] != 75 {
+		t.Fatalf("ratio = %v, want [NaN 50 75]", got)
+	}
+}

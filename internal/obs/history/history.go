@@ -1,0 +1,446 @@
+// Package history is the embedded metric-history layer of the telemetry
+// stack: a fixed-memory ring of time-series samples taken from an
+// obs.Registry at a configurable cadence, exposed as JSON at /history and
+// consumed by the rfidtop terminal dashboard. It fills the gap between
+// Prometheus scrapes — an operator (or the smoke tests) can ask the process
+// itself what the last few minutes looked like, with no external collector.
+//
+// Memory is bounded by construction: at most MaxSeries series, each holding
+// Capacity float64 samples per tier, across Tiers downsampling tiers —
+// MaxSeries × Tiers × Capacity × 8 bytes, independent of run length (the
+// sizing math is worked through in DESIGN.md §16). Tier 0 samples raw at
+// Interval; each higher tier folds Factor samples of the tier below into
+// one, so tier t covers Capacity × Interval × Factor^t of wall clock.
+// Counters downsample by taking the window's last value (rates computed
+// between downsampled points stay exact); gauges and histogram-derived
+// series take the window mean.
+//
+// Sampling is pure observation: the sampler only reads the registry's
+// atomic snapshots, so running it concurrently with live engines perturbs
+// nothing and a disabled store (simply never constructed) costs nothing —
+// the same off-switch convention as the nil Tracer.
+package history
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rfidsched/internal/obs"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultInterval  = time.Second
+	DefaultCapacity  = 512
+	DefaultTiers     = 3
+	DefaultFactor    = 8
+	DefaultMaxSeries = 256
+)
+
+// Options configures a Store. Zero fields take the documented defaults.
+type Options struct {
+	// Interval is the tier-0 sampling cadence (default 1s).
+	Interval time.Duration
+	// Capacity is how many samples each tier retains (default 512).
+	Capacity int
+	// Tiers is how many downsampling tiers to keep (default 3).
+	Tiers int
+	// Factor is how many tier-t samples fold into one tier-t+1 sample
+	// (default 8).
+	Factor int
+	// MaxSeries caps how many distinct series the store tracks; series
+	// appearing after the cap are dropped and counted (default 256).
+	MaxSeries int
+	// Clock supplies sample timestamps (nil = time.Now). Tests inject a
+	// fake clock and call Sample directly for fully deterministic rings.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = DefaultCapacity
+	}
+	if o.Tiers <= 0 {
+		o.Tiers = DefaultTiers
+	}
+	if o.Factor <= 1 {
+		o.Factor = DefaultFactor
+	}
+	if o.MaxSeries <= 0 {
+		o.MaxSeries = DefaultMaxSeries
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// series kinds decide the downsampling aggregate.
+const (
+	kindCounter = iota // cumulative; window aggregate = last value
+	kindGauge          // point-in-time; window aggregate = mean
+)
+
+// seriesData is one named series' rings, one per tier, NaN where the series
+// had no value (it appeared after sampling started).
+type seriesData struct {
+	kind int
+	vals [][]float64 // [tier][Capacity]
+}
+
+// tier is one resolution level's shared clock ring.
+type tier struct {
+	ts []int64 // unix milliseconds, ring-indexed
+	n  int     // total samples ever written to this tier
+}
+
+// Store is the ring time-series store. Create with New, feed it with Sample
+// (directly, or via the Start goroutine), serve it with Handler.
+type Store struct {
+	reg  *obs.Registry
+	opts Options
+
+	mu            sync.Mutex
+	tiers         []*tier
+	series        map[string]*seriesData
+	names         []string // sorted series names, maintained incrementally
+	droppedSeries int      // series refused past MaxSeries
+	samples       *obs.Counter
+}
+
+// New builds a store sampling reg. The store holds no goroutine until Start.
+func New(reg *obs.Registry, opts Options) *Store {
+	opts = opts.withDefaults()
+	s := &Store{
+		reg:     reg,
+		opts:    opts,
+		tiers:   make([]*tier, opts.Tiers),
+		series:  map[string]*seriesData{},
+		samples: reg.Counter("history.samples"),
+	}
+	for t := range s.tiers {
+		s.tiers[t] = &tier{ts: make([]int64, opts.Capacity)}
+	}
+	return s
+}
+
+// Interval returns the tier-0 sampling cadence.
+func (s *Store) Interval() time.Duration { return s.opts.Interval }
+
+// Samples returns how many tier-0 samples have been taken.
+func (s *Store) Samples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tiers[0].n
+}
+
+// DroppedSeries returns how many distinct series were refused because the
+// MaxSeries cap was already spent.
+func (s *Store) DroppedSeries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.droppedSeries
+}
+
+// Start launches the background sampler at the configured cadence and
+// returns its stop function. Stop is idempotent and returns once the
+// sampler goroutine has exited.
+func (s *Store) Start() (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(s.opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}
+
+// Sample takes one tier-0 sample of the registry now (per the store clock)
+// and cascades any due downsampling tiers. Safe for concurrent use with
+// live registry mutation — it reads one atomic snapshot.
+func (s *Store) Sample() {
+	snap := s.reg.Snapshot()
+	now := s.opts.Clock().UnixMilli()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Discover new series first so this very sample records them.
+	for _, name := range snap.CounterNames() {
+		s.ensure(name, kindCounter)
+	}
+	for _, name := range snap.GaugeNames() {
+		s.ensure(name, kindGauge)
+	}
+	for _, name := range snap.HistogramNames() {
+		for _, suffix := range histSuffixes {
+			s.ensure(name+suffix, kindGauge)
+		}
+	}
+
+	t0 := s.tiers[0]
+	pos := t0.n % s.opts.Capacity
+	t0.ts[pos] = now
+	for name, sd := range s.series {
+		sd.vals[0][pos] = seriesValue(snap, name)
+	}
+	t0.n++
+	s.samples.Inc()
+
+	// Cascade: every Factor samples of tier t complete one tier t+1 sample.
+	for t := 0; t+1 < len(s.tiers); t++ {
+		if s.tiers[t].n%s.opts.Factor != 0 {
+			break
+		}
+		s.downsample(t)
+	}
+}
+
+// histSuffixes are the derived series one histogram contributes: sample
+// count (cumulative, but windows of Welford accumulators only grow — mean
+// aggregation would lie, so treat derived series uniformly as gauges and
+// let consumers rate the .count series), mean, std, max.
+var histSuffixes = []string{".count", ".mean", ".std", ".max"}
+
+// seriesValue extracts the named series' current value from a snapshot, or
+// NaN when the metric is (still or again) absent.
+func seriesValue(snap obs.Snapshot, name string) float64 {
+	if v, ok := snap.Counters[name]; ok {
+		return float64(v)
+	}
+	if v, ok := snap.Gauges[name]; ok {
+		return v
+	}
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		if h, ok := snap.Histograms[name[:i]]; ok {
+			switch name[i:] {
+			case ".count":
+				return float64(h.N)
+			case ".mean":
+				return h.Mean
+			case ".std":
+				return h.Std
+			case ".max":
+				return h.Max
+			}
+		}
+	}
+	return math.NaN()
+}
+
+// ensure registers a series, backfilling its rings with NaN; past the
+// MaxSeries cap the series is dropped and counted.
+func (s *Store) ensure(name string, kind int) {
+	if _, ok := s.series[name]; ok {
+		return
+	}
+	if len(s.series) >= s.opts.MaxSeries {
+		s.droppedSeries++
+		return
+	}
+	sd := &seriesData{kind: kind, vals: make([][]float64, len(s.tiers))}
+	for t := range sd.vals {
+		ring := make([]float64, s.opts.Capacity)
+		for i := range ring {
+			ring[i] = math.NaN()
+		}
+		sd.vals[t] = ring
+	}
+	s.series[name] = sd
+	i, _ := slices.BinarySearch(s.names, name)
+	s.names = slices.Insert(s.names, i, name)
+}
+
+// downsample folds the newest Factor samples of tier t into one sample of
+// tier t+1. Called with the lock held, only when tier t just completed a
+// full window.
+func (s *Store) downsample(t int) {
+	lo, hi := s.tiers[t].n-s.opts.Factor, s.tiers[t].n // window [lo, hi)
+	next := s.tiers[t+1]
+	pos := next.n % s.opts.Capacity
+	next.ts[pos] = s.tiers[t].ts[(hi-1)%s.opts.Capacity]
+	for _, sd := range s.series {
+		src := sd.vals[t]
+		agg, n := math.NaN(), 0
+		for i := lo; i < hi; i++ {
+			v := src[i%s.opts.Capacity]
+			if math.IsNaN(v) {
+				continue
+			}
+			if sd.kind == kindCounter {
+				agg = v // last non-NaN value in the window
+				continue
+			}
+			if n == 0 {
+				agg = 0
+			}
+			agg += v
+			n++
+		}
+		if sd.kind != kindCounter && n > 0 {
+			agg /= float64(n)
+		}
+		sd.vals[t+1][pos] = agg
+	}
+	next.n++
+}
+
+// TierDoc is one tier of the /history document.
+type TierDoc struct {
+	// IntervalMS is this tier's sample spacing (tier-0 interval × Factor^t).
+	IntervalMS int64 `json:"interval_ms"`
+	// Capacity is the ring size; Samples how many samples the tier has ever
+	// taken (retained = min(Samples, Capacity)).
+	Capacity int `json:"capacity"`
+	Samples  int `json:"samples"`
+	// TS holds the retained sample timestamps (unix ms), oldest first.
+	TS []int64 `json:"ts"`
+	// Series maps series name to its values aligned with TS; null marks
+	// samples taken before the series existed.
+	Series map[string][]JSONFloat `json:"series"`
+}
+
+// Doc is the /history response document.
+type Doc struct {
+	IntervalMS    int64     `json:"interval_ms"`
+	MaxSeries     int       `json:"max_series"`
+	DroppedSeries int       `json:"dropped_series,omitempty"`
+	Tiers         []TierDoc `json:"tiers"`
+}
+
+// JSONFloat marshals NaN (no data) as null, since JSON has no NaN literal.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// Snapshot assembles the document: every tier's retained window, oldest
+// first, optionally filtered to series whose name starts with one of the
+// given prefixes (nil = all), at most last samples per tier (0 = all).
+func (s *Store) Snapshot(prefixes []string, tierSel int, last int) Doc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	doc := Doc{
+		IntervalMS:    s.opts.Interval.Milliseconds(),
+		MaxSeries:     s.opts.MaxSeries,
+		DroppedSeries: s.droppedSeries,
+	}
+	names := s.names
+	if prefixes != nil {
+		names = nil
+		for _, n := range s.names {
+			for _, p := range prefixes {
+				if strings.HasPrefix(n, p) {
+					names = append(names, n)
+					break
+				}
+			}
+		}
+	}
+	interval := s.opts.Interval.Milliseconds()
+	for t, tr := range s.tiers {
+		if tierSel >= 0 && t != tierSel {
+			interval *= int64(s.opts.Factor)
+			continue
+		}
+		kept := min(tr.n, s.opts.Capacity)
+		skip := 0
+		if last > 0 && kept > last {
+			skip = kept - last
+		}
+		td := TierDoc{
+			IntervalMS: interval,
+			Capacity:   s.opts.Capacity,
+			Samples:    tr.n,
+			Series:     make(map[string][]JSONFloat, len(names)),
+		}
+		// Ring order: the oldest retained sample sits at n % cap once the
+		// ring has wrapped, at 0 before.
+		start := 0
+		if tr.n > s.opts.Capacity {
+			start = tr.n % s.opts.Capacity
+		}
+		for i := skip; i < kept; i++ {
+			td.TS = append(td.TS, tr.ts[(start+i)%s.opts.Capacity])
+		}
+		for _, name := range names {
+			ring := s.series[name].vals[t]
+			vals := make([]JSONFloat, 0, kept-skip)
+			for i := skip; i < kept; i++ {
+				vals = append(vals, JSONFloat(ring[(start+i)%s.opts.Capacity]))
+			}
+			td.Series[name] = vals
+		}
+		doc.Tiers = append(doc.Tiers, td)
+		interval *= int64(s.opts.Factor)
+	}
+	return doc
+}
+
+// Handler serves the store as the /history endpoint: a JSON Doc, filterable
+// with ?series=prefix[,prefix...], ?tier=N and ?last=N.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var prefixes []string
+		if q := r.URL.Query().Get("series"); q != "" {
+			prefixes = strings.Split(q, ",")
+		}
+		tierSel := -1
+		if q := r.URL.Query().Get("tier"); q != "" {
+			t, err := strconv.Atoi(q)
+			if err != nil || t < 0 || t >= s.opts.Tiers {
+				http.Error(w, "tier out of range", http.StatusBadRequest)
+				return
+			}
+			tierSel = t
+		}
+		last := 0
+		if q := r.URL.Query().Get("last"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "last must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Snapshot(prefixes, tierSel, last))
+	})
+}

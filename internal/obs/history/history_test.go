@@ -1,0 +1,342 @@
+package history
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rfidsched/internal/obs"
+)
+
+// fakeClock is a deterministic ms-stepped clock for driving Sample directly.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.UnixMilli(1_000_000)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestStore(t *testing.T, reg *obs.Registry, opts Options) (*Store, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	opts.Clock = clk.Now
+	return New(reg, opts), clk
+}
+
+func TestSampleRecordsAllMetricKinds(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(7)
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram("h").Observe(1)
+	reg.Histogram("h").Observe(3)
+
+	st, _ := newTestStore(t, reg, Options{Capacity: 8})
+	st.Sample()
+
+	doc := st.Snapshot(nil, 0, 0)
+	tier := doc.Tiers[0]
+	if got := tier.Series["c"]; len(got) != 1 || float64(got[0]) != 7 {
+		t.Fatalf("counter series = %v, want [7]", got)
+	}
+	if got := tier.Series["g"]; len(got) != 1 || float64(got[0]) != 2.5 {
+		t.Fatalf("gauge series = %v, want [2.5]", got)
+	}
+	if got := tier.Series["h.count"]; len(got) != 1 || float64(got[0]) != 2 {
+		t.Fatalf("h.count = %v, want [2]", got)
+	}
+	if got := tier.Series["h.mean"]; len(got) != 1 || float64(got[0]) != 2 {
+		t.Fatalf("h.mean = %v, want [2]", got)
+	}
+	if got := tier.Series["h.max"]; len(got) != 1 || float64(got[0]) != 3 {
+		t.Fatalf("h.max = %v, want [3]", got)
+	}
+	// The sampler's own counter shows up too; it increments after the
+	// snapshot, so the first sample records the pre-increment value.
+	if got := tier.Series["history.samples"]; len(got) != 1 || float64(got[0]) != 0 {
+		t.Fatalf("history.samples = %v, want [0]", got)
+	}
+	if st.Samples() != 1 {
+		t.Fatalf("Samples() = %d, want 1", st.Samples())
+	}
+}
+
+func TestLateSeriesBackfillNaN(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("early").Inc()
+	st, clk := newTestStore(t, reg, Options{Capacity: 8})
+	st.Sample()
+
+	clk.Advance(time.Second)
+	reg.Gauge("late").Set(9)
+	st.Sample()
+
+	tier := st.Snapshot(nil, 0, 0).Tiers[0]
+	late := tier.Series["late"]
+	if len(late) != 2 {
+		t.Fatalf("late series has %d samples, want 2", len(late))
+	}
+	if !math.IsNaN(float64(late[0])) {
+		t.Fatalf("late[0] = %v, want NaN backfill", late[0])
+	}
+	if float64(late[1]) != 9 {
+		t.Fatalf("late[1] = %v, want 9", late[1])
+	}
+}
+
+func TestRingWrapKeepsNewestOldestFirst(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("g")
+	st, clk := newTestStore(t, reg, Options{Capacity: 4, Tiers: 1})
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		st.Sample()
+		clk.Advance(time.Second)
+	}
+	tier := st.Snapshot([]string{"g"}, 0, 0).Tiers[0]
+	if tier.Samples != 10 {
+		t.Fatalf("Samples = %d, want 10", tier.Samples)
+	}
+	want := []float64{6, 7, 8, 9}
+	if len(tier.Series["g"]) != len(want) {
+		t.Fatalf("retained %d samples, want %d", len(tier.Series["g"]), len(want))
+	}
+	for i, w := range want {
+		if float64(tier.Series["g"][i]) != w {
+			t.Fatalf("g[%d] = %v, want %v", i, tier.Series["g"][i], w)
+		}
+	}
+	for i := 1; i < len(tier.TS); i++ {
+		if tier.TS[i] <= tier.TS[i-1] {
+			t.Fatalf("timestamps not increasing: %v", tier.TS)
+		}
+	}
+}
+
+func TestDownsampleCounterLastGaugeMean(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	st, clk := newTestStore(t, reg, Options{Capacity: 16, Tiers: 2, Factor: 4})
+	for i := 1; i <= 8; i++ {
+		c.Add(1)          // 1,2,...,8
+		g.Set(float64(i)) // 1,2,...,8
+		st.Sample()
+		clk.Advance(time.Second)
+	}
+	tier1 := st.Snapshot(nil, 1, 0).Tiers[0]
+	if tier1.Samples != 2 {
+		t.Fatalf("tier-1 samples = %d, want 2", tier1.Samples)
+	}
+	// Counter folds to the window's last value; gauge to the window mean.
+	if got := tier1.Series["c"]; float64(got[0]) != 4 || float64(got[1]) != 8 {
+		t.Fatalf("downsampled counter = %v, want [4 8]", got)
+	}
+	if got := tier1.Series["g"]; float64(got[0]) != 2.5 || float64(got[1]) != 6.5 {
+		t.Fatalf("downsampled gauge = %v, want [2.5 6.5]", got)
+	}
+	if got := tier1.IntervalMS; got != 4000 {
+		t.Fatalf("tier-1 interval = %dms, want 4000", got)
+	}
+}
+
+func TestMaxSeriesCapCountsDrops(t *testing.T) {
+	reg := obs.NewRegistry()
+	// history.samples is registered by New, so the cap of 2 leaves one slot.
+	reg.Counter("kept")
+	st, _ := newTestStore(t, reg, Options{MaxSeries: 2})
+	st.Sample()
+	reg.Counter("dropped.a")
+	reg.Counter("dropped.b")
+	st.Sample()
+
+	if st.DroppedSeries() != 2 {
+		t.Fatalf("DroppedSeries = %d, want 2", st.DroppedSeries())
+	}
+	doc := st.Snapshot(nil, 0, 0)
+	if doc.DroppedSeries != 2 {
+		t.Fatalf("doc.DroppedSeries = %d, want 2", doc.DroppedSeries)
+	}
+	if _, ok := doc.Tiers[0].Series["dropped.a"]; ok {
+		t.Fatal("dropped series leaked into the snapshot")
+	}
+	if _, ok := doc.Tiers[0].Series["kept"]; !ok {
+		t.Fatal("series admitted before the cap disappeared")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := New(reg, Options{Interval: time.Millisecond})
+	stop := st.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Samples() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler took no samples within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // second stop must not panic or hang
+}
+
+func TestHandlerServesFilteredJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.requests").Add(3)
+	reg.Gauge("other.gauge").Set(1)
+	st, clk := newTestStore(t, reg, Options{Capacity: 8, Tiers: 2, Factor: 2})
+	for i := 0; i < 4; i++ {
+		st.Sample()
+		clk.Advance(time.Second)
+	}
+
+	rec := httptest.NewRecorder()
+	st.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/history?series=serve.&tier=0&last=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	if got := rec.Header().Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("Cache-Control = %q", got)
+	}
+	var doc Doc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("response is not JSON: %v", err)
+	}
+	if len(doc.Tiers) != 1 {
+		t.Fatalf("tier filter kept %d tiers, want 1", len(doc.Tiers))
+	}
+	tier := doc.Tiers[0]
+	if len(tier.TS) != 2 {
+		t.Fatalf("last=2 kept %d samples, want 2", len(tier.TS))
+	}
+	if _, ok := tier.Series["serve.requests"]; !ok {
+		t.Fatal("series filter dropped serve.requests")
+	}
+	if _, ok := tier.Series["other.gauge"]; ok {
+		t.Fatal("series filter leaked other.gauge")
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, _ := newTestStore(t, reg, Options{})
+	h := st.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/history", strings.NewReader("{}")))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+	if got := rec.Header().Get("Allow"); got != "GET" {
+		t.Fatalf("Allow = %q, want GET", got)
+	}
+
+	for _, q := range []string{"?tier=99", "?tier=x", "?last=-1", "?last=x"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/history"+q, nil))
+		if rec.Code != 400 {
+			t.Fatalf("GET %s status = %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+func TestJSONFloatNullsNaN(t *testing.T) {
+	b, err := json.Marshal([]JSONFloat{1.5, JSONFloat(math.NaN()), JSONFloat(math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[1.5,null,null]" {
+		t.Fatalf("marshal = %s, want [1.5,null,null]", b)
+	}
+}
+
+// TestSamplerRaces drives Sample concurrently with live registry mutation,
+// histogram observation, and cross-registry Merge — the exact interleaving
+// the service daemon runs all day. Meaningful under -race (the CI race job
+// runs this package); the assertions just prove the store stayed coherent.
+func TestSamplerRaces(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, _ := newTestStore(t, reg, Options{Capacity: 32, Tiers: 2, Factor: 4})
+
+	// Seed the metrics before the goroutines exist so the sampled-series
+	// assertion below cannot lose a scheduling race.
+	reg.Counter("race.counter")
+	reg.Gauge("race.gauge")
+	reg.Histogram("race.hist")
+
+	var wg sync.WaitGroup
+	stopCh := make(chan struct{})
+	wg.Add(3)
+	go func() { // mutator: counters, gauges, histograms
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			reg.Counter("race.counter").Inc()
+			reg.Gauge("race.gauge").Set(float64(i))
+			reg.Histogram("race.hist").Observe(float64(i % 10))
+		}
+	}()
+	go func() { // merger: shard registries folding in, as the MCS driver does
+		defer wg.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			shard := obs.NewRegistry()
+			shard.Counter("race.counter").Add(2)
+			shard.Histogram("race.hist").Observe(5)
+			reg.Merge(shard)
+		}
+	}()
+	go func() { // reader: snapshots while sampling runs
+		defer wg.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			_ = st.Snapshot(nil, -1, 4)
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		st.Sample()
+	}
+	close(stopCh)
+	wg.Wait()
+
+	if st.Samples() != 200 {
+		t.Fatalf("Samples = %d, want 200", st.Samples())
+	}
+	tier := st.Snapshot([]string{"race."}, 0, 0).Tiers[0]
+	if len(tier.Series["race.counter"]) == 0 {
+		t.Fatal("race.counter never sampled")
+	}
+}

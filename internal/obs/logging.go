@@ -22,6 +22,23 @@ func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
 	}))
 }
 
+// NewJSONLogger is NewLogger with a JSON handler: one JSON object per line,
+// timestamps dropped under the same reproducibility convention. It is the
+// access-log format of the scheduling service — structured enough to grep a
+// trace ID out of, deterministic enough to assert on in tests (durations
+// come from an injectable clock, not the log timestamp).
+func NewJSONLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{} // drop the timestamp
+			}
+			return a
+		},
+	}))
+}
+
 // osExit is swapped out by tests of Fatal.
 var osExit = os.Exit
 

@@ -65,6 +65,16 @@ const (
 	// CheckpointRestored: a run resumed from durable state at slot T; N is
 	// the restored cumulative tags-read count.
 	CheckpointRestored EventType = "checkpoint_restored"
+	// RequestPhase: one phase of a service request's lifecycle (decode,
+	// queue, solve, verify, encode, ...) finished. Run carries the request's
+	// trace ID, Cause the phase name, N the phase duration in nanoseconds.
+	// Emitted into the flight recorder for slow requests so a post-mortem
+	// dump carries the request's full breakdown (DESIGN.md §16).
+	RequestPhase EventType = "request_phase"
+	// RequestCompleted: a service request finished. Run carries the trace
+	// ID, Cause the endpoint, Alg the requested algorithm, M the HTTP
+	// status, N the total duration in nanoseconds.
+	RequestCompleted EventType = "request_completed"
 )
 
 // Event is one trace record. Numeric fields that do not apply to a given
@@ -178,6 +188,29 @@ func EvCheckpointWritten(slot, totalRead int) Event {
 func EvCheckpointRestored(slot, totalRead int) Event {
 	e := base(CheckpointRestored, slot)
 	e.N = totalRead
+	return e
+}
+
+// EvRequestPhase builds a request_phase event: the request identified by
+// trace spent durNs nanoseconds in the named lifecycle phase.
+func EvRequestPhase(trace, phase string, durNs int64) Event {
+	e := base(RequestPhase, -1)
+	e.Run = trace
+	e.Cause = phase
+	e.N = int(durNs)
+	return e
+}
+
+// EvRequestCompleted builds a request_completed event: the request
+// identified by trace against the named endpoint (and algorithm, when it
+// reached one) finished with the given HTTP status after durNs nanoseconds.
+func EvRequestCompleted(trace, endpoint, alg string, status int, durNs int64) Event {
+	e := base(RequestCompleted, -1)
+	e.Run = trace
+	e.Cause = endpoint
+	e.Alg = alg
+	e.M = status
+	e.N = int(durNs)
 	return e
 }
 

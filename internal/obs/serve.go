@@ -19,6 +19,13 @@ type ServeOptions struct {
 	// Ready gates /readyz; nil means always ready. /healthz is pure
 	// liveness — reachable process, 200 — and takes no hook on purpose.
 	Ready func() bool
+	// History backs /history: the embedded metric-history ring (see
+	// internal/obs/history, whose Store.Handler fits here). nil makes the
+	// endpoint a 404.
+	History http.Handler
+	// Events backs /events: the live SSE trace-event stream (an *SSEBroker
+	// fits here). nil makes the endpoint a 404.
+	Events http.Handler
 }
 
 // RunStatus is the JSON document the /runs endpoint serves: live progress of
@@ -78,31 +85,53 @@ func RunStatusFrom(s Snapshot) RunStatus {
 	return st
 }
 
+// requireGet rejects non-GET/HEAD methods with 405 before running h. Every
+// telemetry endpoint is a read; answering a stray POST with data would hide
+// client bugs, and the Allow header is part of the 405 contract.
+func requireGet(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // Handler builds the telemetry endpoint mux:
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/runs           JSON run progress (RunStatus)
+//	/history        JSON metric history (ring time-series store)
+//	/events         live SSE stream of trace events
 //	/healthz        liveness — always 200 while the process serves
 //	/readyz         readiness — 200, or 503 while ServeOptions.Ready is false
 //	/debug/flight   JSONL dump of the flight recorder's retained window
 //	/debug/pprof/   the standard net/http/pprof profiling endpoints
 //
-// The handler only reads atomic metric state and event copies, so serving
-// concurrently with a live run is safe and perturbs nothing the engines
-// compute — the determinism contract extends to scraping (DESIGN.md §13).
+// Every typed endpoint declares its Content-Type, marks its payload
+// uncacheable (Cache-Control: no-store — all of it is live state; a cached
+// /metrics or /readyz is actively misleading), and rejects non-GET methods
+// with 405 + Allow. The handler only reads atomic metric state and event
+// copies, so serving concurrently with a live run is safe and perturbs
+// nothing the engines compute — the determinism contract extends to
+// scraping (DESIGN.md §13).
 func Handler(opts ServeOptions) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", requireGet(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ExpositionContentType)
+		w.Header().Set("Cache-Control", "no-store")
 		if opts.Registry == nil {
 			return
 		}
 		// Errors past the first byte are undetectable anyway (headers are
 		// gone); an error here just means the client went away.
 		_ = opts.Registry.Snapshot().WriteExposition(w)
-	})
-	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/runs", requireGet(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		var st RunStatus
 		if opts.Registry != nil {
 			st = RunStatusFrom(opts.Registry.Snapshot())
@@ -112,26 +141,43 @@ func Handler(opts ServeOptions) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/healthz", requireGet(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		_, _ = w.Write([]byte("ok\n"))
-	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/readyz", requireGet(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		if opts.Ready != nil && !opts.Ready() {
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
 			return
 		}
 		_, _ = w.Write([]byte("ready\n"))
-	})
-	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/debug/flight", requireGet(func(w http.ResponseWriter, r *http.Request) {
 		if opts.Flight == nil {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
 		_ = opts.Flight.WriteJSONL(w)
+	}))
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		if opts.History == nil {
+			http.NotFound(w, r)
+			return
+		}
+		opts.History.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Events == nil {
+			http.NotFound(w, r)
+			return
+		}
+		opts.Events.ServeHTTP(w, r)
 	})
 	// net/http/pprof self-registers on http.DefaultServeMux at import; wire
 	// its handlers onto this mux explicitly so the telemetry server works

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// SSEBroker fans the trace-event stream out to HTTP clients as Server-Sent
+// Events — the /events endpoint of the telemetry server. It is a Tracer, so
+// it composes with Tee like every other sink, and like every other sink it
+// is pure observation: Emit never blocks (a slow client's buffer overflowing
+// drops frames for that client, counted in Dropped) so the engines' timing
+// and results are untouched by who is watching.
+//
+// A broker may be armed with a FlightRecorder (SetReplay): each new
+// subscriber first receives the recorder's retained window, oldest first,
+// before going live. That makes /events useful even after a short run has
+// already finished — the CI smoke jobs connect after the fact and still see
+// the run's tail — and gives an interactive client immediate context instead
+// of a silent stream.
+type SSEBroker struct {
+	mu     sync.Mutex
+	subs   map[int]chan []byte
+	nextID int
+	seq    atomic.Int64 // frame ids, monotonically increasing
+	buffer int
+	replay *FlightRecorder
+
+	dropped atomic.Int64
+}
+
+// DefaultSSEBuffer is the per-subscriber frame buffer NewSSEBroker falls
+// back to for non-positive sizes.
+const DefaultSSEBuffer = 256
+
+// NewSSEBroker builds a broker whose subscribers each buffer up to n frames
+// (n <= 0 means DefaultSSEBuffer).
+func NewSSEBroker(n int) *SSEBroker {
+	if n <= 0 {
+		n = DefaultSSEBuffer
+	}
+	return &SSEBroker{subs: map[int]chan []byte{}, buffer: n}
+}
+
+// SetReplay arms (non-nil) or disarms (nil) the replay of a flight
+// recorder's retained window to each new subscriber.
+func (b *SSEBroker) SetReplay(f *FlightRecorder) {
+	b.mu.Lock()
+	b.replay = f
+	b.mu.Unlock()
+}
+
+// Subscribers returns how many clients are currently connected.
+func (b *SSEBroker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped returns how many frames were discarded because a subscriber's
+// buffer was full — backpressure shed at the edge, never propagated to the
+// emitting engine.
+func (b *SSEBroker) Dropped() int64 { return b.dropped.Load() }
+
+// Emit implements Tracer: encode the event once and offer the frame to
+// every subscriber without blocking.
+func (b *SSEBroker) Emit(e Event) {
+	b.mu.Lock()
+	if len(b.subs) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	frame := sseFrame(e, b.seq.Add(1))
+	for _, ch := range b.subs {
+		select {
+		case ch <- frame:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// sseFrame renders one event as an SSE frame: the event type doubles as the
+// SSE event name, the JSON body is the data line, and the id is a process-
+// local sequence number clients can use to spot gaps.
+func sseFrame(e Event, id int64) []byte {
+	body, err := json.Marshal(e)
+	if err != nil {
+		// Event is a plain struct of marshalable fields; this cannot happen,
+		// but a comment frame beats a torn stream if it somehow does.
+		return []byte(fmt.Sprintf(": marshal error: %v\n\n", err))
+	}
+	frame := make([]byte, 0, len(body)+len(e.Type)+32)
+	frame = append(frame, "event: "...)
+	frame = append(frame, e.Type...)
+	frame = append(frame, "\nid: "...)
+	frame = strconv.AppendInt(frame, id, 10)
+	frame = append(frame, "\ndata: "...)
+	frame = append(frame, body...)
+	frame = append(frame, "\n\n"...)
+	return frame
+}
+
+// subscribe registers a new client channel and returns it with its remover.
+func (b *SSEBroker) subscribe() (chan []byte, func()) {
+	ch := make(chan []byte, b.buffer)
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
+	}
+}
+
+// ServeHTTP implements the /events endpoint: an SSE stream of the live
+// trace-event feed, preceded by the flight recorder's retained window when
+// replay is armed (suppress with ?replay=0). The stream runs until the
+// client disconnects.
+func (b *SSEBroker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before replaying so no live event can fall in the gap
+	// between the replayed window and the stream (a frame may appear in
+	// both; SSE consumers tolerate duplicates, they cannot recover holes).
+	ch, cancel := b.subscribe()
+	defer cancel()
+
+	b.mu.Lock()
+	replay := b.replay
+	b.mu.Unlock()
+	if replay != nil && r.URL.Query().Get("replay") != "0" {
+		for _, e := range replay.Events() {
+			if _, err := w.Write(sseFrame(e, b.seq.Add(1))); err != nil {
+				return
+			}
+		}
+	}
+	// An immediate comment frame forces headers and proxy buffers out, so a
+	// client knows it is connected even when no events are flowing yet.
+	if _, err := w.Write([]byte(": stream open\n\n")); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	for {
+		select {
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rfidsched/internal/deploy"
 	"rfidsched/internal/obs"
@@ -27,6 +28,12 @@ type Job struct {
 	Dep *deploy.Deployment
 
 	done chan struct{} // closed when the job reaches done/failed
+
+	// trace is the creating request's trace (nil for jobs materialized
+	// outside a request); the worker attributes queue/solve/verify phases to
+	// it. enqueuedAt stamps shard admission for the queue-latency phase.
+	trace      *reqTrace
+	enqueuedAt time.Time
 
 	mu     sync.Mutex
 	status string

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +52,31 @@ type Options struct {
 	// RetainJobs bounds the finished-job index served by /v1/jobs
 	// (default 1024).
 	RetainJobs int
+
+	// AccessLog, when non-nil, receives one structured line per request
+	// (obs.NewJSONLogger is the intended handler): trace ID, endpoint,
+	// status, outcome, and the phase breakdown in milliseconds.
+	AccessLog *slog.Logger
+	// SlowRequest, when > 0, marks requests that take at least this long:
+	// they log at Warn instead of Info and their full phase trace is teed
+	// into Flight, so a slow request can be post-mortemed from
+	// /debug/flight after the fact.
+	SlowRequest time.Duration
+	// Flight, when non-nil, is served at /debug/flight and receives the
+	// phase traces of slow requests (see SlowRequest).
+	Flight *obs.FlightRecorder
+	// Tracer, when non-nil, receives a request_completed event per request
+	// — the feed an SSE /events broker (obs.NewSSEBroker) streams live.
+	Tracer obs.Tracer
+	// History, when non-nil, is served at /history (the metric-history
+	// ring; see internal/obs/history).
+	History http.Handler
+	// Events, when non-nil, is served at /events (the SSE stream).
+	Events http.Handler
+	// Clock overrides the request-timing clock (nil = time.Now). All new
+	// observability is pure measurement: schedules are bit-identical
+	// whatever the clock says (the determinism property tests enforce it).
+	Clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -160,14 +187,17 @@ func (s *Server) Drain(timeout time.Duration) error {
 //	POST /v1/schedule   solve (sync by default, 202 + job id with async)
 //	GET  /v1/jobs/{id}  job status / result by fingerprint
 //	(everything else)   the obs telemetry endpoints: /metrics, /runs,
-//	                    /healthz, /readyz (503 while draining),
-//	                    /debug/pprof/
+//	                    /history, /events, /healthz, /readyz (503 while
+//	                    draining), /debug/flight, /debug/pprof/
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.Handle("/", obs.Handler(obs.ServeOptions{
 		Registry: s.reg,
+		Flight:   s.opts.Flight,
+		History:  s.opts.History,
+		Events:   s.opts.Events,
 		Ready:    func() bool { return !s.draining.Load() },
 	}))
 	return mux
@@ -192,93 +222,164 @@ type JobResponse struct {
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// ErrorBody is the JSON error envelope. Backpressure responses (429/503)
+// carry RetryAfterSeconds mirroring the Retry-After header, and every error
+// issued after the trace exists carries TraceID, so a rejected request is
+// correlatable in the access log without headers surviving the client.
+type ErrorBody struct {
+	Error             string `json:"error"`
+	TraceID           string `json:"trace_id,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorBody{Error: msg})
+}
+
+// writeTracedError is writeError with the request's trace ID in the body,
+// and — when retryAfter > 0 — the Retry-After header and its body mirror.
+func writeTracedError(w http.ResponseWriter, t *reqTrace, status int, retryAfter int, msg string) {
+	body := ErrorBody{Error: msg, TraceID: t.id, RetryAfterSeconds: retryAfter}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, body)
+}
+
+// Retry-After values for the two backpressure rejections: a full shard
+// clears in about a solve time, a drain never clears for this process —
+// give the balancer a beat to notice /readyz went 503.
+const (
+	retryAfterQueueFull = 1
+	retryAfterDraining  = 5
+)
+
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	t := s.startTrace(w, r, "schedule")
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeTracedError(w, t, http.StatusMethodNotAllowed, 0, "POST only")
+		s.finishTrace(t, http.StatusMethodNotAllowed, "method_not_allowed")
 		return
 	}
 	s.reg.Counter("serve.requests").Inc()
 	if s.draining.Load() {
 		s.reg.Counter("serve.rejected.draining").Inc()
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeTracedError(w, t, http.StatusServiceUnavailable, retryAfterDraining, "server is draining")
+		s.finishTrace(t, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	decodeStart := s.now()
 	req, dep, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBody), s.opts.Limits)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.phase(t, PhaseDecode, decodeStart)
+		writeTracedError(w, t, http.StatusBadRequest, 0, err.Error())
+		s.finishTrace(t, http.StatusBadRequest, "bad_request")
 		return
 	}
 	fp := FingerprintRequest(req, dep)
+	s.phase(t, PhaseDecode, decodeStart)
+	t.alg, t.mode = req.Algorithm, req.Mode
 
 	if req.Cacheable() && !req.NoCache {
-		if res, ok := s.cache.Get(fp); ok {
+		cacheStart := s.now()
+		res, ok := s.cache.Get(fp)
+		s.phase(t, PhaseCache, cacheStart)
+		if ok {
+			encodeStart := s.now()
 			writeJSON(w, http.StatusOK, Response{Cached: true, Result: res})
+			s.phase(t, PhaseEncode, encodeStart)
+			s.finishTrace(t, http.StatusOK, "cache_hit")
 			return
 		}
 	}
 
-	job, created := s.attach(fp, req, dep)
+	job, created := s.attach(fp, req, dep, t)
 	if created {
+		job.enqueuedAt = s.now()
 		if err := s.pool.enqueue(job); err != nil {
 			s.detach(fp)
 			switch {
 			case errors.Is(err, ErrQueueFull):
 				s.reg.Counter("serve.rejected.queue_full").Inc()
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "shard queue full, retry later")
+				writeTracedError(w, t, http.StatusTooManyRequests, retryAfterQueueFull,
+					"shard queue full, retry later")
+				s.finishTrace(t, http.StatusTooManyRequests, "queue_full")
 			default:
 				s.reg.Counter("serve.rejected.draining").Inc()
-				writeError(w, http.StatusServiceUnavailable, "server is draining")
+				writeTracedError(w, t, http.StatusServiceUnavailable, retryAfterDraining,
+					"server is draining")
+				s.finishTrace(t, http.StatusServiceUnavailable, "draining")
 			}
 			return
 		}
 	}
 
 	if req.Async {
+		encodeStart := s.now()
 		writeJSON(w, http.StatusAccepted, JobResponse{Job: fp.String(), Status: job.Status()})
+		s.phase(t, PhaseEncode, encodeStart)
+		s.finishTrace(t, http.StatusAccepted, "accepted")
 		return
 	}
 
+	waitStart := s.now()
 	select {
 	case <-job.Done():
 	case <-r.Context().Done():
 		// The client went away; the job keeps running (other waiters, the
-		// cache, and /v1/jobs still want the result).
+		// cache, and /v1/jobs still want the result). 499 is the de-facto
+		// "client closed request" status for exactly this outcome.
+		s.finishTrace(t, 499, "client_gone")
 		return
+	}
+	if t.merged {
+		// A merged waiter spent the whole interval waiting on someone
+		// else's job; the queue/solve/verify phases belong to the creator.
+		s.phase(t, PhaseWait, waitStart)
 	}
 	res, jerr := job.Outcome()
 	if jerr != nil {
 		status := http.StatusInternalServerError
+		outcome := "solver_error"
 		if IsBadRequest(jerr) {
 			status = http.StatusBadRequest
+			outcome = "bad_request"
 		}
-		writeError(w, status, jerr.Error())
+		writeTracedError(w, t, status, 0, jerr.Error())
+		s.finishTrace(t, status, outcome)
 		return
 	}
+	encodeStart := s.now()
 	writeJSON(w, http.StatusOK, Response{Cached: false, Result: res})
+	s.phase(t, PhaseEncode, encodeStart)
+	outcome := "solved"
+	if t.merged {
+		outcome = "merged"
+	}
+	s.finishTrace(t, http.StatusOK, outcome)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	t := s.startTrace(w, r, "jobs")
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeTracedError(w, t, http.StatusMethodNotAllowed, 0, "GET only")
+		s.finishTrace(t, http.StatusMethodNotAllowed, "method_not_allowed")
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	fp, ok := ParseFingerprint(id)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "job id must be a 64-char hex fingerprint")
+		writeTracedError(w, t, http.StatusBadRequest, 0, "job id must be a 64-char hex fingerprint")
+		s.finishTrace(t, http.StatusBadRequest, "bad_request")
 		return
 	}
 	s.mu.Lock()
@@ -294,30 +395,43 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp.Result = res
 		}
+		encodeStart := s.now()
 		writeJSON(w, http.StatusOK, resp)
+		s.phase(t, PhaseEncode, encodeStart)
+		s.finishTrace(t, http.StatusOK, "job_"+resp.Status)
 		return
 	}
 	// The job index is bounded; fall back to the cache so a long-finished
 	// fingerprint still resolves.
 	if res, ok := s.cache.Get(fp); ok {
+		encodeStart := s.now()
 		writeJSON(w, http.StatusOK, JobResponse{Job: id, Status: JobDone, Result: res})
+		s.phase(t, PhaseEncode, encodeStart)
+		s.finishTrace(t, http.StatusOK, "job_cache")
 		return
 	}
-	writeError(w, http.StatusNotFound, "unknown job")
+	writeTracedError(w, t, http.StatusNotFound, 0, "unknown job")
+	s.finishTrace(t, http.StatusNotFound, "not_found")
 }
 
 // attach returns the in-flight job for fp, creating it if none exists.
 // The second return reports creation: exactly one caller per fingerprint
 // generation creates (and must enqueue) the job; everyone else merges onto
-// it — the single-flight guarantee.
-func (s *Server) attach(fp Fingerprint, req *Request, dep *deploy.Deployment) (*Job, bool) {
+// it — the single-flight guarantee. The creator's trace rides on the job so
+// the worker can attribute queue/solve/verify phases to it; merged requests
+// are marked so their access-log line says where the time really went.
+func (s *Server) attach(fp Fingerprint, req *Request, dep *deploy.Deployment, t *reqTrace) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if job, ok := s.pending[fp]; ok {
 		s.reg.Counter("serve.singleflight.merged").Inc()
+		if t != nil {
+			t.merged = true
+		}
 		return job, false
 	}
 	job := newJob(fp, req, dep)
+	job.trace = t
 	s.pending[fp] = job
 	return job, true
 }
@@ -334,11 +448,19 @@ func (s *Server) detach(fp Fingerprint) {
 // finished index, and wake every waiter.
 func (s *Server) runJob(job *Job) {
 	job.setRunning()
+	if !job.enqueuedAt.IsZero() {
+		// Queue latency: enqueue → worker pickup, attributed to the trace of
+		// the request that created the job.
+		s.phase(job.trace, PhaseQueue, job.enqueuedAt)
+	}
 	if s.solveGate != nil {
 		s.solveGate(job)
 	}
 	s.reg.Counter("serve.solves").Inc()
+	solveStart := s.now()
 	res, err := s.solveJob(job)
+	s.reg.Histogram("serve.solve." + job.Req.Algorithm + ".seconds").
+		Observe(s.now().Sub(solveStart).Seconds())
 	if err == nil && job.Req.Cacheable() {
 		s.cache.Put(job.FP, res)
 	}
@@ -438,12 +560,17 @@ func (s *Server) solveOneShot(job *Job, sys *model.System, sched model.OneShotSc
 		}
 	}
 	span := obs.StartSpan(s.reg, obs.SpanSolve)
+	solveStart := s.now()
 	X, err := sched.OneShot(sys)
+	s.phase(job.trace, PhaseSolve, solveStart)
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("serve: %s one-shot: %w", sched.Name(), err)
 	}
-	if requireFeasible(req.Algorithm) && !sys.IsFeasible(X) {
+	verifyStart := s.now()
+	feasible := sys.IsFeasible(X)
+	s.phase(job.trace, PhaseVerify, verifyStart)
+	if requireFeasible(req.Algorithm) && !feasible {
 		return nil, fmt.Errorf("serve: %s produced an infeasible one-shot set %v", sched.Name(), X)
 	}
 	anytime := false
@@ -458,7 +585,7 @@ func (s *Server) solveOneShot(job *Job, sys *model.System, sched model.OneShotSc
 		Weight:      sys.Weight(X),
 		TagsRead:    len(sys.Covered(X, nil)),
 		Anytime:     anytime,
-		Verified:    sys.IsFeasible(X) || !requireFeasible(req.Algorithm),
+		Verified:    feasible || !requireFeasible(req.Algorithm),
 	}
 	return res, nil
 }
@@ -507,6 +634,7 @@ func (s *Server) solveMCS(job *Job, sys *model.System, sched model.OneShotSchedu
 
 	var mcsRes *core.MCSResult
 	var err error
+	solveStart := s.now()
 	if state != nil {
 		s.reg.Counter("serve.resumed").Inc()
 		mcsRes, err = core.ResumeMCS(sys, sched, opts, state)
@@ -532,11 +660,14 @@ func (s *Server) solveMCS(job *Job, sys *model.System, sched model.OneShotSchedu
 	} else {
 		mcsRes, err = core.RunMCS(sys, sched, opts)
 	}
+	s.phase(job.trace, PhaseSolve, solveStart)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %s: %w", sched.Name(), err)
 	}
 
+	verifyStart := s.now()
 	rep, err := verify.Schedule(verifySys, mcsRes, verify.Options{RequireFeasible: requireFeasible(req.Algorithm)})
+	s.phase(job.trace, PhaseVerify, verifyStart)
 	if err != nil {
 		return nil, fmt.Errorf("serve: schedule failed verification: %w", err)
 	}

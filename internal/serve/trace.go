@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"rfidsched/internal/obs"
+)
+
+// TraceHeader is the request/response header carrying the trace ID. A
+// client may supply its own (propagating an upstream ID); the server
+// generates one otherwise, and echoes the effective ID on every response —
+// including job-poll replies and error responses — so any observed response
+// can be joined against the access log, the /metrics histograms, and (for
+// slow requests) the flight recorder.
+const TraceHeader = "X-Trace-Id"
+
+// The request lifecycle phases (DESIGN.md §16). Each phase feeds the
+// histogram "serve.phase.<name>.seconds"; the whole request feeds
+// "serve.request.<endpoint>.seconds" and the solve additionally feeds
+// "serve.solve.<algorithm>.seconds".
+const (
+	PhaseDecode = "decode" // admission: body decode + validation + fingerprint
+	PhaseCache  = "cache"  // schedule-cache lookup
+	PhaseQueue  = "queue"  // enqueue → worker pickup
+	PhaseSolve  = "solve"  // the scheduler run itself
+	PhaseVerify = "verify" // independent re-verification of the schedule
+	PhaseEncode = "encode" // response serialization
+	PhaseWait   = "wait"   // a merged waiter's attach → job-done interval
+)
+
+// maxTraceIDLen bounds accepted client trace IDs; longer ones are replaced,
+// not truncated, so an ID seen anywhere is always intact.
+const maxTraceIDLen = 64
+
+// validTraceID accepts IDs that are safe to echo into headers, logs and
+// metrics verbatim: non-empty, bounded, ASCII letters/digits/._- only.
+func validTraceID(id string) bool {
+	if id == "" || len(id) > maxTraceIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// newTraceID draws a fresh 64-bit random ID, hex encoded.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the OS entropy device is gone; trace IDs
+		// only need uniqueness, so degrade to a constant rather than crash.
+		return "trace-entropy-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// tracePhase is one completed lifecycle phase.
+type tracePhase struct {
+	name string
+	d    time.Duration
+}
+
+// reqTrace is one request's lifecycle record: identity, phase breakdown,
+// and the request attributes worth logging. It is created at the top of the
+// handler and finished exactly once; phases recorded by the worker pool
+// (queue/solve/verify) land on the job creator's trace via Job.trace. The
+// phase list is mutex-guarded because a waiter whose client disconnected
+// finishes its trace while the worker is still appending — the snapshot
+// simply misses the phases that had not happened yet.
+type reqTrace struct {
+	id       string
+	endpoint string
+	method   string
+	start    time.Time
+
+	// Request attributes, filled as decoding learns them.
+	alg    string
+	mode   string
+	merged bool // attached to another request's in-flight job
+
+	mu     sync.Mutex
+	phases []tracePhase
+}
+
+// startTrace builds the trace for an incoming request, honoring a valid
+// client-supplied ID, and stamps the response header immediately so even
+// early-exit error paths echo it.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, endpoint string) *reqTrace {
+	id := r.Header.Get(TraceHeader)
+	if !validTraceID(id) {
+		id = newTraceID()
+	}
+	w.Header().Set(TraceHeader, id)
+	return &reqTrace{
+		id:       id,
+		endpoint: endpoint,
+		method:   r.Method,
+		start:    s.now(),
+	}
+}
+
+// addPhase records a completed phase.
+func (t *reqTrace) addPhase(name string, d time.Duration) {
+	t.mu.Lock()
+	t.phases = append(t.phases, tracePhase{name: name, d: d})
+	t.mu.Unlock()
+}
+
+// snapshotPhases copies the phases recorded so far.
+func (t *reqTrace) snapshotPhases() []tracePhase {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]tracePhase(nil), t.phases...)
+}
+
+// phase records one completed phase that started at the given instant and
+// ends now, both on the trace and in its "serve.phase.<name>.seconds"
+// histogram. Observing at record time (rather than at finishTrace) keeps
+// the histograms complete for async and abandoned requests, whose phases
+// outlive the HTTP exchange.
+func (s *Server) phase(t *reqTrace, name string, start time.Time) time.Duration {
+	d := s.now().Sub(start)
+	if t != nil {
+		t.addPhase(name, d)
+	}
+	s.reg.Histogram("serve.phase." + name + ".seconds").Observe(d.Seconds())
+	return d
+}
+
+// now returns the server clock's current time.
+func (s *Server) now() time.Time {
+	if s.opts.Clock != nil {
+		return s.opts.Clock()
+	}
+	return time.Now()
+}
+
+// finishTrace closes out a request: observe the per-endpoint and per-phase
+// latency histograms, write the access-log line, emit the request_completed
+// trace event, and — when the request ran slower than the slow-request
+// threshold — escalate to a Warn log and tee the full phase breakdown into
+// the flight recorder for post-mortem dumping.
+func (s *Server) finishTrace(t *reqTrace, status int, outcome string) {
+	total := s.now().Sub(t.start)
+	phases := t.snapshotPhases()
+
+	s.reg.Histogram("serve.request." + t.endpoint + ".seconds").Observe(total.Seconds())
+
+	slow := s.opts.SlowRequest > 0 && total >= s.opts.SlowRequest
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.Emit(obs.EvRequestCompleted(t.id, t.endpoint, t.alg, status, total.Nanoseconds()))
+	}
+	if slow && s.opts.Flight != nil {
+		for _, p := range phases {
+			s.opts.Flight.Emit(obs.EvRequestPhase(t.id, p.name, p.d.Nanoseconds()))
+		}
+		s.opts.Flight.Emit(obs.EvRequestCompleted(t.id, t.endpoint, t.alg, status, total.Nanoseconds()))
+	}
+
+	if s.opts.AccessLog == nil {
+		return
+	}
+	attrs := make([]any, 0, 16)
+	attrs = append(attrs,
+		slog.String("trace", t.id),
+		slog.String("endpoint", t.endpoint),
+		slog.String("method", t.method),
+		slog.Int("status", status),
+		slog.String("outcome", outcome),
+		slog.Float64("dur_ms", float64(total.Nanoseconds())/1e6),
+	)
+	if t.alg != "" {
+		attrs = append(attrs, slog.String("alg", t.alg))
+	}
+	if t.mode != "" {
+		attrs = append(attrs, slog.String("mode", t.mode))
+	}
+	if t.merged {
+		attrs = append(attrs, slog.Bool("merged", true))
+	}
+	if len(phases) > 0 {
+		phaseAttrs := make([]any, 0, len(phases))
+		for _, p := range phases {
+			phaseAttrs = append(phaseAttrs, slog.Float64(p.name+"_ms", float64(p.d.Nanoseconds())/1e6))
+		}
+		attrs = append(attrs, slog.Group("phases", phaseAttrs...))
+	}
+	if slow {
+		s.opts.AccessLog.Warn("slow request", attrs...)
+	} else {
+		s.opts.AccessLog.Info("request", attrs...)
+	}
+}

@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rfidsched/internal/obs"
+	"rfidsched/internal/obs/history"
+)
+
+// lockedBuffer is a bytes.Buffer safe for the handler goroutines that write
+// access-log lines concurrently with test assertions.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestTraceIDEchoAndValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	do := func(traceID string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/schedule", strings.NewReader(smallBody))
+		if traceID != "" {
+			req.Header.Set(TraceHeader, traceID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	// A valid client ID round-trips verbatim.
+	if got := do("client-trace_1.a").Header.Get(TraceHeader); got != "client-trace_1.a" {
+		t.Fatalf("valid client trace id: echoed %q", got)
+	}
+	// No client ID: the server mints a 16-hex-char one.
+	gen := do("").Header.Get(TraceHeader)
+	if len(gen) != 16 || !validTraceID(gen) {
+		t.Fatalf("generated trace id %q is not 16 valid chars", gen)
+	}
+	// Unsafe IDs (over-length, odd characters) are replaced, not echoed.
+	for _, bad := range []string{"spaced id", strings.Repeat("a", 65), "ünïcode"} {
+		if got := do(bad).Header.Get(TraceHeader); got == bad || got == "" {
+			t.Fatalf("unsafe trace id %q: echoed %q", bad, got)
+		}
+	}
+	// The validator itself also refuses values the HTTP client would never
+	// let a test send, like header-injection attempts.
+	for _, bad := range []string{"", "evil\nid", "a b", "semi;colon"} {
+		if validTraceID(bad) {
+			t.Errorf("validTraceID(%q) = true", bad)
+		}
+	}
+}
+
+func TestTraceIDOnErrorResponses(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Bad request: header echoed AND the error body carries the same ID.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/schedule", strings.NewReader("not json"))
+	req.Header.Set(TraceHeader, "err-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TraceHeader); got != "err-trace-1" {
+		t.Fatalf("400 header trace = %q", got)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body not JSON: %s", body)
+	}
+	if eb.TraceID != "err-trace-1" || eb.Error == "" {
+		t.Fatalf("error body = %+v, want trace err-trace-1", eb)
+	}
+
+	// Method not allowed on the jobs endpoint also echoes a trace.
+	resp, err = http.Post(ts.URL+"/v1/jobs/abc", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get(TraceHeader) == "" {
+		t.Fatalf("POST /v1/jobs: status %d, trace %q", resp.StatusCode, resp.Header.Get(TraceHeader))
+	}
+}
+
+func TestBackpressureRetryAfter(t *testing.T) {
+	release := make(chan struct{}, 16)
+	running := make(chan struct{}, 16)
+	s, ts := newTestServer(t, Options{Shards: 1, WorkersPerShard: 1, QueueDepth: 1})
+	s.solveGate = func(*Job) {
+		running <- struct{}{}
+		<-release
+	}
+	defer func() {
+		for i := 0; i < cap(release); i++ {
+			release <- struct{}{}
+		}
+	}()
+
+	asyncBody := func(seed int) string {
+		return fmt.Sprintf(`{"generator": {"seed": %d, "readers": 8, "tags": 30, "side": 40, "lambdaR": 12, "lambdar": 5}, "algorithm": "ghc", "async": true}`, seed)
+	}
+	if status, b := postSchedule(t, ts, asyncBody(1)); status != http.StatusAccepted {
+		t.Fatalf("job A: status %d, body %s", status, b)
+	}
+	<-running
+	if status, b := postSchedule(t, ts, asyncBody(2)); status != http.StatusAccepted {
+		t.Fatalf("job B: status %d, body %s", status, b)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(asyncBody(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("429 Retry-After = %q, want 1", got)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("429 body not JSON: %s", body)
+	}
+	if eb.RetryAfterSeconds != 1 || eb.TraceID == "" {
+		t.Fatalf("429 body = %+v, want retry_after_seconds=1 and a trace id", eb)
+	}
+}
+
+func TestDrainingRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Fatalf("503 Retry-After = %q, want 5", got)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("503 body not JSON: %s", body)
+	}
+	if eb.RetryAfterSeconds != 5 || eb.TraceID == "" {
+		t.Fatalf("503 body = %+v, want retry_after_seconds=5 and a trace id", eb)
+	}
+}
+
+func TestResponseHeadersNoStore(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("Cache-Control = %q", got)
+	}
+}
+
+func TestPhaseHistogramsPopulated(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if status, b := postSchedule(t, ts, smallBody); status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, b)
+	}
+	snap := s.reg.Snapshot()
+	for _, name := range []string{
+		"serve.request.schedule.seconds",
+		"serve.phase.decode.seconds",
+		"serve.phase.cache.seconds",
+		"serve.phase.queue.seconds",
+		"serve.phase.solve.seconds",
+		"serve.phase.verify.seconds",
+		"serve.phase.encode.seconds",
+		"serve.solve.alg2.seconds",
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.N == 0 {
+			t.Errorf("histogram %s missing or empty after a solved request", name)
+		}
+	}
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var buf lockedBuffer
+	_, ts := newTestServer(t, Options{AccessLog: obs.NewJSONLogger(&buf, 0)})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/schedule", strings.NewReader(smallBody))
+	req.Header.Set(TraceHeader, "log-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	line := strings.TrimSpace(buf.String())
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("access log is not one JSON line: %q", line)
+	}
+	if entry["trace"] != "log-trace-1" || entry["endpoint"] != "schedule" {
+		t.Fatalf("access log entry = %v", entry)
+	}
+	if entry["status"] != float64(200) || entry["outcome"] != "solved" {
+		t.Fatalf("access log entry = %v", entry)
+	}
+	phases, ok := entry["phases"].(map[string]any)
+	if !ok {
+		t.Fatalf("access log lacks phase group: %v", entry)
+	}
+	for _, p := range []string{"decode_ms", "solve_ms", "verify_ms", "encode_ms"} {
+		if _, ok := phases[p]; !ok {
+			t.Errorf("phase group lacks %s: %v", phases, p)
+		}
+	}
+}
+
+func TestSlowRequestLandsInFlightRecorder(t *testing.T) {
+	flight := obs.NewFlightRecorder(64)
+	var buf lockedBuffer
+	_, ts := newTestServer(t, Options{
+		AccessLog:   obs.NewJSONLogger(&buf, 0),
+		SlowRequest: time.Nanosecond, // everything is slow
+		Flight:      flight,
+	})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/schedule", strings.NewReader(smallBody))
+	req.Header.Set(TraceHeader, "slow-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// End to end: the teed trace is visible through the /debug/flight
+	// endpoint the obs handler mounts, as JSONL with our trace in Run.
+	dresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != 200 {
+		t.Fatalf("/debug/flight status %d", dresp.StatusCode)
+	}
+	var phaseLines, completedLines int
+	for _, line := range strings.Split(strings.TrimSpace(string(dump)), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("flight dump line not JSON: %q", line)
+		}
+		if e.Run != "slow-trace-1" {
+			continue
+		}
+		switch e.Type {
+		case obs.RequestPhase:
+			phaseLines++
+		case obs.RequestCompleted:
+			if e.Cause != "schedule" || e.M != 200 {
+				t.Fatalf("request_completed event = %+v", e)
+			}
+			completedLines++
+		}
+	}
+	if phaseLines == 0 || completedLines != 1 {
+		t.Fatalf("flight dump: %d phase lines, %d completed lines (want >0, 1):\n%s",
+			phaseLines, completedLines, dump)
+	}
+	if !strings.Contains(buf.String(), "slow request") {
+		t.Fatalf("slow request did not log at Warn: %s", buf.String())
+	}
+}
+
+func TestRequestCompletedEventEmitted(t *testing.T) {
+	flight := obs.NewFlightRecorder(16) // any Tracer works; a recorder is inspectable
+	_, ts := newTestServer(t, Options{Tracer: flight})
+	if status, b := postSchedule(t, ts, smallBody); status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, b)
+	}
+	var found bool
+	for _, e := range flight.Events() {
+		if e.Type == obs.RequestCompleted && e.Cause == "schedule" && e.M == 200 && e.N >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no request_completed event in tracer: %+v", flight.Events())
+	}
+}
+
+// TestObservabilityDoesNotPerturbSchedules is the PR's determinism property:
+// the same request produces bit-identical Result JSON whether every
+// observability feature is on or off, at 1 and at 4 solver workers.
+func TestObservabilityDoesNotPerturbSchedules(t *testing.T) {
+	body := func(workers int) string {
+		return fmt.Sprintf(`{
+  "generator": {"seed": 11, "readers": 14, "tags": 90, "side": 50, "lambdaR": 12, "lambdar": 5},
+  "algorithm": "alg2",
+  "workers": %d
+}`, workers)
+	}
+
+	solve := func(t *testing.T, observed bool, workers int) string {
+		t.Helper()
+		opts := Options{}
+		var stop func()
+		if observed {
+			reg := obs.NewRegistry()
+			flight := obs.NewFlightRecorder(256)
+			broker := obs.NewSSEBroker(0)
+			broker.SetReplay(flight)
+			store := history.New(reg, history.Options{Interval: time.Millisecond})
+			stop = store.Start()
+			var buf lockedBuffer
+			opts = Options{
+				Metrics:     reg,
+				AccessLog:   obs.NewJSONLogger(&buf, 0),
+				SlowRequest: time.Nanosecond,
+				Flight:      flight,
+				Tracer:      obs.Tee(flight, broker),
+				History:     store.Handler(),
+				Events:      broker,
+			}
+		}
+		_, ts := newTestServer(t, opts)
+		if stop != nil {
+			t.Cleanup(stop)
+		}
+		status, b := postSchedule(t, ts, body(workers))
+		if status != http.StatusOK {
+			t.Fatalf("status %d, body %s", status, b)
+		}
+		res, err := json.Marshal(decodeResponse(t, b).Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(res)
+	}
+
+	for _, workers := range []int{1, 4} {
+		bare := solve(t, false, workers)
+		full := solve(t, true, workers)
+		if bare != full {
+			t.Errorf("workers=%d: schedule differs with observability on:\nbare: %s\nfull: %s",
+				workers, bare, full)
+		}
+		if workers == 1 {
+			// Cross-worker determinism is part of the same contract.
+			if w4 := solve(t, false, 4); w4 != bare {
+				t.Errorf("schedule differs between 1 and 4 workers:\n%s\n%s", bare, w4)
+			}
+		}
+	}
+}
